@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExhibit(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exhibit", "fig7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig. 7") {
+		t.Fatalf("missing title: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "96.0%") {
+		t.Fatalf("missing saturation row: %q", out.String())
+	}
+}
+
+func TestRunTableExhibits(t *testing.T) {
+	for _, name := range []string{"table1", "table3", "table4", "table5", "table6", "fig10", "fig15", "table2"} {
+		var out bytes.Buffer
+		if err := run([]string{"-exhibit", name}, &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunConvergenceExhibitSmall(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exhibit", "fig8", "-workers", "2", "-epochs", "2", "-per-class", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ShmCaffe") {
+		t.Fatalf("fig8 missing platform rows: %q", out.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exhibit", "table4", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") {
+		t.Fatalf("not CSV: %q", first)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exhibit", "fig99"}, &out); err == nil {
+		t.Fatal("expected error for unknown exhibit")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("expected error for no mode")
+	}
+}
+
+func TestRunAllWithOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	// Keep convergence exhibits tiny.
+	err := run([]string{"-all", "-out", dir, "-workers", "2", "-epochs", "2", "-per-class", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table2.txt", "table2.csv", "fig7.txt", "fig15.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}

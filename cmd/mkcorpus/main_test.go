@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	var out bytes.Buffer
+	if err := run([]string{"-out", path, "-kind", "gaussian", "-classes", "3", "-per-class", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 30 samples") {
+		t.Fatalf("build output %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "30 samples, 3 classes") {
+		t.Fatalf("inspect output %q", out.String())
+	}
+	if !strings.Contains(out.String(), "class 2: 10 samples") {
+		t.Fatalf("histogram missing: %q", out.String())
+	}
+}
+
+func TestBuildPatternCorpus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	var out bytes.Buffer
+	if err := run([]string{"-out", path, "-kind", "pattern", "-classes", "2", "-per-class", "5", "-size", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[1 8 8]") {
+		t.Fatalf("pattern shape missing: %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("expected error without -out/-inspect")
+	}
+	if err := run([]string{"-out", "/tmp/x.db", "-kind", "csv"}, &out); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if err := run([]string{"-inspect", "/nonexistent.db"}, &out); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

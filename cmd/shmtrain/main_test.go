@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shmcaffe/internal/nn"
+)
+
+func TestRunAllPlatformsSmall(t *testing.T) {
+	for _, platform := range []string{"caffe", "caffe-mpi", "mpicaffe", "shmcaffe-a", "shmcaffe-h"} {
+		platform := platform
+		t.Run(platform, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{
+				"-platform", platform, "-workers", "2", "-epochs", "2",
+				"-per-class", "30", "-noise", "0.3",
+			}
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "final: accuracy") {
+				t.Fatalf("missing summary: %q", out.String())
+			}
+		})
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"mlp", "cnn", "inception", "resnet", "vgg"} {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{
+				"-platform", "caffe", "-workers", "1", "-epochs", "1",
+				"-per-class", "20", "-model", model,
+			}
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunSavesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	var out bytes.Buffer
+	args := []string{
+		"-platform", "shmcaffe-a", "-workers", "2", "-epochs", "2",
+		"-per-class", "30", "-save", path,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := nn.MLP("restore", 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.LoadCheckpoint(f, net); err != nil {
+		t.Fatalf("checkpoint unreadable: %v", err)
+	}
+}
+
+func TestRunUnknownPlatformAndModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-platform", "tensorflow"}, &out); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+	if err := run([]string{"-model", "transformer"}, &out); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

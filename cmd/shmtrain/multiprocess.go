@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"shmcaffe/internal/core"
+	"shmcaffe/internal/dataset"
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/rds"
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+	"shmcaffe/internal/trace"
+)
+
+// singleWorkerOpts parameterizes one multi-process SEASGD worker.
+type singleWorkerOpts struct {
+	rank, world        int
+	smbAddr, transport string
+	job                string
+	epochs, batch      int
+	classes, perClass  int
+	interval           int
+	noise              float64
+	lr, movingRate     float64
+	seed               uint64
+}
+
+// runSingleWorker runs this process's share of a multi-process SEASGD job.
+// Every participating process must use identical -seed/-classes/-per-class
+// so they regenerate the same corpus and shard it disjointly.
+func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
+	client, cleanup, err := dialSMB(o.smbAddr, o.transport)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	full, err := dataset.NewGaussian(dataset.GaussianConfig{
+		Classes: o.classes, PerClass: o.perClass, Shape: []int{8},
+		Noise: o.noise, Seed: o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	train, val, err := dataset.Split(full, 0.8)
+	if err != nil {
+		return err
+	}
+	shard, err := dataset.NewShard(train, o.rank, o.world)
+	if err != nil {
+		return err
+	}
+	loader, err := dataset.NewLoader(shard, o.batch, o.seed+uint64(o.rank)*7919)
+	if err != nil {
+		return err
+	}
+	net, err := nn.MLP(fmt.Sprintf("w%d", o.rank), 8, 16, o.classes)
+	if err != nil {
+		return err
+	}
+	net.InitWeights(tensor.NewRNG(o.seed))
+
+	solver := nn.DefaultSolverConfig()
+	solver.BaseLR = o.lr
+	itersPerEpoch := train.Len() / (o.batch * o.world)
+	if itersPerEpoch < 1 {
+		itersPerEpoch = 1
+	}
+	cfg := core.WorkerConfig{
+		Job:           o.job,
+		Client:        client,
+		Net:           net,
+		Solver:        solver,
+		Elastic:       core.ElasticConfig{MovingRate: o.movingRate, UpdateInterval: o.interval},
+		Termination:   core.StopOnMaster,
+		MaxIterations: itersPerEpoch * o.epochs,
+		Loader:        loader,
+	}
+	fmt.Fprintf(out, "worker %d/%d joining job %q on %s (%s)\n",
+		o.rank, o.world, o.job, o.smbAddr, transportName(o.transport))
+	w, err := core.NewWorkerPolling(cfg, o.rank, o.world, core.BootstrapOptions{})
+	if err != nil {
+		return err
+	}
+	stats, err := w.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "worker %d finished: %d iterations, %d pushes, stopped by %q\n",
+		o.rank, stats.Iterations, stats.Pushes, stats.StoppedBy)
+
+	// The master evaluates the final global weight.
+	if o.rank == 0 {
+		global := make([]float32, net.NumParams())
+		if err := w.Buffers().ReadGlobal(global); err != nil {
+			return err
+		}
+		evalNet, err := nn.MLP("eval", 8, 16, o.classes)
+		if err != nil {
+			return err
+		}
+		if err := evalNet.SetFlatWeights(global); err != nil {
+			return err
+		}
+		vloader, err := dataset.NewLoader(val, 64, o.seed)
+		if err != nil {
+			return err
+		}
+		b := vloader.Next()
+		loss, acc, err := evalNet.Evaluate(b.X, b.Labels, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "global weight Wg: val loss %.3f, accuracy %s\n", loss, trace.Pct(acc))
+	}
+	return nil
+}
+
+// dialSMB opens one SMB connection over the selected transport.
+func dialSMB(addr, transport string) (smb.Client, func(), error) {
+	switch transport {
+	case "", "tcp":
+		c, err := smb.Dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { c.Close() }, nil
+	case "rds":
+		ep, err := rds.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		conn, err := ep.Dial(addr)
+		if err != nil {
+			ep.Close()
+			return nil, nil, err
+		}
+		c := smb.NewStreamClient(conn)
+		return c, func() { c.Close(); ep.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown SMB transport %q", transport)
+	}
+}
+
+func transportName(t string) string {
+	if t == "" {
+		return "tcp"
+	}
+	return t
+}

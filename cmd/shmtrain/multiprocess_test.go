@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"shmcaffe/internal/rds"
+	"shmcaffe/internal/smb"
+)
+
+// TestMultiProcessMode simulates three separate shmtrain processes joining
+// one job through a real TCP SMB server: each invocation of run() is what
+// one OS process would execute.
+func TestMultiProcessMode(t *testing.T) {
+	srv, err := smb.NewServer(smb.NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve()
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+
+	const world = 3
+	outs := make([]bytes.Buffer, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = run([]string{
+				"-rank", fmt.Sprint(r),
+				"-world", fmt.Sprint(world),
+				"-smb", srv.Addr(),
+				"-job", "mp-test",
+				"-epochs", "3",
+				"-per-class", "60",
+				"-noise", "0.3",
+			}, &outs[r])
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v\n%s", r, err, outs[r].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "global weight Wg") {
+		t.Fatalf("master output missing evaluation: %q", outs[0].String())
+	}
+	for r := range outs {
+		if !strings.Contains(outs[r].String(), "finished") {
+			t.Fatalf("rank %d output %q", r, outs[r].String())
+		}
+	}
+	// The server holds the whole segment family.
+	if _, err := srv.Store().Lookup(smb.SegmentNames{Job: "mp-test"}.Global()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiProcessModeValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rank", "0"}, &out); err == nil {
+		t.Fatal("expected error without -smb/-world")
+	}
+}
+
+// TestMultiProcessModeOverRDS runs the multi-process rendezvous across the
+// reliable datagram transport.
+func TestMultiProcessModeOverRDS(t *testing.T) {
+	ep, err := rds.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	srv, err := smb.NewServer(smb.NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		for {
+			conn, err := ep.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	const world = 2
+	outs := make([]bytes.Buffer, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = run([]string{
+				"-rank", fmt.Sprint(r),
+				"-world", fmt.Sprint(world),
+				"-smb", ep.Addr(),
+				"-smb-transport", "rds",
+				"-job", "mp-rds",
+				"-epochs", "2",
+				"-per-class", "40",
+				"-noise", "0.3",
+			}, &outs[r])
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v\n%s", r, err, outs[r].String())
+		}
+	}
+	if srv.Store().Stats().Accumulates == 0 {
+		t.Fatal("no accumulates crossed RDS")
+	}
+}

@@ -1,0 +1,105 @@
+// Command smbserver runs a standalone Soft Memory Box server — the
+// dedicated memory server of the paper's testbed. Distributed training
+// processes (cmd/shmtrain with -smb, or library users dialing smb.Dial)
+// allocate and share remote segments through it.
+//
+// Usage:
+//
+//	smbserver -addr 0.0.0.0:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shmcaffe/internal/rds"
+	"shmcaffe/internal/smb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smbserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+		rdsAddr  = flag.String("rds", "", "additionally serve the RDS datagram transport on this UDP address")
+		httpAddr = flag.String("http", "", "serve JSON metrics on this HTTP address (GET /metrics)")
+		statsSec = flag.Int("stats", 10, "seconds between traffic stat lines (0 disables)")
+	)
+	flag.Parse()
+
+	store := smb.NewStore()
+	srv, err := smb.NewServer(store, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SMB server listening on tcp %s\n", srv.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	if *rdsAddr != "" {
+		ep, err := rds.ListenUDP(*rdsAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer ep.Close()
+		fmt.Printf("SMB server listening on rds/udp %s\n", ep.Addr())
+		go func() {
+			for {
+				conn, err := ep.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}()
+	}
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsSec > 0 {
+		ticker = time.NewTicker(time.Duration(*statsSec) * time.Second)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	if *httpAddr != "" {
+		httpSrv, err := startMetricsHTTP(store, *httpAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer httpSrv.Close()
+		fmt.Printf("SMB metrics on http://%s/metrics\n", httpSrv.Addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			return srv.Close()
+		case err := <-serveErr:
+			if err == net.ErrClosed {
+				return nil
+			}
+			return err
+		case <-tick:
+			s := store.Stats()
+			fmt.Printf("segments: creates=%d attaches=%d | ops: reads=%d writes=%d accumulates=%d | bytes: read=%d written=%d\n",
+				s.Creates, s.Attaches, s.Reads, s.Writes, s.Accumulates, s.BytesRead, s.BytesWrite)
+		}
+	}
+}

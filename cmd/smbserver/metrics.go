@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"shmcaffe/internal/smb"
+)
+
+// metricsServer serves the SMB traffic counters as JSON, the operational
+// endpoint a deployed memory server exposes to its monitoring.
+type metricsServer struct {
+	// Addr is the bound address (useful with port 0).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// metricsPayload is the GET /metrics response body.
+type metricsPayload struct {
+	Creates     int64 `json:"creates"`
+	Attaches    int64 `json:"attaches"`
+	Reads       int64 `json:"reads"`
+	Writes      int64 `json:"writes"`
+	Accumulates int64 `json:"accumulates"`
+	BytesRead   int64 `json:"bytesRead"`
+	BytesWrite  int64 `json:"bytesWritten"`
+}
+
+// startMetricsHTTP binds addr and serves /metrics from store's counters.
+func startMetricsHTTP(store *smb.Store, addr string) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := store.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(metricsPayload{
+			Creates:     s.Creates,
+			Attaches:    s.Attaches,
+			Reads:       s.Reads,
+			Writes:      s.Writes,
+			Accumulates: s.Accumulates,
+			BytesRead:   s.BytesRead,
+			BytesWrite:  s.BytesWrite,
+		})
+	})
+	ms := &metricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go ms.srv.Serve(ln)
+	return ms, nil
+}
+
+// Close stops the HTTP server.
+func (m *metricsServer) Close() error { return m.srv.Close() }

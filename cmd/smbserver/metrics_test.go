@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"shmcaffe/internal/smb"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	store := smb.NewStore()
+	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	// Generate some traffic.
+	key, _ := store.Create("seg", 16)
+	h, _ := store.Attach(key)
+	store.Write(h, 0, make([]byte, 16))
+	store.Read(h, 0, make([]byte, 16))
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var payload metricsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Creates != 1 || payload.Writes != 1 || payload.Reads != 1 {
+		t.Fatalf("payload %+v", payload)
+	}
+	if payload.BytesRead != 16 || payload.BytesWrite != 16 {
+		t.Fatalf("byte counters %+v", payload)
+	}
+
+	// Non-GET rejected.
+	post, err := http.Post(fmt.Sprintf("http://%s/metrics", ms.Addr), "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", post.StatusCode)
+	}
+}

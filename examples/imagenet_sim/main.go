@@ -1,0 +1,84 @@
+// imagenet_sim reproduces the paper's headline evaluation in miniature:
+//
+//  1. Functional: train the same task on all four platforms and compare
+//     convergence (the paper's Fig. 8 on ImageNet/Inception-v1).
+//
+//  2. Timing: project full ImageNet runs with the calibrated performance
+//     model (the paper's Table II / Fig. 9: ShmCaffe ≈10× Caffe-1GPU and
+//     ≈3× Caffe-MPI at 16 GPUs).
+//
+//     go run ./examples/imagenet_sim
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shmcaffe"
+	"shmcaffe/internal/bench"
+	"shmcaffe/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Part 1: convergence across the four platforms (8 workers) ==")
+	fmt.Println()
+	opts := bench.DefaultConvergenceOptions()
+	opts.Epochs = 5
+	tab, err := bench.Fig8Convergence(8, opts)
+	if err != nil {
+		return err
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== Part 2: projected ImageNet training time (Inception-v1, 15 epochs) ==")
+	fmt.Println()
+	hw := shmcaffe.DefaultHardware()
+	t2, err := bench.Table2TrainingTime(hw)
+	if err != nil {
+		return err
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== Part 3: where the time goes at 16 GPUs (Fig. 10) ==")
+	fmt.Println()
+	t10, err := bench.Fig10CompComm(hw)
+	if err != nil {
+		return err
+	}
+	if err := t10.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Headline numbers, computed directly through the public API.
+	p := shmcaffe.PaperModels()[0] // inception_v1
+	caffe1, err := shmcaffe.SimulateCaffe(p, 1, 20, hw)
+	if err != nil {
+		return err
+	}
+	shm16, err := shmcaffe.SimulateHSGD(p, []int{4, 4, 4, 4}, 40, hw)
+	if err != nil {
+		return err
+	}
+	cmpi16, err := shmcaffe.SimulateCaffeMPI(p, 16, 40, hw)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("headline: ShmCaffe-16 iteration %s ms vs Caffe-MPI-16 %s ms; ShmCaffe vs Caffe-1GPU speedup %.1fx (paper: 10.1x)\n",
+		trace.Ms(shm16.Iter), trace.Ms(cmpi16.Iter),
+		caffe1.Iter.Seconds()*16/shm16.Iter.Seconds())
+	return nil
+}

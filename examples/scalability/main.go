@@ -1,0 +1,71 @@
+// scalability reproduces the paper's Sec. IV-E study: computation vs
+// communication per iteration for the four CNN models as worker count and
+// grouping vary (Tables V/VI, Figs. 12–15), plus the VGG16 anti-pattern
+// (multi-node scaling that loses to a single GPU).
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shmcaffe"
+	"shmcaffe/internal/bench"
+	"shmcaffe/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	hw := shmcaffe.DefaultHardware()
+
+	fmt.Println("== ShmCaffe-A: comp/comm per model and worker count (Table V, Figs. 12-13) ==")
+	fmt.Println()
+	t5, err := bench.Table5ShmCaffeA(hw)
+	if err != nil {
+		return err
+	}
+	if err := t5.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== ShmCaffe-H: comp/comm per model and (S#,A#) layout (Table VI, Fig. 14) ==")
+	fmt.Println()
+	t6, err := bench.Table6ShmCaffeH(hw)
+	if err != nil {
+		return err
+	}
+	if err := t6.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== A vs H head to head (Fig. 15) ==")
+	fmt.Println()
+	t15, err := bench.Fig15AvsH(hw)
+	if err != nil {
+		return err
+	}
+	if err := t15.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// The VGG16 anti-pattern, via the public API.
+	vgg := shmcaffe.PaperModels()[3]
+	two, err := shmcaffe.SimulateSEASGD(vgg, 2, 30, shmcaffe.DefaultHardware())
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("VGG16 anti-pattern: one 2-worker iteration takes %s ms while two 1-GPU iterations take %s ms —\n",
+		trace.Ms(two.Iter), trace.Ms(2*vgg.CompTime))
+	fmt.Println("short compute + huge parameters means multi-node scaling loses (paper Sec. IV-E).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module shmcaffe
+
+go 1.22

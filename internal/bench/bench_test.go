@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"shmcaffe/internal/perfmodel"
+)
+
+// renderToString renders a table for content assertions.
+func renderToString(t *testing.T, tab interface {
+	Render(w *bytes.Buffer) error
+}) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTable1Hardware(t *testing.T) {
+	tab := Table1Hardware()
+	if len(tab.Rows) < 4 {
+		t.Fatalf("Table I has %d rows", len(tab.Rows))
+	}
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Memory Server#") {
+		t.Fatal("Table I missing the SMB memory server row")
+	}
+}
+
+func TestFig7Bandwidth(t *testing.T) {
+	tab, err := Fig7Bandwidth(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig. 7 has %d rows, want 5", len(tab.Rows))
+	}
+	// The last row (32 processes) must show ≈96 % utilization.
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.HasPrefix(last[2], "9") {
+		t.Fatalf("32-process utilization %q, want ≈96%%", last[2])
+	}
+}
+
+func TestTable2TrainingTime(t *testing.T) {
+	tab, err := Table2TrainingTime(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table II has %d rows", len(tab.Rows))
+	}
+	// Caffe 1 GPU ≈ 22:xx (Table II anchor).
+	caffe := tab.Rows[0]
+	if !strings.HasPrefix(caffe[1], "22:") && !strings.HasPrefix(caffe[1], "23:") {
+		t.Fatalf("Caffe 1-GPU time %q, want ≈22:59", caffe[1])
+	}
+	// ShmCaffe's 16-GPU scalability must be the largest.
+	shm := tab.Rows[3]
+	shmScal := parseScal(t, shm[5])
+	for _, row := range tab.Rows[:3] {
+		if row[5] == "-" {
+			continue
+		}
+		if parseScal(t, row[5]) >= shmScal {
+			t.Fatalf("%s scalability %s >= ShmCaffe %s", row[0], row[5], shm[5])
+		}
+	}
+	if shmScal < 7 {
+		t.Fatalf("ShmCaffe 16-GPU scalability %.1f, paper: 10.1", shmScal)
+	}
+}
+
+func parseScal(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("parse scalability %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig10CompComm(t *testing.T) {
+	tab, err := Fig10CompComm(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Fig. 10 has %d rows", len(tab.Rows))
+	}
+	// ShmCaffe's comm must be the smallest of the distributed platforms.
+	comm := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("parse comm %q: %v", row[2], err)
+		}
+		return v
+	}
+	shm := comm(tab.Rows[3])
+	if cmpi := comm(tab.Rows[1]); cmpi/shm < 3 {
+		t.Fatalf("Caffe-MPI comm %.1f only %.1fx ShmCaffe's %.1f (paper: 5.3x)",
+			cmpi, cmpi/shm, shm)
+	}
+}
+
+func TestTable3And4AreStatic(t *testing.T) {
+	if got := len(Table3Configs().Rows); got != 5 {
+		t.Fatalf("Table III rows = %d", got)
+	}
+	tab4 := Table4Models()
+	if len(tab4.Rows) != 4 {
+		t.Fatalf("Table IV rows = %d", len(tab4.Rows))
+	}
+	var b bytes.Buffer
+	if err := tab4.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"inception_v1", "resnet_50", "inception_resnet_v2", "vgg16"} {
+		if !strings.Contains(b.String(), model) {
+			t.Fatalf("Table IV missing %s", model)
+		}
+	}
+}
+
+func TestTable5ShmCaffeA(t *testing.T) {
+	tab, err := Table5ShmCaffeA(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 20 { // 4 models × 5 worker counts
+		t.Fatalf("Table V rows = %d", len(tab.Rows))
+	}
+	// VGG16 at 2 workers must already be communication-bound (paper:
+	// comm 727.7 ms > comp 194.9 ms).
+	for _, row := range tab.Rows {
+		if row[0] == "vgg16" && row[1] == "2" {
+			comm, _ := strconv.ParseFloat(row[3], 64)
+			comp, _ := strconv.ParseFloat(row[2], 64)
+			if comm <= comp {
+				t.Fatalf("VGG16@2: comm %.1f <= comp %.1f", comm, comp)
+			}
+			return
+		}
+	}
+	t.Fatal("VGG16@2 row missing")
+}
+
+func TestTable6ShmCaffeH(t *testing.T) {
+	tab, err := Table6ShmCaffeH(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 20 { // 4 models × 5 layouts
+		t.Fatalf("Table VI rows = %d", len(tab.Rows))
+	}
+	// Inception-ResNet-v2 at 16(S4xA4) must be ≈30 % comm (paper: 30.7 %).
+	for _, row := range tab.Rows {
+		if row[0] == "inception_resnet_v2" && row[1] == "16(S4xA4)" {
+			ratio := strings.TrimSuffix(row[5], "%")
+			v, err := strconv.ParseFloat(ratio, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > 45 {
+				t.Fatalf("IRv2 16(S4xA4) comm ratio %.1f%%, paper: ≈30%%", v)
+			}
+			return
+		}
+	}
+	t.Fatal("IRv2 16(S4xA4) row missing")
+}
+
+func TestFig15AvsH(t *testing.T) {
+	tab, err := Fig15AvsH(perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // 4 models × 2 GPU counts
+		t.Fatalf("Fig. 15 rows = %d", len(tab.Rows))
+	}
+	// At 16 GPUs, H must beat A for every model (the paper's conclusion).
+	for _, row := range tab.Rows {
+		if row[1] != "16" {
+			continue
+		}
+		speedup, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if speedup <= 1 {
+			t.Fatalf("%s at 16 GPUs: H speedup %.2f <= 1", row[0], speedup)
+		}
+	}
+}
+
+func TestFig8Convergence(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 3
+	o.PerClass = 40
+	tab, err := Fig8Convergence(4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 platforms × 3 epochs.
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Fig. 8 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig11AsyncVsHybrid(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 3
+	o.PerClass = 40
+	tab, err := Fig11AsyncVsHybrid([]int{1, 4}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Fig. 11 rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][3] != "-" {
+		t.Fatal("1-worker row should have no hybrid column")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	hw := perfmodel.DefaultHardware()
+	overlap, err := AblationOverlap(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overlap.Rows) != 4 {
+		t.Fatalf("overlap ablation rows = %d", len(overlap.Rows))
+	}
+	hidden, err := AblationHiddenRead(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hidden.Rows) != 4 {
+		t.Fatalf("hidden-read ablation rows = %d", len(hidden.Rows))
+	}
+	interval, err := AblationUpdateInterval(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger update_interval must lower the comm ratio monotonically.
+	var prev float64 = 2
+	for _, row := range interval.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev*100 {
+			t.Fatalf("comm ratio not decreasing: %v", interval.Rows)
+		}
+		prev = v / 100
+	}
+	acc, err := AblationAccumulate(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server-side accumulate must never be slower than client RMW.
+	for _, row := range acc.Rows {
+		a, _ := strconv.ParseFloat(row[1], 64)
+		r, _ := strconv.ParseFloat(row[2], 64)
+		if a > r*1.01 {
+			t.Fatalf("accumulate %.1f slower than RMW %.1f at %s workers", a, r, row[0])
+		}
+	}
+	groups, err := AblationGroupSize(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups.Rows) != 4 {
+		t.Fatalf("group-size ablation rows = %d", len(groups.Rows))
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := Table4Models()
+	var b bytes.Buffer
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // header + 4 models
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Model,") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+}
+
+func TestCharts(t *testing.T) {
+	hw := perfmodel.DefaultHardware()
+	for name, fn := range map[string]func() error{
+		"fig7": func() error {
+			c, err := Fig7Chart(hw)
+			if err != nil {
+				return err
+			}
+			var b bytes.Buffer
+			return c.Render(&b)
+		},
+		"fig10": func() error {
+			c, err := Fig10Chart(hw)
+			if err != nil {
+				return err
+			}
+			var b bytes.Buffer
+			return c.Render(&b)
+		},
+		"fig13": func() error {
+			c, err := Fig13Chart(16, hw)
+			if err != nil {
+				return err
+			}
+			var b bytes.Buffer
+			return c.Render(&b)
+		},
+		"fig15": func() error {
+			c, err := Fig15Chart(hw)
+			if err != nil {
+				return err
+			}
+			var b bytes.Buffer
+			return c.Render(&b)
+		},
+	} {
+		if err := fn(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

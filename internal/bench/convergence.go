@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/core"
+	"shmcaffe/internal/dataset"
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/platform"
+	"shmcaffe/internal/trace"
+)
+
+// ConvergenceOptions size the functional (real-training) experiments. The
+// defaults run in seconds on a laptop; raise PerClass/Epochs to stress the
+// platforms harder (the CLI exposes these).
+type ConvergenceOptions struct {
+	Classes  int
+	PerClass int
+	Features int
+	Noise    float64
+	Epochs   int
+	Batch    int
+	Seed     uint64
+}
+
+// DefaultConvergenceOptions returns the laptop-size setup.
+func DefaultConvergenceOptions() ConvergenceOptions {
+	return ConvergenceOptions{
+		Classes:  4,
+		PerClass: 80,
+		Features: 8,
+		Noise:    0.3,
+		Epochs:   6,
+		Batch:    8,
+		Seed:     42,
+	}
+}
+
+// config assembles a platform.Config for `workers` workers.
+func (o ConvergenceOptions) config(workers int) (platform.Config, error) {
+	full, err := dataset.NewGaussian(dataset.GaussianConfig{
+		Classes:  o.Classes,
+		PerClass: o.PerClass,
+		Shape:    []int{o.Features},
+		Noise:    o.Noise,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return platform.Config{}, err
+	}
+	train, val, err := dataset.Split(full, 0.8)
+	if err != nil {
+		return platform.Config{}, err
+	}
+	solver := nn.DefaultSolverConfig()
+	solver.BaseLR = 0.05
+	features := o.Features
+	classes := o.Classes
+	return platform.Config{
+		Workers:   workers,
+		Model:     func(name string) (*nn.Network, error) { return nn.MLP(name, features, 16, classes) },
+		Train:     train,
+		Val:       val,
+		BatchSize: o.Batch,
+		Epochs:    o.Epochs,
+		Solver:    solver,
+		Elastic:   core.DefaultElasticConfig(),
+		Seed:      o.Seed,
+	}, nil
+}
+
+// Fig8Convergence reproduces Fig. 8: accuracy and loss per epoch for the
+// four platforms at the given worker count (the paper plots 8 and 16
+// GPUs). This is real training on the synthetic corpus — the shape to
+// verify is "every platform converges; ShmCaffe tracks the synchronous
+// baselines closely".
+func Fig8Convergence(workers int, o ConvergenceOptions) (*trace.Table, error) {
+	t := trace.New(fmt.Sprintf("Fig. 8: accuracy and loss per platform (%d workers)", workers),
+		"Platform", "Epoch", "Train loss", "Val loss", "Accuracy")
+	order := []struct {
+		name string
+		tr   platform.Trainer
+	}{
+		{"Caffe", platform.Caffe{}},
+		{"Caffe-MPI", platform.CaffeMPI{}},
+		{"MPICaffe", platform.MPICaffe{}},
+		{"ShmCaffe", platform.ShmCaffeH{}},
+	}
+	for _, entry := range order {
+		cfg, err := o.config(workers)
+		if err != nil {
+			return nil, err
+		}
+		if entry.name == "ShmCaffe" {
+			cfg.GroupSize = groupSizeFor(workers)
+		}
+		res, err := entry.tr.Train(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig 8 %s: %w", entry.name, err)
+		}
+		for _, p := range res.Curve {
+			t.Add(entry.name, trace.Itoa(p.Epoch), trace.F2(p.TrainLoss),
+				trace.F2(p.ValLoss), trace.Pct(p.Accuracy))
+		}
+	}
+	return t, nil
+}
+
+func groupSizeFor(workers int) int {
+	switch {
+	case workers%4 == 0 && workers > 4:
+		return 4
+	case workers%2 == 0 && workers > 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Fig11AsyncVsHybrid reproduces Fig. 11: final accuracy and loss of
+// ShmCaffe-A vs ShmCaffe-H as the worker count grows. The shape to verify:
+// ShmCaffe-A's accuracy degrades at high worker counts (the ASGD staleness
+// effect the paper measures as −5.7 % at 16 GPUs) while ShmCaffe-H stays
+// near the 1-GPU level.
+func Fig11AsyncVsHybrid(workerCounts []int, o ConvergenceOptions) (*trace.Table, error) {
+	t := trace.New("Fig. 11: ShmCaffe-A vs ShmCaffe-H final accuracy/loss",
+		"Workers", "A accuracy", "A loss", "H accuracy", "H loss")
+	for _, w := range workerCounts {
+		cfgA, err := o.config(w)
+		if err != nil {
+			return nil, err
+		}
+		resA, err := (platform.ShmCaffeA{}).Train(cfgA)
+		if err != nil {
+			return nil, fmt.Errorf("fig 11 A w=%d: %w", w, err)
+		}
+		hAcc, hLoss := "-", "-"
+		if w > 1 {
+			cfgH, err := o.config(w)
+			if err != nil {
+				return nil, err
+			}
+			cfgH.GroupSize = groupSizeFor(w)
+			resH, err := (platform.ShmCaffeH{}).Train(cfgH)
+			if err != nil {
+				return nil, fmt.Errorf("fig 11 H w=%d: %w", w, err)
+			}
+			hAcc, hLoss = trace.Pct(resH.FinalAcc), trace.F2(resH.FinalLoss)
+		}
+		t.Add(trace.Itoa(w), trace.Pct(resA.FinalAcc), trace.F2(resA.FinalLoss), hAcc, hLoss)
+	}
+	return t, nil
+}

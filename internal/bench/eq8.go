@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/perfmodel"
+	"shmcaffe/internal/trace"
+)
+
+// Eq8Decomposition renders the paper's Eq. (8) term by term for each model:
+// T_iter = max(T_comp, T_wwi + T_ugw) + T_rgw + T_ulw. The "hidden" column
+// shows whether the asynchronous push fits under the computation — the
+// mechanism Fig. 6's update thread exists for.
+func Eq8Decomposition(hw perfmodel.Hardware) *trace.Table {
+	t := trace.New("Eq. (8) decomposition per model (single uncontended worker, ms)",
+		"Model", "T_rgw", "T_ulw", "T_wwi", "T_ugw", "T_comp", "T_iter", "push hidden?")
+	for _, p := range nn.PaperModels() {
+		c := hw.Eq8Decompose(p)
+		hidden := "yes"
+		if c.Twwi+c.Tugw > c.Comp {
+			hidden = "no"
+		}
+		t.Add(p.Name, trace.Ms(c.Trgw), trace.Ms(c.Tulw), trace.Ms(c.Twwi),
+			trace.Ms(c.Tugw), trace.Ms(c.Comp), trace.Ms(c.Iter), hidden)
+	}
+	return t
+}

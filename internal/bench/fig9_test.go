@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"shmcaffe/internal/perfmodel"
+)
+
+func TestFig9TimeToAccuracy(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 5
+	tab, err := Fig9TimeToAccuracy(8, 0.9, o, perfmodel.DefaultHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig 9 rows = %d", len(tab.Rows))
+	}
+	// Every platform should reach the target on this easy task, and
+	// ShmCaffe's per-iteration time must be the smallest.
+	var shmIter, worstIter float64
+	for _, row := range tab.Rows {
+		if row[1] == "not reached" {
+			t.Fatalf("%s did not reach target", row[0])
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0] == "ShmCaffe" {
+			shmIter = v
+		}
+		if v > worstIter {
+			worstIter = v
+		}
+	}
+	if shmIter >= worstIter {
+		t.Fatalf("ShmCaffe iter %v not fastest (worst %v)", shmIter, worstIter)
+	}
+}
+
+func TestAblationMovingRate(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 3
+	o.PerClass = 40
+	tab, err := AblationMovingRate(4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The paper's α=0.2 row exists and trains.
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "0.20" {
+			found = true
+			acc, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < 50 {
+				t.Fatalf("α=0.2 accuracy %.1f%%", acc)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("α=0.2 row missing")
+	}
+}
+
+func TestAblationUpdateIntervalFunctional(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 3
+	o.PerClass = 40
+	tab, err := AblationUpdateIntervalFunctional(4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRelatedWorkDisciplines(t *testing.T) {
+	o := DefaultConvergenceOptions()
+	o.Epochs = 4
+	tab, err := RelatedWorkDisciplines(4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// EASGD and SEASGD must both learn (accuracy > 60%).
+	for _, row := range tab.Rows[1:] {
+		acc, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 60 {
+			t.Fatalf("%s accuracy %.1f%%", row[0], acc)
+		}
+	}
+}
+
+func TestEq8Decomposition(t *testing.T) {
+	tab := Eq8Decomposition(perfmodel.DefaultHardware())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The VGG16 push must NOT be hidden (comm > comp, Sec. IV-E); the
+	// Inception-v1 push must be hidden.
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "vgg16":
+			if row[7] != "no" {
+				t.Fatalf("vgg16 push hidden = %q", row[7])
+			}
+		case "inception_v1":
+			if row[7] != "yes" {
+				t.Fatalf("inception push hidden = %q", row[7])
+			}
+		}
+	}
+}

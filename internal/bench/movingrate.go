@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/core"
+	"shmcaffe/internal/platform"
+	"shmcaffe/internal/trace"
+)
+
+// AblationMovingRate sweeps the moving_rate hyper-parameter α functionally
+// (DESIGN.md §6 item 4): α controls the elastic penalty strength — too
+// small and replicas drift (slow knowledge sharing), too large and the
+// center whipsaws. The paper uses 0.2.
+func AblationMovingRate(workers int, o ConvergenceOptions) (*trace.Table, error) {
+	t := trace.New(
+		fmt.Sprintf("Ablation: moving_rate sweep (ShmCaffe-A, %d workers)", workers),
+		"moving_rate", "Final accuracy", "Final val loss")
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.5, 0.9} {
+		cfg, err := o.config(workers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Elastic = core.ElasticConfig{MovingRate: alpha, UpdateInterval: 1}
+		res, err := (platform.ShmCaffeA{}).Train(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("moving rate %v: %w", alpha, err)
+		}
+		t.Add(trace.F2(alpha), trace.Pct(res.FinalAcc), trace.F2(res.FinalLoss))
+	}
+	return t, nil
+}
+
+// AblationUpdateIntervalFunctional sweeps update_interval functionally:
+// fewer exchanges mean less traffic (the timing sweep) but slower
+// knowledge propagation between replicas.
+func AblationUpdateIntervalFunctional(workers int, o ConvergenceOptions) (*trace.Table, error) {
+	t := trace.New(
+		fmt.Sprintf("Ablation: update_interval convergence (ShmCaffe-A, %d workers)", workers),
+		"update_interval", "Final accuracy", "Final val loss")
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg, err := o.config(workers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Elastic = core.ElasticConfig{MovingRate: 0.2, UpdateInterval: k}
+		res, err := (platform.ShmCaffeA{}).Train(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("interval %d: %w", k, err)
+		}
+		t.Add(trace.Itoa(k), trace.Pct(res.FinalAcc), trace.F2(res.FinalLoss))
+	}
+	return t, nil
+}

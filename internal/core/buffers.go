@@ -1,0 +1,203 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shmcaffe/internal/mpi"
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+)
+
+// JobBuffers is one worker's view of the SMB segment layout of Fig. 5:
+// the shared global-weight buffer Wg, the worker's private weight-increment
+// buffer ΔWx, and the control segment carrying per-worker progress counters
+// plus a stop flag (Sec. III-E).
+type JobBuffers struct {
+	client smb.Client
+	rank   int
+	n      int
+	elems  int
+
+	globalKey smb.SHMKey
+	global    smb.Handle // Wg (shared)
+	incr      smb.Handle // ΔWx (private to this worker)
+	control   smb.Handle // progress counters + stop flag
+
+	// scratch buffers reused across iterations
+	wgBytes  []byte
+	dwBytes  []byte
+	wgFloats []float32
+}
+
+// Control segment layout: n int64 iteration counters, then one int64 stop
+// flag.
+func controlSize(n int) int { return (n + 1) * 8 }
+
+const stopFlagSlot = -1 // resolved to slot n at runtime
+
+// SetupBuffers performs the Fig. 2 bootstrap. The master (rank 0) creates
+// the Wg and control segments and seeds Wg with initWeights; every rank
+// creates its own increment segment; the master broadcasts the Wg SHM key
+// over MPI and everyone attaches. The call is collective: all ranks of
+// comm's world must invoke it.
+func SetupBuffers(comm *mpi.Comm, client smb.Client, job string, elems int, initWeights []float32) (*JobBuffers, error) {
+	if elems <= 0 {
+		return nil, fmt.Errorf("setup %q with %d elements: %w", job, elems, ErrConfig)
+	}
+	names := smb.SegmentNames{Job: job}
+	n := comm.Size()
+	rank := comm.Rank()
+
+	var globalKey smb.SHMKey
+	if rank == 0 {
+		if len(initWeights) != elems {
+			return nil, fmt.Errorf("setup %q: %d init weights for %d elements: %w",
+				job, len(initWeights), elems, ErrConfig)
+		}
+		key, err := client.Create(names.Global(), elems*4)
+		if err != nil {
+			return nil, fmt.Errorf("create global: %w", err)
+		}
+		globalKey = key
+		if _, err := client.Create(names.Control(), controlSize(n)); err != nil {
+			return nil, fmt.Errorf("create control: %w", err)
+		}
+		// Seed Wg with the initial weights so all replicas start from
+		// the same point (master worker "initializes parameter",
+		// Sec. III-A).
+		h, err := client.Attach(key)
+		if err != nil {
+			return nil, fmt.Errorf("attach global for init: %w", err)
+		}
+		if err := client.Write(h, 0, tensor.Float32Bytes(initWeights)); err != nil {
+			return nil, fmt.Errorf("seed global: %w", err)
+		}
+		if err := client.Detach(h); err != nil {
+			return nil, fmt.Errorf("detach init handle: %w", err)
+		}
+	}
+
+	// Broadcast the SHM key (Fig. 2 "Broadcast SHM key").
+	var keyBuf [8]byte
+	binary.LittleEndian.PutUint64(keyBuf[:], uint64(globalKey))
+	out, err := comm.Bcast(0, keyBuf[:])
+	if err != nil {
+		return nil, fmt.Errorf("broadcast shm key: %w", err)
+	}
+	globalKey = smb.SHMKey(binary.LittleEndian.Uint64(out))
+
+	global, err := client.Attach(globalKey)
+	if err != nil {
+		return nil, fmt.Errorf("attach global: %w", err)
+	}
+	incrKey, err := client.Create(names.Increment(rank), elems*4)
+	if err != nil {
+		return nil, fmt.Errorf("create increment: %w", err)
+	}
+	incr, err := client.Attach(incrKey)
+	if err != nil {
+		return nil, fmt.Errorf("attach increment: %w", err)
+	}
+	ctlKey, err := client.Lookup(names.Control())
+	if err != nil {
+		return nil, fmt.Errorf("lookup control: %w", err)
+	}
+	control, err := client.Attach(ctlKey)
+	if err != nil {
+		return nil, fmt.Errorf("attach control: %w", err)
+	}
+	// All ranks attached before anyone starts writing.
+	comm.Barrier()
+
+	return &JobBuffers{
+		client:    client,
+		rank:      rank,
+		n:         n,
+		elems:     elems,
+		globalKey: globalKey,
+		global:    global,
+		incr:      incr,
+		control:   control,
+		wgBytes:   make([]byte, elems*4),
+		dwBytes:   make([]byte, elems*4),
+		wgFloats:  make([]float32, elems),
+	}, nil
+}
+
+// ReadGlobal fetches Wg into dst (len elems) — the T1 step.
+func (b *JobBuffers) ReadGlobal(dst []float32) error {
+	if len(dst) != b.elems {
+		return fmt.Errorf("read global into %d elements, want %d: %w", len(dst), b.elems, ErrConfig)
+	}
+	if err := b.client.Read(b.global, 0, b.wgBytes); err != nil {
+		return fmt.Errorf("read global: %w", err)
+	}
+	return tensor.DecodeFloat32(b.wgBytes, dst)
+}
+
+// PushIncrement writes delta into the worker's ΔWx segment (T.A1) and asks
+// the server to accumulate it into Wg (T.A2–T.A3) — Eq. (7).
+func (b *JobBuffers) PushIncrement(delta []float32) error {
+	if len(delta) != b.elems {
+		return fmt.Errorf("push %d elements, want %d: %w", len(delta), b.elems, ErrConfig)
+	}
+	if _, err := tensor.EncodeFloat32(delta, b.dwBytes); err != nil {
+		return err
+	}
+	if err := b.client.Write(b.incr, 0, b.dwBytes); err != nil {
+		return fmt.Errorf("write increment: %w", err)
+	}
+	if err := b.client.Accumulate(b.global, b.incr); err != nil {
+		return fmt.Errorf("accumulate: %w", err)
+	}
+	return nil
+}
+
+// ReportProgress publishes this worker's completed iteration count to its
+// control slot.
+func (b *JobBuffers) ReportProgress(iter int64) error {
+	return smb.WriteInt64(b.client, b.control, b.rank, iter)
+}
+
+// Progress reads every worker's published iteration count.
+func (b *JobBuffers) Progress() ([]int64, error) {
+	return smb.ReadInt64Slots(b.client, b.control, b.n)
+}
+
+// SignalStop raises the shared stop flag; every worker observes it at its
+// next termination check.
+func (b *JobBuffers) SignalStop() error {
+	return smb.WriteInt64(b.client, b.control, b.n, 1)
+}
+
+// StopRequested reads the shared stop flag.
+func (b *JobBuffers) StopRequested() (bool, error) {
+	v, err := smb.ReadInt64(b.client, b.control, b.n)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// Elems returns the weight vector length.
+func (b *JobBuffers) Elems() int { return b.elems }
+
+// Rank returns the owning worker's rank.
+func (b *JobBuffers) Rank() int { return b.rank }
+
+// WorldSize returns the number of workers in the job.
+func (b *JobBuffers) WorldSize() int { return b.n }
+
+// Close detaches the buffers. The master should Free the shared segments
+// separately once all workers are done (not done here because order
+// matters across ranks).
+func (b *JobBuffers) Close() error {
+	var firstErr error
+	for _, h := range []smb.Handle{b.global, b.incr, b.control} {
+		if err := b.client.Detach(h); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shmcaffe/internal/tensor"
+)
+
+func TestWeightIncrementKnown(t *testing.T) {
+	local := []float32{2, 4, 6}
+	global := []float32{1, 2, 3}
+	delta := make([]float32, 3)
+	if err := WeightIncrement(delta, local, global, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0.5, 1, 1.5}
+	for i, w := range want {
+		if delta[i] != w {
+			t.Fatalf("delta[%d] = %v, want %v", i, delta[i], w)
+		}
+	}
+}
+
+func TestIncrementLengthErrors(t *testing.T) {
+	if err := WeightIncrement(make([]float32, 2), make([]float32, 3), make([]float32, 3), 0.2); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if err := ApplyIncrementLocal(make([]float32, 2), make([]float32, 3)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if err := ApplyIncrementGlobal(make([]float32, 2), make([]float32, 3)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if _, err := CenterDistance(make([]float32, 2), make([]float32, 3)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+// TestExchangeConservation: Eqs. (6)+(7) move exactly delta from the local
+// replica to the global weight, so local+global is invariant — the paper's
+// elastic symmetry (the worker and the center move toward each other by the
+// same amount).
+func TestExchangeConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(64)
+		alpha := 0.05 + 0.9*rng.Float64()
+		local := make([]float32, n)
+		global := make([]float32, n)
+		scratch := make([]float32, n)
+		var sumBefore float64
+		for i := range local {
+			local[i] = float32(rng.NormFloat64())
+			global[i] = float32(rng.NormFloat64())
+			sumBefore += float64(local[i]) + float64(global[i])
+		}
+		if err := ElasticExchange(local, global, scratch, alpha); err != nil {
+			return false
+		}
+		var sumAfter float64
+		for i := range local {
+			sumAfter += float64(local[i]) + float64(global[i])
+		}
+		return math.Abs(sumAfter-sumBefore) < 1e-3*(1+math.Abs(sumBefore))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeContracts: each exchange shrinks the local↔global distance by
+// exactly (1−2α)² in squared norm, so for α ∈ (0, 0.5) replicas are pulled
+// toward the center — the stability condition of elastic averaging.
+func TestExchangeContracts(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	const n = 32
+	alpha := 0.2
+	local := make([]float32, n)
+	global := make([]float32, n)
+	scratch := make([]float32, n)
+	for i := range local {
+		local[i] = float32(rng.NormFloat64())
+		global[i] = float32(rng.NormFloat64())
+	}
+	before, err := CenterDistance(local, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ElasticExchange(local, global, scratch, alpha); err != nil {
+		t.Fatal(err)
+	}
+	after, err := CenterDistance(local, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRatio := (1 - 2*alpha) * (1 - 2*alpha)
+	gotRatio := after / before
+	if math.Abs(gotRatio-wantRatio) > 1e-3 {
+		t.Fatalf("distance ratio %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestElasticConfigValidate(t *testing.T) {
+	good := DefaultElasticConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.MovingRate != 0.2 || good.UpdateInterval != 1 {
+		t.Fatalf("default config %+v does not match the paper", good)
+	}
+	for _, bad := range []ElasticConfig{
+		{MovingRate: 0, UpdateInterval: 1},
+		{MovingRate: 1, UpdateInterval: 1},
+		{MovingRate: 0.2, UpdateInterval: 0},
+	} {
+		if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+			t.Fatalf("config %+v: want ErrConfig, got %v", bad, err)
+		}
+	}
+}
+
+func TestTerminationPolicies(t *testing.T) {
+	progress := []int64{10, 5, 7}
+	tests := []struct {
+		name   string
+		policy TerminationPolicy
+		target int64
+		want   bool
+	}{
+		{"master reached", StopOnMaster, 10, true},
+		{"master not reached", StopOnMaster, 11, false},
+		{"first reached", StopOnFirst, 8, true},
+		{"first not reached", StopOnFirst, 11, false},
+		{"average reached (22/3 >= 7)", StopOnAverage, 7, true},
+		{"average not reached", StopOnAverage, 8, false},
+		{"independent never uses shared state", StopIndependently, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.policy.ShouldStop(progress, tt.target); got != tt.want {
+				t.Fatalf("ShouldStop = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if StopOnFirst.ShouldStop(nil, 1) {
+		t.Fatal("empty progress must not stop")
+	}
+}
+
+func TestTerminationValidateAndString(t *testing.T) {
+	for _, p := range []TerminationPolicy{StopOnMaster, StopOnFirst, StopOnAverage, StopIndependently} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+	if err := TerminationPolicy(99).Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatal("expected ErrConfig for unknown policy")
+	}
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/core"
+)
+
+// One SEASGD exchange, Eqs. (5)–(7): the worker and the global weight move
+// toward each other by α·(local − global).
+func ExampleElasticExchange() {
+	local := []float32{2, 4}
+	global := []float32{0, 0}
+	scratch := make([]float32, 2)
+
+	_ = core.ElasticExchange(local, global, scratch, 0.25)
+	fmt.Println("local :", local)
+	fmt.Println("global:", global)
+	// Output:
+	// local : [1.5 3]
+	// global: [0.5 1]
+}
+
+// The three termination-alignment criteria of Sec. III-E over the same
+// shared progress counters.
+func ExampleTerminationPolicy_ShouldStop() {
+	progress := []int64{100, 60, 80} // master, two slaves
+	const target = 100
+	fmt.Println("master :", core.StopOnMaster.ShouldStop(progress, target))
+	fmt.Println("first  :", core.StopOnFirst.ShouldStop(progress, target))
+	fmt.Println("average:", core.StopOnAverage.ShouldStop(progress, target))
+	// Output:
+	// master : true
+	// first  : true
+	// average: false
+}

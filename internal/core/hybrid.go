@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"shmcaffe/internal/dataset"
+	"shmcaffe/internal/mpi"
+	"shmcaffe/internal/nccl"
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/smb"
+)
+
+// HybridGroupConfig configures one HSGD worker group (paper Sec. III-D):
+// the set of workers sharing a node. Within the group, gradients are
+// aggregated synchronously (ncclAllReduce); across groups, the group root
+// runs SEASGD against the SMB server and broadcasts the refreshed weight to
+// its members (Fig. 4).
+type HybridGroupConfig struct {
+	// Job names the SMB segment family (shared across groups).
+	Job string
+	// Comm is the root's MPI endpoint. The SMB world has one rank per
+	// group; rank 0's group is the Master Worker Group of Fig. 4.
+	Comm *mpi.Comm
+	// Client connects to the SMB server (used by the root only).
+	Client smb.Client
+	// Nets holds one model replica per group member; Nets[0] is the root.
+	Nets []*nn.Network
+	// Loaders provides each member's data shard.
+	Loaders []*dataset.Loader
+	// Solver configures the local SGD.
+	Solver nn.SolverConfig
+	// Elastic carries moving_rate and update_interval for the root's
+	// inter-group SEASGD exchange.
+	Elastic ElasticConfig
+	// Termination aligns end times across groups.
+	Termination TerminationPolicy
+	// MaxIterations is the per-group iteration budget.
+	MaxIterations int
+	// ProgressEvery is iterations between termination checks (default 1).
+	ProgressEvery int
+	// Now supplies time for the timing breakdown (defaults to time.Now).
+	Now func() time.Time
+	// Hook, if non-nil, runs on the root member after every completed
+	// group iteration. Returning an error aborts training.
+	Hook func(g *HybridGroup, iter int) error
+}
+
+// Validate checks the configuration.
+func (c *HybridGroupConfig) Validate() error {
+	if c.Comm == nil || c.Client == nil {
+		return fmt.Errorf("hybrid group needs comm and client: %w", ErrConfig)
+	}
+	if len(c.Nets) == 0 || len(c.Nets) != len(c.Loaders) {
+		return fmt.Errorf("hybrid group has %d nets and %d loaders: %w",
+			len(c.Nets), len(c.Loaders), ErrConfig)
+	}
+	if c.Job == "" {
+		return fmt.Errorf("hybrid group needs a job name: %w", ErrConfig)
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("max iterations %d < 1: %w", c.MaxIterations, ErrConfig)
+	}
+	if err := c.Elastic.Validate(); err != nil {
+		return err
+	}
+	if err := c.Solver.Validate(); err != nil {
+		return err
+	}
+	return c.Termination.Validate()
+}
+
+// GroupStats aggregates the outcome of one hybrid group.
+type GroupStats struct {
+	// GroupRank is the root's rank in the inter-group SMB world.
+	GroupRank int
+	// Iterations is the number of synchronous group iterations executed.
+	Iterations int
+	// RootLossHistory is the root member's minibatch loss per iteration
+	// (after gradient averaging all members see the same loss trend).
+	RootLossHistory []float64
+	// Pushes counts the root's SMB accumulations.
+	Pushes int
+	// StoppedBy records what ended training.
+	StoppedBy string
+}
+
+// HybridGroup runs HSGD for one worker group. All groups of a job must be
+// constructed concurrently (the bootstrap is collective over Comm's world).
+type HybridGroup struct {
+	cfg     HybridGroupConfig
+	buffers *JobBuffers
+	group   *nccl.Group
+
+	mu           sync.Mutex
+	pendingDelta []float32
+	pushErr      error
+	pushes       int
+}
+
+// NewHybridGroup validates cfg, initializes the intra-node NCCL group, and
+// performs the collective SMB bootstrap with the other group roots.
+func NewHybridGroup(cfg HybridGroupConfig) (*HybridGroup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProgressEvery < 1 {
+		cfg.ProgressEvery = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	elems := cfg.Nets[0].NumParams()
+	for i, net := range cfg.Nets {
+		if net.NumParams() != elems {
+			return nil, fmt.Errorf("member %d has %d params, root has %d: %w",
+				i, net.NumParams(), elems, ErrConfig)
+		}
+	}
+	group, err := nccl.NewGroup(len(cfg.Nets))
+	if err != nil {
+		return nil, err
+	}
+	var seed []float32
+	if cfg.Comm.Rank() == 0 {
+		seed = cfg.Nets[0].FlatWeights(nil)
+	}
+	buffers, err := SetupBuffers(cfg.Comm, cfg.Client, cfg.Job, elems, seed)
+	if err != nil {
+		return nil, fmt.Errorf("group %d setup: %w", cfg.Comm.Rank(), err)
+	}
+	return &HybridGroup{
+		cfg:          cfg,
+		buffers:      buffers,
+		group:        group,
+		pendingDelta: make([]float32, elems),
+	}, nil
+}
+
+// Buffers exposes the group's SMB view (used by hooks and diagnostics).
+func (g *HybridGroup) Buffers() *JobBuffers { return g.buffers }
+
+// Run executes HSGD until the termination criterion fires, returning the
+// group's stats. Member goroutines are managed internally.
+func (g *HybridGroup) Run() (*GroupStats, error) {
+	cfg := &g.cfg
+	n := len(cfg.Nets)
+	elems := g.buffers.Elems()
+
+	// All replicas start from the shared initial weights.
+	initWeights := make([]float32, elems)
+	if err := g.buffers.ReadGlobal(initWeights); err != nil {
+		return nil, err
+	}
+	for _, net := range cfg.Nets {
+		if err := net.SetFlatWeights(initWeights); err != nil {
+			return nil, err
+		}
+	}
+
+	// Root's asynchronous update thread (same Fig. 6 overlap as SEASGD).
+	wake := make(chan struct{}, 1)
+	stopPush := make(chan struct{})
+	pushDone := make(chan struct{})
+	go g.updateThread(wake, stopPush, pushDone)
+	var stopOnce sync.Once
+	shutdown := func() {
+		stopOnce.Do(func() { close(stopPush) })
+		<-pushDone
+	}
+	defer shutdown()
+
+	stats := &GroupStats{GroupRank: cfg.Comm.Rank()}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	stopFlag := make([]float32, 1) // broadcast each check round: 1 = stop
+	stoppedBy := make([]string, 1)
+
+	solverFor := make([]*nn.SGDSolver, n)
+	for m := 0; m < n; m++ {
+		solverFor[m] = nn.NewSGDSolver(cfg.Nets[m], cfg.Solver)
+	}
+
+	hardCap := cfg.MaxIterations * 100
+	for m := 0; m < n; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.runMember(m, solverFor[m], hardCap, wake, stats, stopFlag, stoppedBy); err != nil {
+				// Abort the NCCL group so sibling members unwind from
+				// their barriers instead of deadlocking on the failed
+				// member.
+				g.group.Abort()
+				errs[m] = err
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer the root cause over secondary ErrAborted unwinds.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, nccl.ErrAborted) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Finish the update thread (draining any queued push) before reading
+	// the counter.
+	shutdown()
+	g.mu.Lock()
+	stats.Pushes = g.pushes
+	pushErr := g.pushErr
+	g.mu.Unlock()
+	if pushErr != nil {
+		return nil, fmt.Errorf("group %d update thread: %w", cfg.Comm.Rank(), pushErr)
+	}
+	if stoppedBy[0] == "" {
+		stoppedBy[0] = "budget"
+	}
+	stats.StoppedBy = stoppedBy[0]
+	return stats, nil
+}
+
+// runMember is the per-member training loop. Member 0 is the group root.
+func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
+	wake chan<- struct{}, stats *GroupStats, stopFlag []float32, stoppedBy []string) error {
+
+	cfg := &g.cfg
+	net := cfg.Nets[m]
+	loader := cfg.Loaders[m]
+	isRoot := m == 0
+	elems := g.buffers.Elems()
+
+	grads := make([]float32, elems)
+	local := make([]float32, elems)
+	global := make([]float32, elems)
+	delta := make([]float32, elems)
+	flag := make([]float32, 1)
+
+	for iter := 0; iter < hardCap; iter++ {
+		// (1) Synchronous SSGD inside the group: compute gradients,
+		// ncclAllReduce, local update from the aggregated gradient.
+		batch := loader.Next()
+		net.ZeroGrads()
+		loss, _, err := net.TrainStep(batch.X, batch.Labels)
+		if err != nil {
+			return fmt.Errorf("group %d member %d iter %d: %w", cfg.Comm.Rank(), m, iter, err)
+		}
+		net.FlatGrads(grads)
+		if err := g.group.AllReduceMean(m, grads); err != nil {
+			return err
+		}
+		if err := net.SetFlatGrads(grads); err != nil {
+			return err
+		}
+		solver.ApplyUpdate()
+		if isRoot {
+			stats.RootLossHistory = append(stats.RootLossHistory, loss)
+		}
+
+		// (2) Root's inter-group SEASGD exchange every update_interval.
+		if iter%cfg.Elastic.UpdateInterval == 0 && isRoot {
+			g.mu.Lock()
+			if err := g.buffers.ReadGlobal(global); err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			net.FlatWeights(local)
+			if err := WeightIncrement(delta, local, global, cfg.Elastic.MovingRate); err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			if err := ApplyIncrementLocal(local, delta); err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			if err := net.SetFlatWeights(local); err != nil {
+				g.mu.Unlock()
+				return err
+			}
+			copy(g.pendingDelta, delta)
+			g.mu.Unlock()
+			wake <- struct{}{}
+		}
+		// (3) Root broadcasts the refreshed weight W'grp to the group.
+		if iter%cfg.Elastic.UpdateInterval == 0 {
+			net.FlatWeights(local)
+			if err := g.group.Broadcast(m, 0, local); err != nil {
+				return err
+			}
+			if !isRoot {
+				if err := net.SetFlatWeights(local); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Asynchronous push failures surface here.
+		g.mu.Lock()
+		pushErr := g.pushErr
+		g.mu.Unlock()
+		if pushErr != nil {
+			return fmt.Errorf("group %d update thread: %w", cfg.Comm.Rank(), pushErr)
+		}
+
+		if isRoot && cfg.Hook != nil {
+			if err := cfg.Hook(g, iter); err != nil {
+				return fmt.Errorf("group %d hook: %w", cfg.Comm.Rank(), err)
+			}
+		}
+
+		// (4) Progress + termination. The root evaluates the shared
+		// criterion and broadcasts the verdict so all members stop at
+		// the same iteration.
+		if (iter+1)%cfg.ProgressEvery == 0 || iter+1 >= cfg.MaxIterations {
+			if isRoot {
+				if err := g.buffers.ReportProgress(int64(iter + 1)); err != nil {
+					return err
+				}
+				stopNow, by, err := g.checkTermination(int64(iter + 1))
+				if err != nil {
+					return err
+				}
+				if stopNow {
+					stopFlag[0] = 1
+					stoppedBy[0] = by
+				}
+				flag[0] = stopFlag[0]
+			}
+			if err := g.group.Broadcast(m, 0, flag); err != nil {
+				return err
+			}
+			if flag[0] != 0 {
+				if isRoot {
+					stats.Iterations = iter + 1
+				}
+				return nil
+			}
+		}
+		// See the matching yield in Worker.Run: keep group progress
+		// comparable when CPU-oversubscribed.
+		runtime.Gosched()
+	}
+	if isRoot {
+		stats.Iterations = hardCap
+	}
+	return nil
+}
+
+func (g *HybridGroup) checkTermination(completed int64) (bool, string, error) {
+	cfg := &g.cfg
+	if cfg.Termination == StopIndependently {
+		if completed >= int64(cfg.MaxIterations) {
+			return true, "budget", nil
+		}
+		return false, "", nil
+	}
+	if stop, err := g.buffers.StopRequested(); err != nil {
+		return false, "", err
+	} else if stop {
+		return true, "flag", nil
+	}
+	progress, err := g.buffers.Progress()
+	if err != nil {
+		return false, "", err
+	}
+	if cfg.Termination.ShouldStop(progress, int64(cfg.MaxIterations)) {
+		if err := g.buffers.SignalStop(); err != nil {
+			return false, "", err
+		}
+		return true, cfg.Termination.String(), nil
+	}
+	return false, "", nil
+}
+
+func (g *HybridGroup) pushPending() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.buffers.PushIncrement(g.pendingDelta); err != nil {
+		return err
+	}
+	g.pushes++
+	return nil
+}
+
+func (g *HybridGroup) updateThread(wake <-chan struct{}, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-wake:
+			if err := g.pushPending(); err != nil {
+				g.mu.Lock()
+				if g.pushErr == nil {
+					g.pushErr = err
+				}
+				g.mu.Unlock()
+				return
+			}
+		case <-stop:
+			select {
+			case <-wake:
+				if err := g.pushPending(); err != nil {
+					g.mu.Lock()
+					if g.pushErr == nil {
+						g.pushErr = err
+					}
+					g.mu.Unlock()
+				}
+			default:
+			}
+			return
+		}
+	}
+}

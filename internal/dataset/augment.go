@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"shmcaffe/internal/tensor"
+)
+
+// AugmentConfig selects the train-time augmentations. The paper's runs
+// disable augmentation ("this experiment aims at the computation speed
+// rather than accuracy, thus training data augmentation is not applied",
+// Sec. IV-C); this wrapper provides the standard Caffe-era set for runs
+// that do want it.
+type AugmentConfig struct {
+	// FlipH mirrors the image horizontally with probability 1/2.
+	FlipH bool
+	// MaxShift translates the image by up to ±MaxShift pixels in each
+	// axis (zero-padded) — the random-crop stand-in.
+	MaxShift int
+	// Noise adds N(0, Noise²) to every pixel.
+	Noise float64
+	// Seed makes the augmentation stream reproducible.
+	Seed uint64
+}
+
+// Augmented wraps an image dataset (C,H,W samples) with random train-time
+// transforms. Unlike the deterministic base datasets, each Sample call
+// draws fresh augmentation parameters — two reads of the same index yield
+// different tensors, which is the point of augmentation.
+type Augmented struct {
+	base Dataset
+	cfg  AugmentConfig
+	c    int
+	h    int
+	w    int
+
+	mu  sync.Mutex
+	rng *tensor.RNG
+	buf []float32
+}
+
+var _ Dataset = (*Augmented)(nil)
+
+// NewAugmented wraps base with the configured augmentations.
+func NewAugmented(base Dataset, cfg AugmentConfig) (*Augmented, error) {
+	shape := base.SampleShape()
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("dataset: augmentation needs (C,H,W) samples, got %v", shape)
+	}
+	if cfg.MaxShift < 0 || cfg.Noise < 0 {
+		return nil, fmt.Errorf("dataset: bad augmentation config %+v", cfg)
+	}
+	if cfg.MaxShift >= shape[1] || cfg.MaxShift >= shape[2] {
+		return nil, fmt.Errorf("dataset: shift %d exceeds image %dx%d", cfg.MaxShift, shape[1], shape[2])
+	}
+	return &Augmented{
+		base: base,
+		cfg:  cfg,
+		c:    shape[0],
+		h:    shape[1],
+		w:    shape[2],
+		rng:  tensor.NewRNG(cfg.Seed),
+		buf:  make([]float32, shape[0]*shape[1]*shape[2]),
+	}, nil
+}
+
+// Len implements Dataset.
+func (a *Augmented) Len() int { return a.base.Len() }
+
+// SampleShape implements Dataset.
+func (a *Augmented) SampleShape() []int { return a.base.SampleShape() }
+
+// NumClasses implements Dataset.
+func (a *Augmented) NumClasses() int { return a.base.NumClasses() }
+
+// Sample implements Dataset: base sample plus a fresh random transform.
+func (a *Augmented) Sample(i int, x []float32) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	label := a.base.Sample(i, a.buf)
+
+	flip := a.cfg.FlipH && a.rng.Intn(2) == 1
+	dy, dx := 0, 0
+	if a.cfg.MaxShift > 0 {
+		dy = a.rng.Intn(2*a.cfg.MaxShift+1) - a.cfg.MaxShift
+		dx = a.rng.Intn(2*a.cfg.MaxShift+1) - a.cfg.MaxShift
+	}
+	for ch := 0; ch < a.c; ch++ {
+		for y := 0; y < a.h; y++ {
+			for xx := 0; xx < a.w; xx++ {
+				srcX := xx
+				if flip {
+					srcX = a.w - 1 - xx
+				}
+				sy, sx := y-dy, srcX-dx
+				var v float32
+				if sy >= 0 && sy < a.h && sx >= 0 && sx < a.w {
+					v = a.buf[(ch*a.h+sy)*a.w+sx]
+				}
+				if a.cfg.Noise > 0 {
+					v += float32(a.cfg.Noise * a.rng.NormFloat64())
+				}
+				x[(ch*a.h+y)*a.w+xx] = v
+			}
+		}
+	}
+	return label
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"shmcaffe/internal/kvstore"
+)
+
+// openRawForTest creates a bare kvstore file (no dataset metadata).
+func openRawForTest(path string) (*kvstore.DB, error) {
+	return kvstore.Create(path)
+}
+
+func TestSaveToDBAndOpenRoundTrip(t *testing.T) {
+	src, err := NewGaussian(gaussCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.db")
+	if err := SaveToDB(src, path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if db.Len() != src.Len() {
+		t.Fatalf("db Len = %d, want %d", db.Len(), src.Len())
+	}
+	if db.NumClasses() != src.NumClasses() {
+		t.Fatalf("db classes = %d", db.NumClasses())
+	}
+	wantShape := src.SampleShape()
+	gotShape := db.SampleShape()
+	if len(gotShape) != len(wantShape) || gotShape[0] != wantShape[0] {
+		t.Fatalf("db shape %v, want %v", gotShape, wantShape)
+	}
+	xs := make([]float32, 8)
+	xd := make([]float32, 8)
+	for i := 0; i < src.Len(); i++ {
+		ls := src.Sample(i, xs)
+		ld := db.Sample(i, xd)
+		if ls != ld {
+			t.Fatalf("sample %d label %d vs %d", i, ls, ld)
+		}
+		for j := range xs {
+			if xs[j] != xd[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDBDatasetFeedsLoaderAndShard(t *testing.T) {
+	src, _ := NewGaussian(gaussCfg(22))
+	path := filepath.Join(t.TempDir(), "corpus.db")
+	if err := SaveToDB(src, path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	shard, err := NewShard(db, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(shard, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := loader.Next()
+	if b.X.Dim(0) != 8 || b.X.Dim(1) != 8 {
+		t.Fatalf("batch shape %v", b.X.Shape())
+	}
+	for _, l := range b.Labels {
+		if l < 0 || l >= db.NumClasses() {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestOpenDBRejectsNonDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "raw.db")
+	// A kvstore file without the metadata record.
+	srcDB, err := openRawForTest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDB.Put([]byte("not-meta"), []byte("zzz"))
+	srcDB.Close()
+	if _, err := OpenDB(path); err == nil {
+		t.Fatal("expected error for db without metadata")
+	}
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Batch is one minibatch: features in batch-first layout plus labels.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// Loader draws shuffled minibatches from a dataset, reshuffling every epoch.
+type Loader struct {
+	ds        Dataset
+	batchSize int
+	rng       *tensor.RNG
+	order     []int
+	cursor    int
+	epoch     int
+	sampleVol int
+}
+
+// NewLoader returns a loader producing batchSize-sample minibatches.
+func NewLoader(ds Dataset, batchSize int, seed uint64) (*Loader, error) {
+	if ds.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("dataset: batch size %d < 1", batchSize)
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	l := &Loader{
+		ds:        ds,
+		batchSize: batchSize,
+		rng:       tensor.NewRNG(seed),
+		sampleVol: volume(ds.SampleShape()),
+	}
+	l.reshuffle()
+	return l, nil
+}
+
+func (l *Loader) reshuffle() {
+	l.order = l.rng.Perm(l.ds.Len())
+	l.cursor = 0
+}
+
+// Epoch returns the number of completed passes over the dataset.
+func (l *Loader) Epoch() int { return l.epoch }
+
+// BatchesPerEpoch returns how many Next calls make up one epoch.
+func (l *Loader) BatchesPerEpoch() int {
+	n := l.ds.Len() / l.batchSize
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Next returns the next minibatch, wrapping (and reshuffling) at epoch
+// boundaries.
+func (l *Loader) Next() Batch {
+	shape := append([]int{l.batchSize}, l.ds.SampleShape()...)
+	x := tensor.New(shape...)
+	labels := make([]int, l.batchSize)
+	for i := 0; i < l.batchSize; i++ {
+		if l.cursor >= len(l.order) {
+			l.epoch++
+			l.reshuffle()
+		}
+		idx := l.order[l.cursor]
+		l.cursor++
+		labels[i] = l.ds.Sample(idx, x.Data()[i*l.sampleVol:(i+1)*l.sampleVol])
+	}
+	return Batch{X: x, Labels: labels}
+}
+
+// Prefetcher wraps a Loader with a background goroutine keeping depth
+// batches ready, mirroring ShmCaffe's 10-deep minibatch prefetch
+// (Sec. IV-C). Close must be called to release the goroutine.
+type Prefetcher struct {
+	batches chan Batch
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewPrefetcher starts prefetching from loader. depth must be >= 1.
+func NewPrefetcher(loader *Loader, depth int) (*Prefetcher, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("dataset: prefetch depth %d < 1", depth)
+	}
+	p := &Prefetcher{
+		batches: make(chan Batch, depth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		for {
+			b := loader.Next()
+			select {
+			case p.batches <- b:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p, nil
+}
+
+// Next returns the next prefetched minibatch.
+func (p *Prefetcher) Next() Batch { return <-p.batches }
+
+// Close stops the prefetch goroutine and waits for it to exit.
+func (p *Prefetcher) Close() {
+	close(p.stop)
+	<-p.done
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import "fmt"
+
+// Shard is a strided view of a dataset assigning every n-th sample to one
+// worker. The paper assigns "deep learning data to all workers without
+// duplication" (Sec. III-C); round-robin striding gives each worker a
+// class-balanced, disjoint partition.
+type Shard struct {
+	base    Dataset
+	rank, n int
+	length  int
+}
+
+var _ Dataset = (*Shard)(nil)
+
+// NewShard returns worker rank's partition out of n. Ranks 0..n-1 together
+// cover the base dataset exactly once.
+func NewShard(base Dataset, rank, n int) (*Shard, error) {
+	if n < 1 || rank < 0 || rank >= n {
+		return nil, fmt.Errorf("dataset: shard rank %d of %d invalid", rank, n)
+	}
+	length := base.Len() / n
+	if rank < base.Len()%n {
+		length++
+	}
+	return &Shard{base: base, rank: rank, n: n, length: length}, nil
+}
+
+// Len implements Dataset.
+func (s *Shard) Len() int { return s.length }
+
+// Sample implements Dataset.
+func (s *Shard) Sample(i int, x []float32) int {
+	return s.base.Sample(i*s.n+s.rank, x)
+}
+
+// SampleShape implements Dataset.
+func (s *Shard) SampleShape() []int { return s.base.SampleShape() }
+
+// NumClasses implements Dataset.
+func (s *Shard) NumClasses() int { return s.base.NumClasses() }
+
+// Split divides a dataset into a training prefix and validation suffix.
+func Split(base Dataset, trainFrac float64) (train, val Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %v outside (0,1)", trainFrac)
+	}
+	n := base.Len()
+	cut := int(float64(n) * trainFrac)
+	if cut == 0 || cut == n {
+		return nil, nil, fmt.Errorf("dataset: split of %d samples at %v is degenerate", n, trainFrac)
+	}
+	return &slice{base, 0, cut}, &slice{base, cut, n - cut}, nil
+}
+
+// slice is a contiguous view of a dataset.
+type slice struct {
+	base   Dataset
+	start  int
+	length int
+}
+
+var _ Dataset = (*slice)(nil)
+
+func (s *slice) Len() int                      { return s.length }
+func (s *slice) Sample(i int, x []float32) int { return s.base.Sample(s.start+i, x) }
+func (s *slice) SampleShape() []int            { return s.base.SampleShape() }
+func (s *slice) NumClasses() int               { return s.base.NumClasses() }

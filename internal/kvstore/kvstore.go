@@ -1,0 +1,279 @@
+// Package kvstore is a minimal embedded record store — the stand-in for
+// the LMDB database Caffe (and the paper's pipeline, Sec. IV-C) uses to
+// hold the training corpus ("the training data was converted to LMDB data
+// format"). It provides the subset of LMDB behaviour the training pipeline
+// needs: durable ordered records, O(1) keyed access after open, and cheap
+// sequential cursors for epoch scans.
+//
+// File format (little-endian):
+//
+//	header:  [8B magic "SHMKVDB1"]
+//	record:  [4B key length][key bytes][4B value length][value bytes]
+//
+// Records are append-only; Open rebuilds the in-memory offset index with
+// one sequential scan. A partially written trailing record (crash during
+// append) is detected and truncated away, like LMDB's last-page recovery.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Exported errors.
+var (
+	ErrNotFound  = errors.New("kvstore: key not found")
+	ErrBadFormat = errors.New("kvstore: bad file format")
+	ErrClosed    = errors.New("kvstore: database closed")
+	ErrDupKey    = errors.New("kvstore: duplicate key")
+)
+
+var magic = [8]byte{'S', 'H', 'M', 'K', 'V', 'D', 'B', '1'}
+
+// maxRecordSide bounds key/value sizes against corrupt length prefixes.
+const maxRecordSide = 1 << 30
+
+// entry locates one record's value in the file.
+type entry struct {
+	valOff int64
+	valLen int
+}
+
+// DB is one open database. It is safe for concurrent use; writes append
+// under a lock, reads use positional I/O.
+type DB struct {
+	mu     sync.RWMutex
+	f      *os.File
+	size   int64
+	index  map[string]entry
+	order  []string // insertion order for cursors
+	closed bool
+}
+
+// Create creates a new database file, failing if it already exists.
+func Create(path string) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore create: %w", err)
+	}
+	if _, err := f.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore header: %w", err)
+	}
+	return &DB{
+		f:     f,
+		size:  int64(len(magic)),
+		index: make(map[string]entry),
+	}, nil
+}
+
+// Open opens an existing database, scanning it to rebuild the index. A
+// torn trailing record is truncated away.
+func Open(path string) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore open: %w", err)
+	}
+	db := &DB{f: f, index: make(map[string]entry)}
+	if err := db.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// scan rebuilds the index from the file.
+func (db *DB) scan() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(db.f, hdr[:]); err != nil {
+		return fmt.Errorf("header: %w", ErrBadFormat)
+	}
+	if hdr != magic {
+		return fmt.Errorf("magic %q: %w", hdr, ErrBadFormat)
+	}
+	off := int64(len(magic))
+	var lenBuf [4]byte
+	for {
+		// Key length.
+		n, err := db.f.ReadAt(lenBuf[:], off)
+		if err == io.EOF && n == 0 {
+			break // clean end
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn record: truncate below
+			}
+			return fmt.Errorf("scan: %w", err)
+		}
+		keyLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if keyLen <= 0 || keyLen > maxRecordSide {
+			return fmt.Errorf("key length %d at %d: %w", keyLen, off, ErrBadFormat)
+		}
+		key := make([]byte, keyLen)
+		if _, err := db.f.ReadAt(key, off+4); err != nil {
+			break // torn
+		}
+		if _, err := db.f.ReadAt(lenBuf[:], off+4+int64(keyLen)); err != nil {
+			break // torn
+		}
+		valLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if valLen < 0 || valLen > maxRecordSide {
+			return fmt.Errorf("value length %d at %d: %w", valLen, off, ErrBadFormat)
+		}
+		valOff := off + 8 + int64(keyLen)
+		end := valOff + int64(valLen)
+		if fi, err := db.f.Stat(); err != nil {
+			return err
+		} else if end > fi.Size() {
+			break // torn value
+		}
+		ks := string(key)
+		if _, dup := db.index[ks]; dup {
+			return fmt.Errorf("key %q repeated at %d: %w", ks, off, ErrBadFormat)
+		}
+		db.index[ks] = entry{valOff: valOff, valLen: valLen}
+		db.order = append(db.order, ks)
+		off = end
+	}
+	// Truncate any torn tail so future appends start clean.
+	if err := db.f.Truncate(off); err != nil {
+		return fmt.Errorf("truncate torn tail: %w", err)
+	}
+	db.size = off
+	return nil
+}
+
+// Put appends one record. Keys are unique.
+func (db *DB) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("kvstore: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, dup := db.index[string(key)]; dup {
+		return fmt.Errorf("put %q: %w", key, ErrDupKey)
+	}
+	buf := make([]byte, 0, 8+len(key)+len(val))
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(key)))
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, key...)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(val)))
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, val...)
+	if _, err := db.f.WriteAt(buf, db.size); err != nil {
+		return fmt.Errorf("kvstore put: %w", err)
+	}
+	db.index[string(key)] = entry{
+		valOff: db.size + 8 + int64(len(key)),
+		valLen: len(val),
+	}
+	db.order = append(db.order, string(key))
+	db.size += int64(len(buf))
+	return nil
+}
+
+// Get returns the value for key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	e, ok := db.index[string(key)]
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	val := make([]byte, e.valLen)
+	if _, err := db.f.ReadAt(val, e.valOff); err != nil {
+		return nil, fmt.Errorf("kvstore get: %w", err)
+	}
+	return val, nil
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.index[string(key)]
+	return ok
+}
+
+// Len returns the record count.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.order)
+}
+
+// KeyAt returns the i-th key in insertion order.
+func (db *DB) KeyAt(i int) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if i < 0 || i >= len(db.order) {
+		return nil, fmt.Errorf("kvstore: index %d of %d: %w", i, len(db.order), ErrNotFound)
+	}
+	return []byte(db.order[i]), nil
+}
+
+// Sync flushes the file to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.f.Sync()
+}
+
+// Close syncs and closes the database. Further operations fail.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.f.Sync(); err != nil {
+		db.f.Close()
+		return err
+	}
+	return db.f.Close()
+}
+
+// Cursor iterates records in insertion order, the epoch-scan pattern of a
+// Caffe data layer.
+type Cursor struct {
+	db  *DB
+	pos int
+}
+
+// Cursor returns a cursor positioned before the first record.
+func (db *DB) Cursor() *Cursor { return &Cursor{db: db, pos: -1} }
+
+// Next advances and returns the next record, or ok=false at the end.
+func (c *Cursor) Next() (key, val []byte, ok bool, err error) {
+	c.db.mu.RLock()
+	if c.pos+1 >= len(c.db.order) {
+		c.db.mu.RUnlock()
+		return nil, nil, false, nil
+	}
+	c.pos++
+	k := c.db.order[c.pos]
+	c.db.mu.RUnlock()
+	v, err := c.db.Get([]byte(k))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return []byte(k), v, true, nil
+}
+
+// Rewind repositions the cursor before the first record.
+func (c *Cursor) Rewind() { c.pos = -1 }

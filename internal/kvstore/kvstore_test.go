@@ -1,0 +1,308 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"shmcaffe/internal/tensor"
+)
+
+func createT(t *testing.T) (*DB, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.db")
+	db, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, path
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	db, _ := createT(t)
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k2"), []byte("")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	v, err = db.Get([]byte("k2"))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("empty value Get = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if !db.Has([]byte("k1")) || db.Has([]byte("zz")) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	db, _ := createT(t)
+	if err := db.Put(nil, []byte("v")); err == nil {
+		t.Fatal("expected error for empty key")
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v2")); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("want ErrDupKey, got %v", err)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	_, path := createT(t)
+	if _, err := Create(path); err == nil {
+		t.Fatal("expected error creating over existing file")
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	db, path := createT(t)
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := []byte(fmt.Sprintf("value-%d", i*i))
+		if err := db.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 50 {
+		t.Fatalf("reopened Len = %d", db2.Len())
+	}
+	v, err := db2.Get([]byte("key-037"))
+	if err != nil || string(v) != fmt.Sprintf("value-%d", 37*37) {
+		t.Fatalf("reopened Get = %q, %v", v, err)
+	}
+	// Insertion order preserved.
+	k, err := db2.KeyAt(10)
+	if err != nil || string(k) != "key-010" {
+		t.Fatalf("KeyAt(10) = %q, %v", k, err)
+	}
+	// Appending after reopen works.
+	if err := db2.Put([]byte("after-reopen"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorIteratesInOrder(t *testing.T) {
+	db, _ := createT(t)
+	for i := 0; i < 10; i++ {
+		db.Put([]byte{byte('a' + i)}, []byte{byte(i)})
+	}
+	c := db.Cursor()
+	count := 0
+	for {
+		k, v, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if k[0] != byte('a'+count) || v[0] != byte(count) {
+			t.Fatalf("cursor out of order at %d: %q %v", count, k, v)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("cursor visited %d", count)
+	}
+	c.Rewind()
+	if k, _, ok, _ := c.Next(); !ok || k[0] != 'a' {
+		t.Fatal("rewind broken")
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	db, path := createT(t)
+	db.Put([]byte("good"), []byte("value"))
+	db.Close()
+
+	// Append half a record (key length + partial key).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{10, 0, 0, 0, 'p', 'a', 'r'})
+	f.Close()
+
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must be recoverable: %v", err)
+	}
+	defer db2.Close()
+	if db2.Len() != 1 {
+		t.Fatalf("recovered Len = %d", db2.Len())
+	}
+	// The torn bytes were truncated; new appends land cleanly.
+	if err := db2.Put([]byte("next"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Len() != 2 {
+		t.Fatalf("after recovery+append Len = %d", db3.Len())
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	if err := os.WriteFile(path, []byte("NOTADBFILE.."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestClosedOperationsFail(t *testing.T) {
+	db, _ := createT(t)
+	db.Close()
+	if err := db.Put([]byte("k"), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("double close must be nil")
+	}
+}
+
+// Property: any batch of unique key/value pairs round-trips through a
+// write + reopen cycle.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		dir, err := os.MkdirTemp("", "kvprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "p.db")
+		db, err := Create(path)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(30)
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("k%d-%d", i, rng.Uint64()))
+			vals[i] = make([]byte, rng.Intn(200))
+			for j := range vals[i] {
+				vals[i][j] = byte(rng.Uint64())
+			}
+			if err := db.Put(keys[i], vals[i]); err != nil {
+				return false
+			}
+		}
+		if err := db.Close(); err != nil {
+			return false
+		}
+		db2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		for i := range keys {
+			got, err := db2.Get(keys[i])
+			if err != nil || len(got) != len(vals[i]) {
+				return false
+			}
+			for j := range got {
+				if got[j] != vals[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyAtErrors(t *testing.T) {
+	db, _ := createT(t)
+	db.Put([]byte("a"), []byte("1"))
+	if _, err := db.KeyAt(-1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := db.KeyAt(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	k, err := db.KeyAt(0)
+	if err != nil || string(k) != "a" {
+		t.Fatalf("KeyAt(0) = %q, %v", k, err)
+	}
+}
+
+func TestSyncAndClosedSync(t *testing.T) {
+	db, _ := createT(t)
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.db")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestCursorConcurrentWithPut(t *testing.T) {
+	db, _ := createT(t)
+	for i := 0; i < 5; i++ {
+		db.Put([]byte{byte('a' + i)}, []byte{byte(i)})
+	}
+	c := db.Cursor()
+	c.Next()
+	// Appending while a cursor is open is safe; the cursor sees the new
+	// record at its position in insertion order.
+	if err := db.Put([]byte("zz"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	count := 1
+	for {
+		_, _, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 6 {
+		t.Fatalf("cursor visited %d", count)
+	}
+}

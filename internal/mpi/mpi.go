@@ -1,0 +1,209 @@
+// Package mpi is a minimal message-passing runtime for goroutine ranks.
+// ShmCaffe uses MPI only for process bootstrap and small control messages
+// (broadcasting SHM keys, Fig. 2); the MPI-based baselines (Caffe-MPI,
+// MPICaffe) additionally use gather/scatter and allreduce collectives for
+// gradients. This package provides those semantics: a World of n ranks with
+// ordered point-to-point channels plus Barrier / Bcast / Gather / Scatter /
+// AllreduceSum collectives.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrRank is returned for out-of-range rank arguments.
+var ErrRank = errors.New("mpi: rank out of range")
+
+// message is one point-to-point payload.
+type message struct {
+	tag  int
+	data []byte
+}
+
+// World is one communicator instance shared by n ranks.
+type World struct {
+	n int
+	// p2p[src][dst] carries ordered messages from src to dst.
+	p2p [][]chan message
+
+	// Collective state: a cyclic barrier with an attached float64
+	// accumulator generation used by AllreduceSum.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	// reduce accumulator for the current generation
+	acc []float64
+	// bcast buffer for the current generation
+	bcastBuf []byte
+	// gather buffers for the current generation
+	gatherBufs [][]byte
+}
+
+// NewWorld creates a communicator for n ranks.
+func NewWorld(n int) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", n)
+	}
+	w := &World{n: n}
+	w.cond = sync.NewCond(&w.mu)
+	w.p2p = make([][]chan message, n)
+	for i := range w.p2p {
+		w.p2p[i] = make([]chan message, n)
+		for j := range w.p2p[i] {
+			w.p2p[i][j] = make(chan message, 1)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Comm returns the per-rank handle used by worker goroutines.
+func (w *World) Comm(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.n {
+		return nil, fmt.Errorf("comm rank %d of %d: %w", rank, w.n, ErrRank)
+	}
+	return &Comm{world: w, rank: rank}, nil
+}
+
+// Comm is one rank's endpoint. Each Comm must be used by a single goroutine.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// Send delivers data to rank dst. It blocks until the destination has
+// started receiving the previous in-flight message (channel capacity 1),
+// preserving MPI's per-pair ordering.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.world.n {
+		return fmt.Errorf("send to %d: %w", dst, ErrRank)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.world.p2p[c.rank][dst] <- message{tag: tag, data: cp}
+	return nil
+}
+
+// Recv receives the next message from rank src, which must carry the given
+// tag (mismatch is a protocol error).
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= c.world.n {
+		return nil, fmt.Errorf("recv from %d: %w", src, ErrRank)
+	}
+	m := <-c.world.p2p[src][c.rank]
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: recv from %d got tag %d, want %d", src, m.tag, tag)
+	}
+	return m.data, nil
+}
+
+// barrierLocked blocks until all n ranks arrive; the last arrival runs
+// onLast (may be nil) before waking everyone. Callers hold w.mu.
+func (w *World) barrierLocked(onLast func()) {
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.n {
+		if onLast != nil {
+			onLast()
+		}
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+		return
+	}
+	for w.gen == gen {
+		w.cond.Wait()
+	}
+}
+
+// Barrier blocks until every rank has called it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.barrierLocked(nil)
+}
+
+// Bcast broadcasts root's buf to every rank: on non-root ranks the returned
+// slice is a copy of root's; on root it is buf itself.
+func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	if root < 0 || root >= c.world.n {
+		return nil, fmt.Errorf("bcast root %d: %w", root, ErrRank)
+	}
+	w := c.world
+	w.mu.Lock()
+	if c.rank == root {
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		w.bcastBuf = cp
+	}
+	w.barrierLocked(nil)
+	src := w.bcastBuf
+	w.barrierLocked(func() { w.bcastBuf = nil })
+	w.mu.Unlock()
+	if c.rank == root {
+		return buf, nil
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// Gather collects each rank's buf at root; non-root ranks receive nil.
+func (c *Comm) Gather(root int, buf []byte) ([][]byte, error) {
+	if root < 0 || root >= c.world.n {
+		return nil, fmt.Errorf("gather root %d: %w", root, ErrRank)
+	}
+	w := c.world
+	w.mu.Lock()
+	if w.gatherBufs == nil {
+		w.gatherBufs = make([][]byte, w.n)
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	w.gatherBufs[c.rank] = cp
+	w.barrierLocked(nil)
+	var out [][]byte
+	if c.rank == root {
+		out = w.gatherBufs
+	}
+	w.barrierLocked(func() { w.gatherBufs = nil })
+	w.mu.Unlock()
+	return out, nil
+}
+
+// AllreduceSum sums data elementwise across all ranks, writing the result
+// back into data on every rank. The accumulation is performed in float64 so
+// the result is identical on all ranks regardless of arrival order.
+func (c *Comm) AllreduceSum(data []float32) error {
+	w := c.world
+	w.mu.Lock()
+	if w.acc == nil {
+		w.acc = make([]float64, len(data))
+	}
+	if len(w.acc) != len(data) {
+		w.mu.Unlock()
+		return fmt.Errorf("mpi: allreduce length %d does not match %d", len(data), len(w.acc))
+	}
+	for i, v := range data {
+		w.acc[i] += float64(v)
+	}
+	w.barrierLocked(nil)
+	for i := range data {
+		data[i] = float32(w.acc[i])
+	}
+	w.barrierLocked(func() { w.acc = nil })
+	w.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package nccl implements ring allreduce and broadcast over an intra-node
+// device group — the stand-in for NVIDIA NCCL, which BVLC Caffe uses for
+// multi-GPU SSGD and ShmCaffe-H uses inside each worker group (paper
+// Sec. III-D). The algorithm is the genuine two-phase ring
+// (reduce-scatter + allgather) executed by the participating goroutines
+// with per-step barriers, not a shortcut through a shared accumulator, so
+// its communication structure matches what the timing model charges for.
+package nccl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrGroup is returned for invalid group arguments.
+var ErrGroup = errors.New("nccl: invalid group argument")
+
+// ErrAborted is returned from collectives after Abort is called — the
+// group-wide cancellation that lets surviving members unwind instead of
+// waiting forever for a failed peer.
+var ErrAborted = errors.New("nccl: group aborted")
+
+// Group coordinates a fixed set of n devices (goroutines). All devices must
+// call the same collective with same-length buffers, like a NCCL communicator.
+type Group struct {
+	n int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	bufs    [][]float32
+	length  int
+	aborted bool
+}
+
+// NewGroup returns a communicator for n devices.
+func NewGroup(n int) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nccl: group size %d: %w", n, ErrGroup)
+	}
+	g := &Group{n: n, bufs: make([][]float32, n)}
+	g.cond = sync.NewCond(&g.mu)
+	return g, nil
+}
+
+// Size returns the number of devices in the group.
+func (g *Group) Size() int { return g.n }
+
+// Abort cancels the group: every device blocked in (or subsequently
+// entering) a collective returns ErrAborted. Call it when one member fails
+// so the others unwind instead of deadlocking at the next barrier.
+func (g *Group) Abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// barrier blocks until all n devices arrive or the group aborts.
+func (g *Group) barrier() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.aborted {
+		return ErrAborted
+	}
+	gen := g.gen
+	g.arrived++
+	if g.arrived == g.n {
+		g.arrived = 0
+		g.gen++
+		g.cond.Broadcast()
+		return nil
+	}
+	for g.gen == gen && !g.aborted {
+		g.cond.Wait()
+	}
+	if g.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// register publishes rank's buffer and waits until every rank has done so.
+func (g *Group) register(rank int, data []float32) error {
+	if rank < 0 || rank >= g.n {
+		return fmt.Errorf("nccl: rank %d of %d: %w", rank, g.n, ErrGroup)
+	}
+	g.mu.Lock()
+	if g.length == 0 {
+		g.length = len(data)
+	}
+	lengthOK := g.length == len(data)
+	g.bufs[rank] = data
+	g.mu.Unlock()
+	if !lengthOK {
+		// A mismatched buffer poisons the whole collective; abort so
+		// the peers unwind rather than deadlock.
+		g.Abort()
+		return fmt.Errorf("nccl: rank %d buffer length %d != %d: %w", rank, len(data), g.length, ErrGroup)
+	}
+	return g.barrier()
+}
+
+// release clears the published buffers after a collective completes.
+func (g *Group) release(rank int) error {
+	if err := g.barrier(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.bufs[rank] = nil
+	if rank == 0 {
+		g.length = 0
+	}
+	g.mu.Unlock()
+	return g.barrier()
+}
+
+// chunkBounds splits length into n contiguous chunks.
+func chunkBounds(length, n, idx int) (lo, hi int) {
+	base := length / n
+	rem := length % n
+	lo = idx*base + min(idx, rem)
+	size := base
+	if idx < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// AllReduce sums data elementwise across all devices in the group, leaving
+// the full sum in every device's buffer. It must be called by all n devices
+// concurrently. Single-device groups return immediately (matching NCCL).
+func (g *Group) AllReduce(rank int, data []float32) error {
+	if g.n == 1 {
+		if rank != 0 {
+			return fmt.Errorf("nccl: rank %d of 1: %w", rank, ErrGroup)
+		}
+		return nil
+	}
+	if err := g.register(rank, data); err != nil {
+		return err
+	}
+	n := g.n
+	left := (rank - 1 + n) % n
+
+	// Phase 1 — reduce-scatter: after step s, chunk (r-s-1 mod n) of rank
+	// r holds the partial sum of s+2 contributions. Each step reads the
+	// left neighbor's chunk c and adds it into the local chunk c; the
+	// neighbor is concurrently writing a different chunk, and the
+	// barriers delimit the steps, so the reads are race-free.
+	for s := 0; s < n-1; s++ {
+		c := ((rank-s-1)%n + n) % n
+		lo, hi := chunkBounds(len(data), n, c)
+		src := g.bufs[left][lo:hi]
+		dst := data[lo:hi]
+		for i := range dst {
+			dst[i] += src[i]
+		}
+		if err := g.barrier(); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2 — allgather: rank r now owns the fully reduced chunk
+	// (r+1 mod n)... step s copies chunk (r-s mod n) from the left
+	// neighbor, which completed it in the previous step.
+	for s := 0; s < n-1; s++ {
+		c := ((rank-s)%n + n) % n
+		lo, hi := chunkBounds(len(data), n, c)
+		copy(data[lo:hi], g.bufs[left][lo:hi])
+		if err := g.barrier(); err != nil {
+			return err
+		}
+	}
+
+	return g.release(rank)
+}
+
+// Broadcast copies root's buffer into every device's buffer. Must be called
+// by all n devices concurrently.
+func (g *Group) Broadcast(rank, root int, data []float32) error {
+	if root < 0 || root >= g.n {
+		return fmt.Errorf("nccl: root %d of %d: %w", root, g.n, ErrGroup)
+	}
+	if g.n == 1 {
+		if rank != 0 {
+			return fmt.Errorf("nccl: rank %d of 1: %w", rank, ErrGroup)
+		}
+		return nil
+	}
+	if err := g.register(rank, data); err != nil {
+		return err
+	}
+	if rank != root {
+		copy(data, g.bufs[root])
+	}
+	return g.release(rank)
+}
+
+// AllReduceMean is AllReduce followed by division by the group size — the
+// gradient averaging step of SSGD.
+func (g *Group) AllReduceMean(rank int, data []float32) error {
+	if err := g.AllReduce(rank, data); err != nil {
+		return err
+	}
+	inv := 1 / float32(g.n)
+	for i := range data {
+		data[i] *= inv
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package nccl
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shmcaffe/internal/tensor"
+)
+
+// runGroup runs fn concurrently for every rank.
+func runGroup(t *testing.T, g *Group, fn func(rank int)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for r := 0; r < g.Size(); r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(r)
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0); !errors.Is(err, ErrGroup) {
+		t.Fatalf("want ErrGroup, got %v", err)
+	}
+	g, err := NewGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 4 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestChunkBoundsCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ length, n int }{
+		{10, 3}, {7, 7}, {5, 8}, {100, 4}, {1, 2},
+	} {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < tc.n; i++ {
+			lo, hi := chunkBounds(tc.length, tc.n, i)
+			if lo != prevHi {
+				t.Fatalf("length %d n %d chunk %d starts at %d, want %d", tc.length, tc.n, i, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.length {
+			t.Fatalf("length %d n %d covered %d", tc.length, tc.n, covered)
+		}
+	}
+}
+
+func TestAllReduceSumsAcrossDevices(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		g, err := NewGroup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const length = 37 // deliberately not divisible by group sizes
+		bufs := make([][]float32, n)
+		var want []float32
+		want = make([]float32, length)
+		for r := 0; r < n; r++ {
+			bufs[r] = make([]float32, length)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(r*100 + i)
+				want[i] += bufs[r][i]
+			}
+		}
+		runGroup(t, g, func(rank int) {
+			if err := g.AllReduce(rank, bufs[rank]); err != nil {
+				t.Error(err)
+			}
+		})
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i]-want[i])) > 1e-3 {
+					t.Fatalf("n=%d rank %d elem %d = %v, want %v", n, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	g, _ := NewGroup(4)
+	bufs := make([][]float32, 4)
+	for r := range bufs {
+		bufs[r] = []float32{float32(r + 1), 8}
+	}
+	runGroup(t, g, func(rank int) {
+		if err := g.AllReduceMean(rank, bufs[rank]); err != nil {
+			t.Error(err)
+		}
+	})
+	for r := range bufs {
+		if bufs[r][0] != 2.5 || bufs[r][1] != 8 {
+			t.Fatalf("rank %d mean %v", r, bufs[r])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	g, _ := NewGroup(3)
+	bufs := [][]float32{{0, 0}, {5, 6}, {0, 0}}
+	runGroup(t, g, func(rank int) {
+		if err := g.Broadcast(rank, 1, bufs[rank]); err != nil {
+			t.Error(err)
+		}
+	})
+	for r := range bufs {
+		if bufs[r][0] != 5 || bufs[r][1] != 6 {
+			t.Fatalf("rank %d broadcast %v", r, bufs[r])
+		}
+	}
+}
+
+func TestBroadcastRootError(t *testing.T) {
+	g, _ := NewGroup(2)
+	if err := g.Broadcast(0, 5, []float32{1}); !errors.Is(err, ErrGroup) {
+		t.Fatalf("want ErrGroup, got %v", err)
+	}
+}
+
+func TestSingleDeviceShortCircuit(t *testing.T) {
+	g, _ := NewGroup(1)
+	data := []float32{1, 2}
+	if err := g.AllReduce(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 || data[1] != 2 {
+		t.Fatalf("single-device allreduce changed data: %v", data)
+	}
+	if err := g.AllReduce(1, data); !errors.Is(err, ErrGroup) {
+		t.Fatalf("want ErrGroup for bad rank, got %v", err)
+	}
+}
+
+// TestAllReduceRepeatedRounds: the communicator is reusable, like NCCL.
+func TestAllReduceRepeatedRounds(t *testing.T) {
+	g, _ := NewGroup(3)
+	var mu sync.Mutex
+	bad := false
+	runGroup(t, g, func(rank int) {
+		for round := 1; round <= 10; round++ {
+			data := []float32{float32(round)}
+			if err := g.AllReduce(rank, data); err != nil {
+				t.Error(err)
+				return
+			}
+			if data[0] != float32(3*round) {
+				mu.Lock()
+				bad = true
+				mu.Unlock()
+			}
+		}
+	})
+	if bad {
+		t.Fatal("round results wrong")
+	}
+}
+
+// Property: ring allreduce equals the direct sum for random sizes and
+// group sizes.
+func TestAllReduceMatchesDirectSumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		length := 1 + rng.Intn(64)
+		g, err := NewGroup(n)
+		if err != nil {
+			return false
+		}
+		bufs := make([][]float32, n)
+		want := make([]float64, length)
+		for r := 0; r < n; r++ {
+			bufs[r] = make([]float32, length)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(rng.NormFloat64())
+				want[i] += float64(bufs[r][i])
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for r := 0; r < n; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[r] = g.AllReduce(r, bufs[r])
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return false
+			}
+		}
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(float64(bufs[r][i])-want[i]) > 1e-3*(1+math.Abs(want[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortUnblocksWaiters: Abort wakes devices parked in a collective so a
+// failed member does not deadlock its group.
+func TestAbortUnblocksWaiters(t *testing.T) {
+	g, _ := NewGroup(2)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- g.AllReduce(0, []float32{1, 2}) // waits forever for rank 1
+	}()
+	g.Abort()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("want ErrAborted, got %v", err)
+		}
+	case <-timeAfter():
+		t.Fatal("abort did not unblock the waiter")
+	}
+	// Post-abort collectives fail immediately.
+	if err := g.Broadcast(1, 0, []float32{1, 2}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-abort broadcast: %v", err)
+	}
+}
+
+func timeAfter() <-chan time.Time { return time.After(2 * time.Second) }
+
+// TestLengthMismatchAbortsGroup: a bad buffer poisons the collective but
+// every member returns an error instead of hanging.
+func TestLengthMismatchAbortsGroup(t *testing.T) {
+	g, _ := NewGroup(2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	lens := []int{4, 5}
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = g.AllReduce(r, make([]float32, lens[r]))
+		}()
+	}
+	wg.Wait()
+	sawGroup := false
+	for _, err := range errs {
+		if err == nil {
+			t.Fatal("mismatched collective returned nil")
+		}
+		if errors.Is(err, ErrGroup) {
+			sawGroup = true
+		}
+	}
+	if !sawGroup {
+		t.Fatalf("no member reported the root cause: %v", errs)
+	}
+}

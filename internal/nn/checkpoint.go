@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Checkpointing: Caffe-style solver snapshots. The format is a small
+// binary header plus the flat weight vector, so a snapshot taken by any
+// worker (or read out of the SMB global buffer) restores into any replica
+// of the same architecture.
+//
+//	[8B magic "SHMCAFF1"] [2B name len][name] [8B param count]
+//	[param count × 4B little-endian float32]
+
+var (
+	// ErrBadCheckpoint reports a corrupt or incompatible snapshot.
+	ErrBadCheckpoint = errors.New("nn: bad checkpoint")
+
+	checkpointMagic = [8]byte{'S', 'H', 'M', 'C', 'A', 'F', 'F', '1'}
+)
+
+// SaveCheckpoint writes the network's weights to w.
+func SaveCheckpoint(w io.Writer, net *Network) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("checkpoint magic: %w", err)
+	}
+	name := net.Name()
+	if len(name) > 0xffff {
+		name = name[:0xffff]
+	}
+	var nameLen [2]byte
+	binary.LittleEndian.PutUint16(nameLen[:], uint16(len(name)))
+	if _, err := w.Write(nameLen[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], uint64(net.NumParams()))
+	if _, err := w.Write(count[:]); err != nil {
+		return err
+	}
+	weights := net.FlatWeights(nil)
+	if _, err := w.Write(tensor.Float32Bytes(weights)); err != nil {
+		return fmt.Errorf("checkpoint weights: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores weights from r into net. The snapshot's parameter
+// count must match; the model name is informational and returned.
+func LoadCheckpoint(r io.Reader, net *Network) (savedName string, err error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return "", fmt.Errorf("checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return "", fmt.Errorf("magic %q: %w", magic, ErrBadCheckpoint)
+	}
+	var nameLen [2]byte
+	if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+		return "", err
+	}
+	nameBuf := make([]byte, binary.LittleEndian.Uint16(nameLen[:]))
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", err
+	}
+	var countBuf [8]byte
+	if _, err := io.ReadFull(r, countBuf[:]); err != nil {
+		return "", err
+	}
+	count := binary.LittleEndian.Uint64(countBuf[:])
+	if count != uint64(net.NumParams()) {
+		return "", fmt.Errorf("snapshot has %d params, network has %d: %w",
+			count, net.NumParams(), ErrBadCheckpoint)
+	}
+	raw := make([]byte, count*4)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return "", fmt.Errorf("checkpoint weights: %w", err)
+	}
+	weights, err := tensor.Float32FromBytes(raw)
+	if err != nil {
+		return "", err
+	}
+	if err := net.SetFlatWeights(weights); err != nil {
+		return "", err
+	}
+	return string(nameBuf), nil
+}

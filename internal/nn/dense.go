@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b with x (N×in), W (in×out).
+type Dense struct {
+	name    string
+	in, out int
+	w, b    *Param
+
+	lastIn *tensor.Tensor // cached forward input for backward
+}
+
+var _ Layer = (*Dense)(nil)
+var _ initializer = (*Dense)(nil)
+
+// NewDense returns a fully connected layer mapping in features to out.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{
+		name: name,
+		in:   in,
+		out:  out,
+		w:    newParam(name+".w", in, out),
+		b:    newParam(name+".b", out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if shapeVolume(in) != d.in {
+		return nil, fmt.Errorf("nn: dense %q expects %d features, got shape %v: %w", d.name, d.in, in, ErrBadShape)
+	}
+	return []int{d.out}, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+func (d *Dense) initWeights(rng *tensor.RNG) {
+	rng.XavierInit(d.w.W, d.in)
+	d.b.W.Zero()
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, rest, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if shapeVolume(rest) != d.in {
+		return nil, fmt.Errorf("nn: dense %q input %v: %w", d.name, x.Shape(), ErrBadShape)
+	}
+	x2, err := x.Reshape(n, d.in)
+	if err != nil {
+		return nil, err
+	}
+	d.lastIn = x2
+	y := tensor.New(n, d.out)
+	if err := tensor.MatMul(x2, d.w.W, y); err != nil {
+		return nil, err
+	}
+	// Add bias per row.
+	for i := 0; i < n; i++ {
+		row := y.Data()[i*d.out : (i+1)*d.out]
+		for j := range row {
+			row[j] += d.b.W.Data()[j]
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastIn == nil {
+		return nil, fmt.Errorf("nn: dense %q backward before forward", d.name)
+	}
+	n := d.lastIn.Dim(0)
+	g, err := grad.Reshape(n, d.out)
+	if err != nil {
+		return nil, err
+	}
+	// dW += xᵀ g
+	dw := tensor.New(d.in, d.out)
+	if err := tensor.MatMulTransA(d.lastIn, g, dw); err != nil {
+		return nil, err
+	}
+	tensor.AxpySlice(1, dw.Data(), d.w.Grad.Data())
+	// db += column sums of g
+	for i := 0; i < n; i++ {
+		row := g.Data()[i*d.out : (i+1)*d.out]
+		for j, v := range row {
+			d.b.Grad.Data()[j] += v
+		}
+	}
+	// dX = g Wᵀ
+	dx := tensor.New(n, d.in)
+	if err := tensor.MatMulTransB(g, d.w.W, dx); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
+// ReLU is a rectified linear activation.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	y := x.Clone()
+	if cap(r.mask) < y.Len() {
+		r.mask = make([]bool, y.Len())
+	}
+	r.mask = r.mask[:y.Len()]
+	for i, v := range y.Data() {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data()[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(r.mask) != grad.Len() {
+		return nil, fmt.Errorf("nn: relu %q backward before forward: %w", r.name, ErrBadShape)
+	}
+	dx := grad.Clone()
+	for i := range dx.Data() {
+		if !r.mask[i] {
+			dx.Data()[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Flatten reshapes (N, ...) into (N, volume).
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	return []int{shapeVolume(in)}, nil
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, rest, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	f.inShape = append([]int{n}, rest...)
+	return x.Reshape(n, shapeVolume(rest))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.inShape == nil {
+		return nil, fmt.Errorf("nn: flatten %q backward before forward", f.name)
+	}
+	return grad.Reshape(f.inShape...)
+}
+
+// Dropout zeroes activations with probability p at train time and scales the
+// survivors by 1/(1-p) (inverted dropout), passing through untouched at eval.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *tensor.RNG
+	keep []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, p float64, seed uint64) *Dropout {
+	return &Dropout{name: name, p: p, rng: tensor.NewRNG(seed)}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return in, nil }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.p <= 0 {
+		d.keep = nil
+		return x, nil
+	}
+	y := x.Clone()
+	if cap(d.keep) < y.Len() {
+		d.keep = make([]bool, y.Len())
+	}
+	d.keep = d.keep[:y.Len()]
+	scale := float32(1 / (1 - d.p))
+	for i := range y.Data() {
+		if d.rng.Float64() < d.p {
+			d.keep[i] = false
+			y.Data()[i] = 0
+		} else {
+			d.keep[i] = true
+			y.Data()[i] *= scale
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.keep == nil {
+		return grad, nil
+	}
+	if len(d.keep) != grad.Len() {
+		return nil, fmt.Errorf("nn: dropout %q grad size mismatch: %w", d.name, ErrBadShape)
+	}
+	dx := grad.Clone()
+	scale := float32(1 / (1 - d.p))
+	for i := range dx.Data() {
+		if d.keep[i] {
+			dx.Data()[i] *= scale
+		} else {
+			dx.Data()[i] = 0
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,38 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/nn"
+)
+
+// Declarative model definition — the prototxt stand-in.
+func ExampleParseNetSpec() {
+	net, err := nn.ParseNetSpec(`
+name: tiny
+input: 1x8x8
+conv out=4 kernel=3 pad=1
+relu
+maxpool window=2 stride=2
+flatten
+dense out=3
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(net.Name(), net.NumParams(), "parameters")
+	// Output: tiny 235 parameters
+}
+
+// The paper's four evaluation models (Table IV).
+func ExamplePaperModels() {
+	for _, p := range nn.PaperModels() {
+		fmt.Printf("%s: %.0f MB\n", p.Name, p.ParamMB())
+	}
+	// Output:
+	// inception_v1: 53 MB
+	// resnet_50: 102 MB
+	// inception_resnet_v2: 214 MB
+	// vgg16: 528 MB
+}

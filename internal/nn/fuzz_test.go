@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseNetSpec: arbitrary spec text must parse or error, never panic.
+func FuzzParseNetSpec(f *testing.F) {
+	f.Add("input: 4\ndense out=2")
+	f.Add("name: x\ninput: 1x8x8\nconv out=4 kernel=3 pad=1\nrelu\ngap\nflatten\ndense out=2")
+	f.Add("input: 1x4x4\nresidual {\nconv out=1 kernel=3 pad=1\n}")
+	f.Add("parallel { branch {")
+	f.Add("input: 0x0")
+	f.Add("}")
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ParseNetSpec(src)
+		if err != nil {
+			return
+		}
+		// A parseable spec must yield a usable network.
+		if net.NumParams() < 0 {
+			t.Fatal("negative param count")
+		}
+	})
+}
+
+// FuzzLoadCheckpoint: arbitrary snapshot bytes must be rejected cleanly.
+func FuzzLoadCheckpoint(f *testing.F) {
+	net, err := MLP("fuzz", 4, 4, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := SaveCheckpoint(&good, net); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SHMCAFF1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target, err := MLP("target", 4, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = LoadCheckpoint(bytes.NewReader(data), target)
+	})
+}

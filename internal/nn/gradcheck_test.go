@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dparam[i] by central differences.
+func numericalGrad(t *testing.T, net *Network, x *tensor.Tensor, labels []int, p *Param, i int) float64 {
+	t.Helper()
+	const eps = 1e-2
+	orig := p.W.Data()[i]
+
+	lossAt := func(v float32) float64 {
+		p.W.Data()[i] = v
+		logits, err := net.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var head SoftmaxLoss
+		loss, _, err := head.Forward(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	plus := lossAt(orig + eps)
+	minus := lossAt(orig - eps)
+	p.W.Data()[i] = orig
+	return (plus - minus) / (2 * eps)
+}
+
+// TestGradientCheck verifies the analytic backward pass of a conv+dense
+// network against central differences. This is the load-bearing correctness
+// test for the entire computation substrate. The network is kink-free
+// (no ReLU/max-pool) so central differences are exact up to float32 noise;
+// the pooling/activation gradients have their own exact-value tests in
+// layers_test.go.
+func TestGradientCheck(t *testing.T) {
+	net, err := NewNetwork("gc", []int{1, 4, 4},
+		NewConv2D("gc/conv", 1, 4, 3, 1, 1),
+		NewGlobalAvgPool("gc/gap"),
+		NewFlatten("gc/flat"),
+		NewDense("gc/fc", 4, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	net.InitWeights(rng)
+
+	x := tensor.New(2, 1, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{0, 2}
+
+	net.ZeroGrads()
+	if _, _, err := net.TrainStep(x, labels); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range net.Params() {
+		// Sample a handful of coordinates per blob.
+		n := p.W.Len()
+		step := n / 5
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			analytic := float64(p.Grad.Data()[i])
+			numeric := numericalGrad(t, net, x, labels, p, i)
+			diff := math.Abs(analytic - numeric)
+			scale := math.Abs(analytic) + math.Abs(numeric) + 1e-4
+			if diff/scale > 0.05 {
+				t.Fatalf("param %s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestGradientCheckMLP(t *testing.T) {
+	net, err := MLP("gc-mlp", 6, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(9)
+	net.InitWeights(rng)
+
+	x := tensor.New(3, 6)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{2, 0, 1}
+
+	net.ZeroGrads()
+	if _, _, err := net.TrainStep(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		for i := 0; i < p.W.Len(); i += 7 {
+			analytic := float64(p.Grad.Data()[i])
+			numeric := numericalGrad(t, net, x, labels, p, i)
+			diff := math.Abs(analytic - numeric)
+			scale := math.Abs(analytic) + math.Abs(numeric) + 1e-4
+			if diff/scale > 0.05 {
+				t.Fatalf("param %s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}

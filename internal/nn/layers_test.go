@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := NewDense("fc", 2, 2)
+	copy(d.w.W.Data(), []float32{1, 2, 3, 4}) // W = [[1,2],[3,4]]
+	copy(d.b.W.Data(), []float32{10, 20})
+	x := tensor.MustFromSlice([]float32{1, 1}, 1, 2)
+	y, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{14, 26} // [1+3+10, 2+4+20]
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+}
+
+func TestDenseShapeError(t *testing.T) {
+	d := NewDense("fc", 4, 2)
+	x := tensor.New(1, 3)
+	if _, err := d.Forward(x, true); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("want ErrBadShape, got %v", err)
+	}
+	if _, err := d.OutShape([]int{3}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("OutShape want ErrBadShape, got %v", err)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.MustFromSlice([]float32{-1, 0, 2, -3}, 1, 4)
+	y, err := r.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY := []float32{0, 0, 2, 0}
+	for i, w := range wantY {
+		if y.Data()[i] != w {
+			t.Fatalf("relu y[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	g := tensor.MustFromSlice([]float32{5, 5, 5, 5}, 1, 4)
+	dx, err := r.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDx := []float32{0, 0, 5, 0}
+	for i, w := range wantDx {
+		if dx.Data()[i] != w {
+			t.Fatalf("relu dx[%d] = %v, want %v", i, dx.Data()[i], w)
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("flat")
+	x := tensor.New(2, 3, 4, 4)
+	y, err := f.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 2 || y.Dim(1) != 48 {
+		t.Fatalf("flatten shape %v", y.Shape())
+	}
+	back, err := f.Backward(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(x) {
+		t.Fatalf("flatten backward shape %v", back.Shape())
+	}
+}
+
+func TestDropoutEvalPassthroughAndTrainMask(t *testing.T) {
+	d := NewDropout("drop", 0.5, 1)
+	x := tensor.New(1, 100)
+	x.Fill(1)
+
+	// Eval: identity.
+	y, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Sum(y) != 100 {
+		t.Fatalf("eval dropout changed values: sum %v", tensor.Sum(y))
+	}
+
+	// Train: some elements zeroed, survivors scaled by 2.
+	y, err = d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, twos := 0, 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Fatalf("dropout mask degenerate: %d zeros, %d twos", zeros, twos)
+	}
+	// Backward respects the same mask.
+	g := tensor.New(1, 100)
+	g.Fill(1)
+	dx, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Data() {
+		if (v == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("dropout backward mask differs from forward")
+		}
+	}
+}
+
+func TestMaxPoolKnown(t *testing.T) {
+	m := NewMaxPool2D("pool", 2, 2)
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	y, err := m.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{4, 8, 12, 16}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("pool y[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	g := tensor.MustFromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	dx, err := m.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradient flows only to the argmax positions.
+	if tensor.Sum(dx) != 4 {
+		t.Fatalf("pool grad sum %v, want 4", tensor.Sum(dx))
+	}
+	if dx.At(0, 0, 1, 1) != 1 || dx.At(0, 0, 3, 3) != 1 {
+		t.Fatal("pool grad not routed to argmax")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	a := NewGlobalAvgPool("gap")
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	y, err := a.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data()[0] != 2.5 || y.Data()[1] != 25 {
+		t.Fatalf("avgpool %v", y.Data())
+	}
+	g := tensor.MustFromSlice([]float32{4, 8}, 1, 2, 1, 1)
+	dx, err := a.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 1, 1, 1) != 2 {
+		t.Fatalf("avgpool grad %v", dx.Data())
+	}
+}
+
+func TestConvForwardKnown(t *testing.T) {
+	// 1 input channel, 1 output channel, 2x2 kernel of ones, no pad.
+	c := NewConv2D("conv", 1, 1, 2, 1, 0)
+	for i := range c.w.W.Data() {
+		c.w.W.Data()[i] = 1
+	}
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	y, err := c.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{12, 16, 24, 28} // window sums
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("conv y[%d] = %v, want %v (%v)", i, y.Data()[i], w, y.Data())
+		}
+	}
+}
+
+func TestSoftmaxLossKnown(t *testing.T) {
+	var s SoftmaxLoss
+	logits := tensor.MustFromSlice([]float32{0, 0}, 1, 2)
+	loss, probs, err := s.Forward(logits, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln 2", loss)
+	}
+	if math.Abs(float64(probs.Data()[0])-0.5) > 1e-6 {
+		t.Fatalf("probs = %v", probs.Data())
+	}
+	grad, err := s.Backward()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (p - onehot)/N = [0.5-1, 0.5]/1
+	if math.Abs(float64(grad.Data()[0])+0.5) > 1e-6 || math.Abs(float64(grad.Data()[1])-0.5) > 1e-6 {
+		t.Fatalf("grad = %v", grad.Data())
+	}
+}
+
+func TestSoftmaxLossErrors(t *testing.T) {
+	var s SoftmaxLoss
+	logits := tensor.New(2, 3)
+	if _, _, err := s.Forward(logits, []int{0}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("want ErrBadShape for label count, got %v", err)
+	}
+	if _, _, err := s.Forward(logits, []int{0, 7}); err == nil {
+		t.Fatal("want error for out-of-range label")
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	probs := tensor.MustFromSlice([]float32{
+		0.5, 0.3, 0.2, // label 1 is 2nd
+		0.1, 0.2, 0.7, // label 0 is 3rd
+	}, 2, 3)
+	acc1, err := TopKAccuracy(probs, []int{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc1 != 0 {
+		t.Fatalf("top-1 = %v, want 0", acc1)
+	}
+	acc2, err := TopKAccuracy(probs, []int{1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc2 != 0.5 {
+		t.Fatalf("top-2 = %v, want 0.5", acc2)
+	}
+	acc3, err := TopKAccuracy(probs, []int{1, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc3 != 1 {
+		t.Fatalf("top-3 = %v, want 1", acc3)
+	}
+	if _, err := TopKAccuracy(probs, []int{1, 0}, 4); err == nil {
+		t.Fatal("want error for k > classes")
+	}
+}

@@ -1,0 +1,360 @@
+package nn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NetSpec is a small declarative model format playing the role of Caffe's
+// prototxt: networks defined as text, instantiated by the library. One
+// directive per line; `#` starts a comment. Layer parameters are
+// key=value pairs; input channels / feature counts are inferred from the
+// running shape, so specs stay minimal.
+//
+//	name: demo
+//	input: 1x8x8
+//	conv out=8 kernel=3 stride=1 pad=1
+//	relu
+//	lrn
+//	maxpool window=2 stride=2
+//	residual {
+//	    conv out=8 kernel=3 pad=1
+//	    batchnorm
+//	    relu
+//	    conv out=8 kernel=3 pad=1
+//	    batchnorm
+//	}
+//	parallel {
+//	    branch {
+//	        conv out=4 kernel=1
+//	        relu
+//	    }
+//	    branch {
+//	        conv out=8 kernel=3 pad=1
+//	        relu
+//	    }
+//	}
+//	gap
+//	flatten
+//	dense out=4
+//
+// Supported layers: conv, dense, relu, sigmoid, tanh, maxpool, gap,
+// flatten, dropout, lrn, batchnorm, residual {...}, parallel {...} with
+// branch {...} children.
+
+// ParseNetSpec builds a network from a spec.
+func ParseNetSpec(src string) (*Network, error) {
+	p := &specParser{lines: splitSpecLines(src)}
+	name, inShape, err := p.header()
+	if err != nil {
+		return nil, err
+	}
+	layers, _, err := p.block(name, inShape, false)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("netspec line %d: unexpected %q", p.lineNo(), p.lines[p.pos].text)
+	}
+	return NewNetwork(name, inShape, layers...)
+}
+
+type specLine struct {
+	no   int
+	text string
+}
+
+func splitSpecLines(src string) []specLine {
+	var out []specLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		out = append(out, specLine{no: i + 1, text: line})
+	}
+	return out
+}
+
+type specParser struct {
+	lines []specLine
+	pos   int
+	seq   int
+}
+
+func (p *specParser) lineNo() int {
+	if p.pos < len(p.lines) {
+		return p.lines[p.pos].no
+	}
+	if len(p.lines) > 0 {
+		return p.lines[len(p.lines)-1].no
+	}
+	return 0
+}
+
+func (p *specParser) next() (specLine, bool) {
+	if p.pos >= len(p.lines) {
+		return specLine{}, false
+	}
+	l := p.lines[p.pos]
+	p.pos++
+	return l, true
+}
+
+func (p *specParser) peek() (specLine, bool) {
+	if p.pos >= len(p.lines) {
+		return specLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// header parses `name:` and `input:` directives.
+func (p *specParser) header() (string, []int, error) {
+	name := "netspec"
+	var inShape []int
+	for {
+		l, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(l.text, "name:"):
+			name = strings.TrimSpace(strings.TrimPrefix(l.text, "name:"))
+			p.pos++
+		case strings.HasPrefix(l.text, "input:"):
+			spec := strings.TrimSpace(strings.TrimPrefix(l.text, "input:"))
+			for _, part := range strings.Split(spec, "x") {
+				d, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || d < 1 {
+					return "", nil, fmt.Errorf("netspec line %d: bad input shape %q", l.no, spec)
+				}
+				inShape = append(inShape, d)
+			}
+			p.pos++
+		default:
+			if inShape == nil {
+				return "", nil, fmt.Errorf("netspec line %d: need input: before layers", l.no)
+			}
+			return name, inShape, nil
+		}
+	}
+	if inShape == nil {
+		return "", nil, fmt.Errorf("netspec: missing input: directive")
+	}
+	return name, inShape, nil
+}
+
+// block parses layer lines until EOF or a closing brace (when sub=true),
+// threading the running per-sample shape through shape inference.
+func (p *specParser) block(prefix string, shape []int, sub bool) ([]Layer, []int, error) {
+	var layers []Layer
+	for {
+		l, ok := p.peek()
+		if !ok {
+			if sub {
+				return nil, nil, fmt.Errorf("netspec: missing closing }")
+			}
+			return layers, shape, nil
+		}
+		if l.text == "}" {
+			if !sub {
+				return nil, nil, fmt.Errorf("netspec line %d: unmatched }", l.no)
+			}
+			p.pos++
+			return layers, shape, nil
+		}
+		layer, outShape, err := p.layer(prefix, shape)
+		if err != nil {
+			return nil, nil, err
+		}
+		layers = append(layers, layer)
+		shape = outShape
+	}
+}
+
+// layer parses one layer directive (possibly a braced composite).
+func (p *specParser) layer(prefix string, shape []int) (Layer, []int, error) {
+	l, _ := p.next()
+	fields := strings.Fields(l.text)
+	kind := fields[0]
+	args, err := parseArgs(fields[1:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("netspec line %d: %w", l.no, err)
+	}
+	p.seq++
+	name := args.str("name", fmt.Sprintf("%s/%s%d", prefix, strings.TrimSuffix(kind, "{"), p.seq))
+
+	build := func(layer Layer) (Layer, []int, error) {
+		out, err := layer.OutShape(shape)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netspec line %d: %w", l.no, err)
+		}
+		return layer, out, nil
+	}
+
+	opensBlock := strings.HasSuffix(l.text, "{")
+	switch strings.TrimSuffix(kind, "{") {
+	case "conv":
+		if len(shape) != 3 {
+			return nil, nil, fmt.Errorf("netspec line %d: conv needs (C,H,W) input, have %v", l.no, shape)
+		}
+		out, err := args.positiveInt("out")
+		if err != nil {
+			return nil, nil, fmt.Errorf("netspec line %d: %w", l.no, err)
+		}
+		kernel := args.integer("kernel", 3)
+		stride := args.integer("stride", 1)
+		pad := args.integer("pad", 0)
+		if kernel < 1 || stride < 1 || pad < 0 {
+			return nil, nil, fmt.Errorf("netspec line %d: conv kernel=%d stride=%d pad=%d invalid",
+				l.no, kernel, stride, pad)
+		}
+		return build(NewConv2D(name, shape[0], out, kernel, stride, pad))
+	case "dense":
+		out, err := args.positiveInt("out")
+		if err != nil {
+			return nil, nil, fmt.Errorf("netspec line %d: %w", l.no, err)
+		}
+		return build(NewDense(name, shapeVolume(shape), out))
+	case "relu":
+		return build(NewReLU(name))
+	case "sigmoid":
+		return build(NewSigmoid(name))
+	case "tanh":
+		return build(NewTanh(name))
+	case "maxpool":
+		window := args.integer("window", 2)
+		stride := args.integer("stride", 2)
+		if window < 1 || stride < 1 {
+			return nil, nil, fmt.Errorf("netspec line %d: maxpool window=%d stride=%d invalid",
+				l.no, window, stride)
+		}
+		return build(NewMaxPool2D(name, window, stride))
+	case "gap":
+		return build(NewGlobalAvgPool(name))
+	case "flatten":
+		return build(NewFlatten(name))
+	case "dropout":
+		p := args.float("p", 0.5)
+		if p < 0 || p >= 1 {
+			return nil, nil, fmt.Errorf("netspec line %d: dropout p=%v outside [0,1)", l.no, p)
+		}
+		return build(NewDropout(name, p, uint64(args.integer("seed", 1))))
+	case "lrn":
+		return build(NewLRN(name))
+	case "batchnorm":
+		if len(shape) != 3 {
+			return nil, nil, fmt.Errorf("netspec line %d: batchnorm needs (C,H,W) input, have %v", l.no, shape)
+		}
+		return build(NewBatchNorm(name, shape[0]))
+	case "residual":
+		if !opensBlock {
+			return nil, nil, fmt.Errorf("netspec line %d: residual needs {", l.no)
+		}
+		inner, _, err := p.block(name, shape, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return build(NewResidual(name, NewStack(name+"/f", inner...)))
+	case "parallel":
+		if !opensBlock {
+			return nil, nil, fmt.Errorf("netspec line %d: parallel needs {", l.no)
+		}
+		branches, err := p.branches(name, shape)
+		if err != nil {
+			return nil, nil, err
+		}
+		return build(NewParallel(name, branches...))
+	default:
+		return nil, nil, fmt.Errorf("netspec line %d: unknown layer %q", l.no, kind)
+	}
+}
+
+// branches parses `branch { ... }` children inside a parallel block.
+func (p *specParser) branches(prefix string, shape []int) ([]Layer, error) {
+	var out []Layer
+	for {
+		l, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("netspec: missing closing } in parallel")
+		}
+		if l.text == "}" {
+			p.pos++
+			if len(out) == 0 {
+				return nil, fmt.Errorf("netspec line %d: parallel without branches", l.no)
+			}
+			return out, nil
+		}
+		if !strings.HasPrefix(l.text, "branch") || !strings.HasSuffix(l.text, "{") {
+			return nil, fmt.Errorf("netspec line %d: expected branch { inside parallel, got %q", l.no, l.text)
+		}
+		p.pos++
+		p.seq++
+		name := fmt.Sprintf("%s/b%d", prefix, p.seq)
+		inner, _, err := p.block(name, shape, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NewStack(name, inner...))
+	}
+}
+
+// specArgs holds one directive's key=value pairs.
+type specArgs map[string]string
+
+func parseArgs(fields []string) (specArgs, error) {
+	args := make(specArgs)
+	for _, f := range fields {
+		if f == "{" {
+			continue
+		}
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad argument %q (want key=value)", f)
+		}
+		args[k] = v
+	}
+	return args, nil
+}
+
+func (a specArgs) str(key, def string) string {
+	if v, ok := a[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (a specArgs) integer(key string, def int) int {
+	if v, ok := a[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func (a specArgs) positiveInt(key string) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("missing required %s=", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad %s=%q (want positive integer)", key, v)
+	}
+	return n, nil
+}
+
+func (a specArgs) float(key string, def float64) float64 {
+	if v, ok := a[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+const demoSpec = `
+# A miniature with every directive.
+name: demo
+input: 1x8x8
+conv out=8 kernel=3 stride=1 pad=1
+relu
+lrn
+maxpool window=2 stride=2
+residual {
+    conv out=8 kernel=3 pad=1
+    batchnorm
+    relu
+    conv out=8 kernel=3 pad=1
+    batchnorm
+}
+parallel {
+    branch {
+        conv out=4 kernel=1
+        relu
+    }
+    branch {
+        conv out=8 kernel=3 pad=1
+        relu
+    }
+}
+gap
+flatten
+dense out=16
+tanh
+dropout p=0.2
+dense out=4
+`
+
+func TestParseNetSpecFull(t *testing.T) {
+	net, err := ParseNetSpec(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name() != "demo" {
+		t.Fatalf("name %q", net.Name())
+	}
+	in := net.InShape()
+	if len(in) != 3 || in[0] != 1 || in[1] != 8 {
+		t.Fatalf("input shape %v", in)
+	}
+	// The net must train.
+	rng := tensor.NewRNG(1)
+	net.InitWeights(rng)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	net.ZeroGrads()
+	loss, _, err := net.TrainStep(x, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+}
+
+func TestParseNetSpecMLP(t *testing.T) {
+	net, err := ParseNetSpec(`
+input: 16
+dense out=8
+sigmoid
+dense out=3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumParams() != 16*8+8+8*3+3 {
+		t.Fatalf("param count %d", net.NumParams())
+	}
+}
+
+func TestParseNetSpecCustomNames(t *testing.T) {
+	net, err := ParseNetSpec(`
+input: 4
+dense name=mylayer out=2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Params()[0].Name; !strings.HasPrefix(got, "mylayer") {
+		t.Fatalf("param name %q", got)
+	}
+}
+
+func TestParseNetSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"no input":        "dense out=2",
+		"bad shape":       "input: 3xzebra\ndense out=2",
+		"unknown layer":   "input: 4\nrnn out=2",
+		"missing out":     "input: 4\ndense",
+		"bad arg":         "input: 4\ndense out",
+		"unmatched close": "input: 4\ndense out=2\n}",
+		"unclosed block":  "input: 1x4x4\nresidual {\nconv out=1 kernel=3 pad=1",
+		"conv on flat":    "input: 4\nconv out=2",
+		"bn on flat":      "input: 4\nbatchnorm",
+		"residual brace":  "input: 1x4x4\nresidual\nconv out=1",
+		"empty parallel":  "input: 1x4x4\nparallel {\n}",
+		"junk in par":     "input: 1x4x4\nparallel {\ndense out=2\n}",
+		"shape mismatch":  "input: 1x4x4\nresidual {\nconv out=3 kernel=3 pad=1\n}",
+		"zero out":        "input: 1x4x4\nconv out=0 kernel=3",
+		"zero kernel":     "input: 1x4x4\nconv out=2 kernel=0",
+		"bad dropout":     "input: 4\ndropout p=1.5",
+		"zero pool":       "input: 1x4x4\nmaxpool window=0",
+	}
+	for label, spec := range cases {
+		if _, err := ParseNetSpec(spec); err == nil {
+			t.Fatalf("%s: expected error for %q", label, spec)
+		}
+	}
+}
+
+// TestNetSpecMatchesHandBuilt: the spec-built network and the hand-built
+// equivalent have identical parameter structure, so checkpoints are
+// interchangeable.
+func TestNetSpecMatchesHandBuilt(t *testing.T) {
+	spec, err := ParseNetSpec(`
+name: twin
+input: 1x8x8
+conv name=twin/conv1 out=8 kernel=3 stride=1 pad=1
+relu
+maxpool window=2 stride=2
+conv name=twin/conv2 out=16 kernel=3 stride=1 pad=1
+relu
+maxpool window=2 stride=2
+flatten
+dense name=twin/fc1 out=64
+relu
+dense name=twin/fc2 out=4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := SmallCNN("twin", 1, 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NumParams() != hand.NumParams() {
+		t.Fatalf("spec %d params, hand-built %d", spec.NumParams(), hand.NumParams())
+	}
+	// Weight transfer works across the two construction paths.
+	hand.InitWeights(tensor.NewRNG(2))
+	if err := spec.SetFlatWeights(hand.FlatWeights(nil)); err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	ya, err := hand.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := spec.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ya.Data() {
+		if ya.Data()[i] != yb.Data()[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Solver-state snapshots: Caffe's .solverstate counterpart. A weight
+// checkpoint alone restarts training with cold momentum and a reset LR
+// schedule; the solver state additionally captures the iteration counter
+// and every velocity buffer, so a resumed run continues bit-for-bit.
+//
+//	[8B magic "SHMSOLV1"] [8B iter] [8B param count]
+//	[count × 4B weights] [count × 4B velocities]
+
+var solverMagic = [8]byte{'S', 'H', 'M', 'S', 'O', 'L', 'V', '1'}
+
+// SaveState writes the solver's full training state (weights, velocity,
+// iteration counter).
+func (s *SGDSolver) SaveState(w io.Writer) error {
+	if _, err := w.Write(solverMagic[:]); err != nil {
+		return fmt.Errorf("solver state magic: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.iter))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.net.NumParams()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(tensor.Float32Bytes(s.net.FlatWeights(nil))); err != nil {
+		return err
+	}
+	vel := make([]float32, 0, s.net.NumParams())
+	for _, v := range s.velocity {
+		vel = append(vel, v.Data()...)
+	}
+	if _, err := w.Write(tensor.Float32Bytes(vel)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RestoreState loads a snapshot written by SaveState into this solver and
+// its network. The architectures must match.
+func (s *SGDSolver) RestoreState(r io.Reader) error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("solver state magic: %w", err)
+	}
+	if magic != solverMagic {
+		return fmt.Errorf("magic %q: %w", magic, ErrBadCheckpoint)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	iter := int(binary.LittleEndian.Uint64(hdr[0:]))
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	if count != uint64(s.net.NumParams()) {
+		return fmt.Errorf("snapshot has %d params, network has %d: %w",
+			count, s.net.NumParams(), ErrBadCheckpoint)
+	}
+	raw := make([]byte, count*4)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return fmt.Errorf("solver state weights: %w", err)
+	}
+	weights, err := tensor.Float32FromBytes(raw)
+	if err != nil {
+		return err
+	}
+	if err := s.net.SetFlatWeights(weights); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return fmt.Errorf("solver state velocity: %w", err)
+	}
+	vel, err := tensor.Float32FromBytes(raw)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for _, v := range s.velocity {
+		copy(v.Data(), vel[off:off+v.Len()])
+		off += v.Len()
+	}
+	s.iter = iter
+	return nil
+}

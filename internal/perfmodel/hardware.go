@@ -1,0 +1,196 @@
+// Package perfmodel reproduces the paper's timing results (Figs. 7, 9, 10,
+// 12–15; Tables II, V, VI) by simulating each platform's per-iteration
+// communication structure on the internal/simnet discrete-event fabric,
+// using the paper's own model profiles (internal/nn.Profile) for compute
+// time and parameter volume.
+//
+// The hardware constants below are calibrated once, against the paper's
+// Sec. IV numbers, and then reused unchanged across every experiment — the
+// same methodology as a validated simulator. See DESIGN.md §5.
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/nn"
+)
+
+// Hardware models the paper's testbed (Sec. IV-A): SuperMicro 4028GR nodes
+// with 4 GTX Titan X GPUs each, one 56 Gbps FDR Infiniband HCA per node,
+// and a dedicated SMB memory server (E5-2609 v2, DDR3-1866).
+type Hardware struct {
+	// HCABandwidth is the raw unidirectional HCA payload bandwidth
+	// (7 GB/s for 56 Gbps FDR).
+	HCABandwidth float64
+	// HCAEfficiency is the protocol efficiency ceiling; the paper
+	// measures 96 % utilization (Fig. 7: 6.7 of 7 GB/s).
+	HCAEfficiency float64
+	// HCALatency is the per-transfer setup latency.
+	HCALatency time.Duration
+	// PerFlowCap is the single-connection (RDS queue pair) throughput
+	// ceiling; calibrated from the paper's VGG16 two-worker measurement
+	// (727.7 ms of communication for 2×528 MB per iteration ⇒
+	// ≈1.45 GB/s per flow).
+	PerFlowCap float64
+	// AccumBandwidth converts an Accumulate of P bytes into P/AccumBW of
+	// exclusive SMB-server time (read src + read dst + write dst on the
+	// memory server's DDR3).
+	AccumBandwidth float64
+	// LocalMemBandwidth models the worker-side flat-weight update (T2:
+	// compute ΔWx and apply) as P/LocalMemBW.
+	LocalMemBandwidth float64
+	// MPISoftwareFactor multiplies MPI transfer volume, modeling the
+	// user/kernel copies and protocol processing that RDMA eliminates
+	// (the overhead the paper's Sec. V credits SMB with removing).
+	MPISoftwareFactor float64
+	// MPIStepLatency is the per-step software overhead of an MPI ring
+	// collective (message matching, progress engine); a ring allreduce
+	// over n ranks pays 2(n−1) of these.
+	MPIStepLatency time.Duration
+	// GPUsPerNode is the cluster layout (4 in the paper).
+	GPUsPerNode int
+}
+
+// DefaultHardware returns the calibrated testbed model.
+func DefaultHardware() Hardware {
+	return Hardware{
+		HCABandwidth:      7e9,
+		HCAEfficiency:     0.96,
+		HCALatency:        2 * time.Microsecond,
+		PerFlowCap:        1.45e9,
+		AccumBandwidth:    6e9,
+		LocalMemBandwidth: 12e9,
+		MPISoftwareFactor: 2.0,
+		MPIStepLatency:    2 * time.Millisecond,
+		GPUsPerNode:       4,
+	}
+}
+
+// Validate checks the hardware model.
+func (h Hardware) Validate() error {
+	if h.HCABandwidth <= 0 || h.HCAEfficiency <= 0 || h.HCAEfficiency > 1 {
+		return fmt.Errorf("perfmodel: bad HCA model %+v", h)
+	}
+	if h.PerFlowCap <= 0 || h.AccumBandwidth <= 0 || h.LocalMemBandwidth <= 0 {
+		return fmt.Errorf("perfmodel: non-positive bandwidth in %+v", h)
+	}
+	if h.MPISoftwareFactor < 1 {
+		return fmt.Errorf("perfmodel: MPI factor %v < 1", h.MPISoftwareFactor)
+	}
+	if h.MPIStepLatency < 0 {
+		return fmt.Errorf("perfmodel: negative MPI step latency %v", h.MPIStepLatency)
+	}
+	if h.GPUsPerNode < 1 {
+		return fmt.Errorf("perfmodel: %d GPUs per node", h.GPUsPerNode)
+	}
+	return nil
+}
+
+// EffectiveHCA returns the usable per-link bandwidth.
+func (h Hardware) EffectiveHCA() float64 { return h.HCABandwidth * h.HCAEfficiency }
+
+// NodePCIeBandwidth returns the effective shared host-PCIe bandwidth for a
+// single node carrying n GPUs. The tiers are calibrated to Table II's
+// single-node Caffe scalability (2.7× at 8 GPUs, 2.3× at 16: the 4028GR
+// oversubscribes its PCIe switches beyond 4 GPUs).
+func (h Hardware) NodePCIeBandwidth(gpusOnNode int) float64 {
+	switch {
+	case gpusOnNode <= 4:
+		return 10e9
+	case gpusOnNode <= 8:
+		return 1.43e9
+	default:
+		return 1.05e9
+	}
+}
+
+// accumTime is the exclusive server-side time of one Accumulate.
+func (h Hardware) accumTime(p nn.Profile) time.Duration {
+	return time.Duration(float64(p.ParamBytes) / h.AccumBandwidth * float64(time.Second))
+}
+
+// localUpdateTime is the worker-side T2/T_ulw time.
+func (h Hardware) localUpdateTime(p nn.Profile) time.Duration {
+	return time.Duration(float64(p.ParamBytes) / h.LocalMemBandwidth * float64(time.Second))
+}
+
+// IterBreakdown is the Eq. (8) decomposition of one averaged training
+// iteration.
+type IterBreakdown struct {
+	// Iter is the wall-clock time of one iteration.
+	Iter time.Duration
+	// Comp is T_comp: forward + backward + gradient update.
+	Comp time.Duration
+	// Comm is the exposed communication time: Iter − Comp.
+	Comm time.Duration
+}
+
+// CommRatio returns communication share of the iteration (the percentage
+// the paper plots in Figs. 12–14).
+func (b IterBreakdown) CommRatio() float64 {
+	if b.Iter <= 0 {
+		return 0
+	}
+	return float64(b.Comm) / float64(b.Iter)
+}
+
+// TrainingTime scales an iteration time to a full run: images samples for
+// epochs epochs at the profile's batch size across workers GPUs.
+func TrainingTime(b IterBreakdown, p nn.Profile, images, epochs, workers int) time.Duration {
+	itersPerEpoch := images / (p.BatchSize * workers)
+	if itersPerEpoch < 1 {
+		itersPerEpoch = 1
+	}
+	return time.Duration(itersPerEpoch*epochs) * b.Iter
+}
+
+// ImageNetTrainSize is the ILSVRC-2012 training-set size the paper uses.
+const ImageNetTrainSize = 1281167
+
+// Eq8Components is the named decomposition of Eq. (8) for one uncontended
+// worker: T_iter = max(T_comp, T_wwi + T_ugw) + T_rgw + T_ulw.
+type Eq8Components struct {
+	Trgw time.Duration // read global weight (T1)
+	Tulw time.Duration // update local weight (T2/T5 flat-vector part)
+	Twwi time.Duration // write weight increment (T.A1)
+	Tugw time.Duration // update (accumulate) global weight (T.A3)
+	Comp time.Duration // forward+backward+gradient update (T4+T5)
+	Iter time.Duration // resulting iteration time
+}
+
+// Eq8Decompose evaluates every term of Eq. (8) for a model profile.
+func (h Hardware) Eq8Decompose(p nn.Profile) Eq8Components {
+	transfer := func(bytes float64) time.Duration {
+		bw := h.EffectiveHCA()
+		if h.PerFlowCap > 0 && h.PerFlowCap < bw {
+			bw = h.PerFlowCap
+		}
+		return h.HCALatency + time.Duration(bytes/bw*float64(time.Second))
+	}
+	c := Eq8Components{
+		Trgw: transfer(float64(p.ParamBytes)),
+		Tulw: h.localUpdateTime(p),
+		Twwi: transfer(float64(p.ParamBytes)),
+		Tugw: h.accumTime(p),
+		Comp: p.CompTime,
+	}
+	body := c.Comp
+	if hidden := c.Twwi + c.Tugw; hidden > body {
+		body = hidden
+	}
+	c.Iter = body + c.Trgw + c.Tulw
+	return c
+}
+
+// Eq8 is the paper's analytic iteration-time model:
+//
+//	T_iter = max(T_comp, T_wwi + T_ugw) + T_rgw + T_ulw
+//
+// computed for one isolated worker (no link contention). The discrete-event
+// simulations generalize it to many contending workers; tests verify they
+// agree in the single-worker case.
+func (h Hardware) Eq8(p nn.Profile) IterBreakdown {
+	c := h.Eq8Decompose(p)
+	return IterBreakdown{Iter: c.Iter, Comp: c.Comp, Comm: c.Iter - c.Comp}
+}

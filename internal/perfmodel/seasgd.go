@@ -1,0 +1,272 @@
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/simnet"
+)
+
+// cluster is the simulated testbed topology: one SMB-server HCA, one HCA
+// per GPU node.
+type cluster struct {
+	server *simnet.Link
+	nodes  []*simnet.Link
+}
+
+func buildCluster(hw Hardware, nNodes int) (*cluster, error) {
+	server, err := simnet.NewLink("smb-server-hca", hw.EffectiveHCA(), hw.HCALatency)
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{server: server}
+	for i := 0; i < nNodes; i++ {
+		l, err := simnet.NewLink(fmt.Sprintf("node%d-hca", i), hw.EffectiveHCA(), hw.HCALatency)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, l)
+	}
+	return c, nil
+}
+
+// nodesFor returns the node count hosting `workers` workers.
+func nodesFor(hw Hardware, workers int) int {
+	n := (workers + hw.GPUsPerNode - 1) / hw.GPUsPerNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// measureRun executes the simulation and converts per-worker completion
+// times into an averaged IterBreakdown.
+func measureRun(sim *simnet.Simulation, finish []time.Duration, iters int, comp time.Duration) (IterBreakdown, error) {
+	if err := sim.Run(); err != nil {
+		return IterBreakdown{}, err
+	}
+	var total time.Duration
+	for _, f := range finish {
+		total += f
+	}
+	iter := total / time.Duration(len(finish)*iters)
+	comm := iter - comp
+	if comm < 0 {
+		comm = 0
+	}
+	return IterBreakdown{Iter: iter, Comp: comp, Comm: comm}, nil
+}
+
+// SEASGDOptions select the design-point ablations of DESIGN.md §6.
+type SEASGDOptions struct {
+	// DisableOverlap pushes the increment inline (no update thread).
+	DisableOverlap bool
+	// HideGlobalRead moves the T1 read into the update thread (more
+	// staleness, less exposed time — the trade-off the paper rejects).
+	HideGlobalRead bool
+	// UpdateInterval is the iterations between global exchanges (≥1).
+	UpdateInterval int
+	// ClientSideRMW replaces the server-side Accumulate with a client
+	// read-modify-write of Wg: double the transfer volume plus a race
+	// window — the design point SMB's Accumulate verb eliminates.
+	ClientSideRMW bool
+}
+
+// SimulateSEASGD reproduces one ShmCaffe-A configuration: `workers` SEASGD
+// workers (4 per node) against one SMB server, running `iters` iterations
+// of the Fig. 6 loop. It returns the averaged per-iteration breakdown.
+func SimulateSEASGD(p nn.Profile, workers, iters int, hw Hardware) (IterBreakdown, error) {
+	return SimulateSEASGDOpts(p, workers, iters, hw, SEASGDOptions{UpdateInterval: 1})
+}
+
+// SimulateSEASGDOpts is SimulateSEASGD with explicit design-point options.
+func SimulateSEASGDOpts(p nn.Profile, workers, iters int, hw Hardware, opts SEASGDOptions) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if workers < 1 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: %d workers, %d iters", workers, iters)
+	}
+	if opts.UpdateInterval < 1 {
+		opts.UpdateInterval = 1
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, nodesFor(hw, workers))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	accSem := sim.NewSemaphore(1) // exclusive server-side accumulation
+	param := float64(p.ParamBytes)
+	tulw := hw.localUpdateTime(p)
+	tacc := hw.accumTime(p)
+	finish := make([]time.Duration, workers)
+
+	for w := 0; w < workers; w++ {
+		w := w
+		node := cl.nodes[w/hw.GPUsPerNode]
+		lock := sim.NewSemaphore(1) // Fig. 6 per-worker lock
+		pushQ := simnet.NewQueue[int](sim)
+
+		push := func(pr *simnet.Proc) {
+			// T.A1: write ΔWx.
+			pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+			if opts.ClientSideRMW {
+				// Ablation: the client must read Wg, add locally and
+				// write it back — double traffic under the exclusive
+				// section instead of a server-side add.
+				accSem.Acquire(pr)
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+				pr.Sleep(tulw)
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+				accSem.Release()
+			} else {
+				// T.A3: exclusive accumulate on the server.
+				accSem.Acquire(pr)
+				pr.Sleep(tacc)
+				accSem.Release()
+			}
+			if opts.HideGlobalRead {
+				// The update thread refreshes the cached Wg.
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+			}
+		}
+
+		sim.Go(fmt.Sprintf("worker%d-main", w), func(pr *simnet.Proc) {
+			for it := 0; it < iters; it++ {
+				if it%opts.UpdateInterval == 0 {
+					lock.Acquire(pr)
+					if !opts.HideGlobalRead {
+						// T1: read Wg.
+						pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+					}
+					// T2: elastic local update.
+					pr.Sleep(tulw)
+					lock.Release()
+					if opts.DisableOverlap {
+						lock.Acquire(pr)
+						push(pr)
+						lock.Release()
+					} else {
+						// T3: wake the update thread.
+						pushQ.Push(it)
+					}
+				}
+				// T4+T5: minibatch compute.
+				pr.Sleep(p.CompTime)
+			}
+			pushQ.Close()
+			finish[w] = pr.Now()
+		})
+		sim.Go(fmt.Sprintf("worker%d-upd", w), func(pr *simnet.Proc) {
+			for {
+				if _, ok := pushQ.Pop(pr); !ok {
+					return
+				}
+				lock.Acquire(pr)
+				push(pr)
+				lock.Release()
+			}
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}
+
+// SimulateHSGD reproduces one ShmCaffe-H configuration: groups of
+// synchronous workers (one group per node, NCCL ring over the node's PCIe)
+// whose roots run SEASGD against the SMB server. groupSizes lists the
+// member count of each group — e.g. Table III's 8(S4×A2) is
+// []int{4, 4}.
+func SimulateHSGD(p nn.Profile, groupSizes []int, iters int, hw Hardware) (IterBreakdown, error) {
+	if err := hw.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return IterBreakdown{}, err
+	}
+	if len(groupSizes) == 0 || iters < 1 {
+		return IterBreakdown{}, fmt.Errorf("perfmodel: %d groups, %d iters", len(groupSizes), iters)
+	}
+	sim := simnet.New()
+	cl, err := buildCluster(hw, len(groupSizes))
+	if err != nil {
+		return IterBreakdown{}, err
+	}
+	accSem := sim.NewSemaphore(1)
+	param := float64(p.ParamBytes)
+	tulw := hw.localUpdateTime(p)
+	tacc := hw.accumTime(p)
+
+	finish := make([]time.Duration, len(groupSizes))
+	for gi, size := range groupSizes {
+		gi, size := gi, size
+		if size < 1 {
+			return IterBreakdown{}, fmt.Errorf("perfmodel: group %d size %d", gi, size)
+		}
+		node := cl.nodes[gi]
+		pcie, err := simnet.NewLink(fmt.Sprintf("node%d-pcie", gi),
+			hw.NodePCIeBandwidth(size), 500*time.Nanosecond)
+		if err != nil {
+			return IterBreakdown{}, err
+		}
+		bar, err := sim.NewBarrier(size)
+		if err != nil {
+			return IterBreakdown{}, err
+		}
+		lock := sim.NewSemaphore(1)
+		pushQ := simnet.NewQueue[int](sim)
+
+		for m := 0; m < size; m++ {
+			m := m
+			sim.Go(fmt.Sprintf("g%dm%d", gi, m), func(pr *simnet.Proc) {
+				ringShare := 2 * float64(size-1) / float64(size) * param
+				for it := 0; it < iters; it++ {
+					// (1) Local gradient computation.
+					pr.Sleep(p.CompTime)
+					if size > 1 {
+						// (2) ncclAllReduce over the node PCIe.
+						pr.Transfer(ringShare, pcie)
+						bar.Wait(pr)
+					}
+					if m == 0 {
+						// (3) Root's SEASGD exchange (read exposed,
+						// push overlapped with the next compute).
+						lock.Acquire(pr)
+						pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+						pr.Sleep(tulw)
+						lock.Release()
+						pushQ.Push(it)
+						// (4) Broadcast W'grp to the group.
+						if size > 1 {
+							pr.Transfer(float64(size-1)*param, pcie)
+						}
+					}
+					if size > 1 {
+						bar.Wait(pr)
+					}
+				}
+				if m == 0 {
+					pushQ.Close()
+					finish[gi] = pr.Now()
+				}
+			})
+		}
+		sim.Go(fmt.Sprintf("g%d-upd", gi), func(pr *simnet.Proc) {
+			for {
+				if _, ok := pushQ.Pop(pr); !ok {
+					return
+				}
+				lock.Acquire(pr)
+				pr.TransferCapped(param, hw.PerFlowCap, node, cl.server)
+				accSem.Acquire(pr)
+				pr.Sleep(tacc)
+				accSem.Release()
+				lock.Release()
+			}
+		})
+	}
+	return measureRun(sim, finish, iters, p.CompTime)
+}

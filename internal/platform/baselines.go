@@ -1,0 +1,364 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"shmcaffe/internal/dataset"
+	"shmcaffe/internal/mpi"
+	"shmcaffe/internal/nccl"
+	"shmcaffe/internal/nn"
+	"shmcaffe/internal/tensor"
+)
+
+// workerSet is the common per-worker state of the synchronous baselines.
+type workerSet struct {
+	nets    []*nn.Network
+	solvers []*nn.SGDSolver
+	loaders []*dataset.Loader
+	iters   int // per-worker iterations total
+	perEp   int // per-worker iterations per epoch
+}
+
+// buildWorkers constructs identical replicas, disjoint shards and loaders.
+func buildWorkers(cfg *Config, label string) (*workerSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	set := &workerSet{
+		perEp: cfg.iterationsPerEpoch(),
+	}
+	set.iters = set.perEp * cfg.Epochs
+	for r := 0; r < cfg.Workers; r++ {
+		net, err := cfg.Model(fmt.Sprintf("%s-w%d", label, r))
+		if err != nil {
+			return nil, err
+		}
+		net.InitWeights(tensor.NewRNG(cfg.Seed)) // identical start
+		shard, err := dataset.NewShard(cfg.Train, r, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		loader, err := dataset.NewLoader(shard, cfg.BatchSize, cfg.Seed+uint64(r)*7919)
+		if err != nil {
+			return nil, err
+		}
+		set.nets = append(set.nets, net)
+		set.solvers = append(set.solvers, nn.NewSGDSolver(net, cfg.Solver))
+		set.loaders = append(set.loaders, loader)
+	}
+	return set, nil
+}
+
+// collectCurve assembles the epoch curve recorded by worker 0.
+type curveRecorder struct {
+	eval        *evaluator
+	perEp       int
+	epochLoss   []float64
+	curve       []EpochPoint
+	lastWeights []float32
+}
+
+func (r *curveRecorder) record(iter int, loss float64, weights []float32) error {
+	r.epochLoss = append(r.epochLoss, loss)
+	if (iter+1)%r.perEp != 0 {
+		return nil
+	}
+	valLoss, acc, err := r.eval.score(weights)
+	if err != nil {
+		return err
+	}
+	if r.lastWeights == nil {
+		r.lastWeights = make([]float32, len(weights))
+	}
+	copy(r.lastWeights, weights)
+	r.curve = append(r.curve, EpochPoint{
+		Epoch:     (iter + 1) / r.perEp,
+		TrainLoss: meanTail(r.epochLoss, r.perEp),
+		ValLoss:   valLoss,
+		Accuracy:  acc,
+	})
+	return nil
+}
+
+func (r *curveRecorder) result(name string, workers, iters int) *Result {
+	res := &Result{
+		Platform:     name,
+		Workers:      workers,
+		Curve:        r.curve,
+		Iterations:   iters,
+		FinalWeights: r.lastWeights,
+	}
+	if len(r.curve) > 0 {
+		last := r.curve[len(r.curve)-1]
+		res.FinalAcc = last.Accuracy
+		res.FinalLoss = last.ValLoss
+	}
+	return res
+}
+
+// Caffe is BVLC Caffe: single-node SSGD over the node's GPUs with NCCL
+// allreduce (paper: "If a multi-GPU setting is used, SSGD is implemented
+// using NCCL Allreduce").
+type Caffe struct{}
+
+var _ Trainer = Caffe{}
+
+// Name implements Trainer.
+func (Caffe) Name() string { return "Caffe" }
+
+// Train implements Trainer.
+func (Caffe) Train(cfg Config) (*Result, error) {
+	set, err := buildWorkers(&cfg, "caffe")
+	if err != nil {
+		return nil, err
+	}
+	eval, err := newEvaluator(&cfg, "caffe-eval")
+	if err != nil {
+		return nil, err
+	}
+	group, err := nccl.NewGroup(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rec := &curveRecorder{eval: eval, perEp: set.perEp}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := set.nets[r]
+			grads := make([]float32, net.NumParams())
+			weights := make([]float32, net.NumParams())
+			for iter := 0; iter < set.iters; iter++ {
+				b := set.loaders[r].Next()
+				net.ZeroGrads()
+				loss, _, err := net.TrainStep(b.X, b.Labels)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				net.FlatGrads(grads)
+				if err := group.AllReduceMean(r, grads); err != nil {
+					errs[r] = err
+					return
+				}
+				if err := net.SetFlatGrads(grads); err != nil {
+					errs[r] = err
+					return
+				}
+				set.solvers[r].ApplyUpdate()
+				if r == 0 {
+					net.FlatWeights(weights)
+					if err := rec.record(iter, loss, weights); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rec.result("Caffe", cfg.Workers, set.iters), nil
+}
+
+// CaffeMPI is Inspur Caffe-MPI: star topology. The master gathers gradients
+// from all slaves (MPI_Send/MPI_Recv in the original; Gather here), takes
+// the average, updates the master weights, and distributes them back.
+type CaffeMPI struct{}
+
+var _ Trainer = CaffeMPI{}
+
+// Name implements Trainer.
+func (CaffeMPI) Name() string { return "Caffe-MPI" }
+
+// Train implements Trainer.
+func (CaffeMPI) Train(cfg Config) (*Result, error) {
+	set, err := buildWorkers(&cfg, "caffempi")
+	if err != nil {
+		return nil, err
+	}
+	eval, err := newEvaluator(&cfg, "caffempi-eval")
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rec := &curveRecorder{eval: eval, perEp: set.perEp}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = caffeMPIWorker(&cfg, set, world, r, rec)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rec.result("Caffe-MPI", cfg.Workers, set.iters), nil
+}
+
+func caffeMPIWorker(cfg *Config, set *workerSet, world *mpi.World, r int, rec *curveRecorder) error {
+	comm, err := world.Comm(r)
+	if err != nil {
+		return err
+	}
+	net := set.nets[r]
+	elems := net.NumParams()
+	grads := make([]float32, elems)
+	for iter := 0; iter < set.iters; iter++ {
+		b := set.loaders[r].Next()
+		net.ZeroGrads()
+		loss, _, err := net.TrainStep(b.X, b.Labels)
+		if err != nil {
+			return err
+		}
+		net.FlatGrads(grads)
+		// Slaves send gradients to the master; the master averages,
+		// updates its weights, and broadcasts them.
+		gathered, err := comm.Gather(0, tensor.Float32Bytes(grads))
+		if err != nil {
+			return err
+		}
+		if r == 0 {
+			avg := make([]float32, elems)
+			tmp := make([]float32, elems)
+			for _, buf := range gathered {
+				if err := tensor.DecodeFloat32(buf, tmp); err != nil {
+					return err
+				}
+				tensor.AxpySlice(1, tmp, avg)
+			}
+			inv := 1 / float32(cfg.Workers)
+			for i := range avg {
+				avg[i] *= inv
+			}
+			if err := net.SetFlatGrads(avg); err != nil {
+				return err
+			}
+			set.solvers[0].ApplyUpdate()
+		}
+		// Master distributes the updated master weights to the slaves.
+		var wbuf []byte
+		if r == 0 {
+			wbuf = tensor.Float32Bytes(net.FlatWeights(nil))
+		}
+		out, err := comm.Bcast(0, wbuf)
+		if err != nil {
+			return err
+		}
+		if r != 0 {
+			w := make([]float32, elems)
+			if err := tensor.DecodeFloat32(out, w); err != nil {
+				return err
+			}
+			if err := net.SetFlatWeights(w); err != nil {
+				return err
+			}
+		}
+		if r == 0 {
+			if err := rec.record(iter, loss, net.FlatWeights(nil)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MPICaffe is the authors' comparison baseline: SSGD where every worker
+// aggregates gradients with MPI_Allreduce and applies the same update.
+type MPICaffe struct{}
+
+var _ Trainer = MPICaffe{}
+
+// Name implements Trainer.
+func (MPICaffe) Name() string { return "MPICaffe" }
+
+// Train implements Trainer.
+func (MPICaffe) Train(cfg Config) (*Result, error) {
+	set, err := buildWorkers(&cfg, "mpicaffe")
+	if err != nil {
+		return nil, err
+	}
+	eval, err := newEvaluator(&cfg, "mpicaffe-eval")
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rec := &curveRecorder{eval: eval, perEp: set.perEp}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comm, err := world.Comm(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			net := set.nets[r]
+			grads := make([]float32, net.NumParams())
+			weights := make([]float32, net.NumParams())
+			inv := 1 / float32(cfg.Workers)
+			for iter := 0; iter < set.iters; iter++ {
+				b := set.loaders[r].Next()
+				net.ZeroGrads()
+				loss, _, err := net.TrainStep(b.X, b.Labels)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				net.FlatGrads(grads)
+				if err := comm.AllreduceSum(grads); err != nil {
+					errs[r] = err
+					return
+				}
+				for i := range grads {
+					grads[i] *= inv
+				}
+				if err := net.SetFlatGrads(grads); err != nil {
+					errs[r] = err
+					return
+				}
+				set.solvers[r].ApplyUpdate()
+				if r == 0 {
+					net.FlatWeights(weights)
+					if err := rec.record(iter, loss, weights); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rec.result("MPICaffe", cfg.Workers, set.iters), nil
+}

@@ -1,0 +1,112 @@
+// Package ps implements a classic parameter server with the two update
+// disciplines the paper's related-work section builds on:
+//
+//   - ASGD (Downpour-style): workers push raw gradients; the server applies
+//     them to the global weight as they arrive.
+//   - EASGD (Zhang et al.): workers exchange weight vectors with the
+//     server; both sides move toward each other by α·(x − x̃)
+//     (paper Eqs. 3 and 4).
+//
+// ShmCaffe's contribution is precisely the removal of this component: the
+// SMB server stores bytes and accumulates, with the update logic moved to
+// the workers (Eqs. 5–7). This package exists (a) as the baseline that
+// motivates that design and (b) as the reference implementation that
+// SEASGD must agree with in the contention-free case — a property the
+// tests check bit-for-bit.
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSize is returned when a worker's vector does not match the server's.
+var ErrSize = errors.New("ps: vector size mismatch")
+
+// Server is an in-memory parameter server. All methods are safe for
+// concurrent use; each update runs atomically under the server lock, the
+// consistency model of a single-shard parameter server.
+type Server struct {
+	mu      sync.Mutex
+	weights []float32
+	pushes  int64
+	pulls   int64
+}
+
+// NewServer returns a server initialized with a copy of init.
+func NewServer(init []float32) *Server {
+	w := make([]float32, len(init))
+	copy(w, init)
+	return &Server{weights: w}
+}
+
+// Len returns the weight vector length.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.weights)
+}
+
+// Pull copies the current global weights into dst.
+func (s *Server) Pull(dst []float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(dst) != len(s.weights) {
+		return fmt.Errorf("pull %d of %d: %w", len(dst), len(s.weights), ErrSize)
+	}
+	copy(dst, s.weights)
+	s.pulls++
+	return nil
+}
+
+// PushGradient applies an ASGD update: w ← w − lr·g, atomically.
+func (s *Server) PushGradient(grad []float32, lr float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(grad) != len(s.weights) {
+		return fmt.Errorf("push %d of %d: %w", len(grad), len(s.weights), ErrSize)
+	}
+	l := float32(lr)
+	for i, g := range grad {
+		s.weights[i] -= l * g
+	}
+	s.pushes++
+	return nil
+}
+
+// ElasticExchange performs one EASGD round trip (Eqs. 3+4): given the
+// worker's local weights, it computes e = α·(local − global), applies
+// local ← local − e (mutating the caller's slice: Eq. 3) and
+// global ← global + e (Eq. 4), atomically.
+func (s *Server) ElasticExchange(local []float32, alpha float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(local) != len(s.weights) {
+		return fmt.Errorf("exchange %d of %d: %w", len(local), len(s.weights), ErrSize)
+	}
+	a := float32(alpha)
+	for i := range local {
+		e := a * (local[i] - s.weights[i])
+		local[i] -= e
+		s.weights[i] += e
+	}
+	s.pushes++
+	return nil
+}
+
+// Stats reports the operation counters.
+func (s *Server) Stats() (pushes, pulls int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes, s.pulls
+}
+
+// Snapshot returns a copy of the global weights.
+func (s *Server) Snapshot() []float32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float32, len(s.weights))
+	copy(out, s.weights)
+	return out
+}

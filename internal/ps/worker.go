@@ -1,0 +1,177 @@
+package ps
+
+import (
+	"fmt"
+	"runtime"
+
+	"shmcaffe/internal/dataset"
+	"shmcaffe/internal/nn"
+)
+
+// WorkerConfig configures one parameter-server training worker.
+type WorkerConfig struct {
+	// Server is the shared parameter server.
+	Server *Server
+	// Net is the worker's model replica.
+	Net *nn.Network
+	// Solver configures local SGD (EASGD mode) or supplies the learning
+	// rate schedule (ASGD mode).
+	Solver nn.SolverConfig
+	// Loader provides the worker's shard.
+	Loader *dataset.Loader
+	// MaxIterations is the iteration budget.
+	MaxIterations int
+	// Alpha is the EASGD moving rate (EASGD mode only).
+	Alpha float64
+	// ExchangeEvery is the EASGD communication period τ (≥1).
+	ExchangeEvery int
+	// FetchEvery / PushEvery are the Downpour n_fetch / n_push knobs
+	// (ASGD mode): pull the global weights every FetchEvery iterations
+	// and push accumulated gradients every PushEvery iterations,
+	// trading staleness for parameter-server traffic (DistBelief §4.1).
+	// Both default to 1.
+	FetchEvery int
+	PushEvery  int
+}
+
+// Validate checks the configuration.
+func (c *WorkerConfig) Validate() error {
+	if c.Server == nil || c.Net == nil || c.Loader == nil {
+		return fmt.Errorf("ps: worker needs server, net and loader")
+	}
+	if c.Server.Len() != c.Net.NumParams() {
+		return fmt.Errorf("ps: server holds %d params, net has %d: %w",
+			c.Server.Len(), c.Net.NumParams(), ErrSize)
+	}
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("ps: max iterations %d < 1", c.MaxIterations)
+	}
+	if err := c.Solver.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats reports one parameter-server worker's outcome.
+type Stats struct {
+	Iterations  int
+	LossHistory []float64
+}
+
+// RunASGD trains with Downpour-style asynchronous SGD: pull the global
+// weights every n_fetch iterations, accumulate local gradients, and push
+// them every n_push iterations — the staleness-prone discipline ShmCaffe's
+// elastic averaging improves on. With both knobs at 1 it is the classic
+// pull/compute/push loop.
+func RunASGD(cfg WorkerConfig) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FetchEvery < 1 {
+		cfg.FetchEvery = 1
+	}
+	if cfg.PushEvery < 1 {
+		cfg.PushEvery = 1
+	}
+	elems := cfg.Net.NumParams()
+	weights := make([]float32, elems)
+	grads := make([]float32, elems)
+	acc := make([]float32, elems)
+	stats := &Stats{}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if iter%cfg.FetchEvery == 0 {
+			if err := cfg.Server.Pull(weights); err != nil {
+				return nil, err
+			}
+			if err := cfg.Net.SetFlatWeights(weights); err != nil {
+				return nil, err
+			}
+		}
+		b := cfg.Loader.Next()
+		cfg.Net.ZeroGrads()
+		loss, _, err := cfg.Net.TrainStep(b.X, b.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("ps asgd iter %d: %w", iter, err)
+		}
+		cfg.Net.FlatGrads(grads)
+		for i, g := range grads {
+			acc[i] += g
+		}
+		// Between pushes the replica advances locally so the accumulated
+		// gradient reflects fresh weights, as Downpour does.
+		if err := applyLocal(cfg.Net, grads, cfg.Solver.LearningRate(iter)); err != nil {
+			return nil, err
+		}
+		if (iter+1)%cfg.PushEvery == 0 {
+			if err := cfg.Server.PushGradient(acc, cfg.Solver.LearningRate(iter)); err != nil {
+				return nil, err
+			}
+			for i := range acc {
+				acc[i] = 0
+			}
+		}
+		stats.LossHistory = append(stats.LossHistory, loss)
+		stats.Iterations++
+		runtime.Gosched()
+	}
+	return stats, nil
+}
+
+// applyLocal performs a plain SGD step on the replica's flat weights.
+func applyLocal(net *nn.Network, grads []float32, lr float64) error {
+	w := net.FlatWeights(nil)
+	l := float32(lr)
+	for i := range w {
+		w[i] -= l * grads[i]
+	}
+	return net.SetFlatWeights(w)
+}
+
+// RunEASGD trains with classic elastic averaging SGD: local momentum SGD
+// plus a periodic elastic exchange with the server (Eqs. 2–4). SEASGD is
+// this algorithm with the server replaced by a dumb accumulate buffer;
+// the package tests assert the two agree exactly when uncontended.
+func RunEASGD(cfg WorkerConfig) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("ps: easgd alpha %v outside (0,1)", cfg.Alpha)
+	}
+	if cfg.ExchangeEvery < 1 {
+		cfg.ExchangeEvery = 1
+	}
+	elems := cfg.Net.NumParams()
+	local := make([]float32, elems)
+	solver := nn.NewSGDSolver(cfg.Net, cfg.Solver)
+	stats := &Stats{}
+
+	// Start from the server's weights, as SEASGD workers start from Wg.
+	if err := cfg.Server.Pull(local); err != nil {
+		return nil, err
+	}
+	if err := cfg.Net.SetFlatWeights(local); err != nil {
+		return nil, err
+	}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if iter%cfg.ExchangeEvery == 0 {
+			cfg.Net.FlatWeights(local)
+			if err := cfg.Server.ElasticExchange(local, cfg.Alpha); err != nil {
+				return nil, err
+			}
+			if err := cfg.Net.SetFlatWeights(local); err != nil {
+				return nil, err
+			}
+		}
+		b := cfg.Loader.Next()
+		loss, err := solver.Step(b.X, b.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("ps easgd iter %d: %w", iter, err)
+		}
+		stats.LossHistory = append(stats.LossHistory, loss)
+		stats.Iterations++
+		runtime.Gosched()
+	}
+	return stats, nil
+}

@@ -1,0 +1,362 @@
+package rds
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+// memNet is an in-memory datagram network with configurable loss,
+// duplication and reordering — the adversarial substrate for the ARQ tests.
+type memNet struct {
+	mu      sync.Mutex
+	sockets map[string]*memSocket
+	rng     *tensor.RNG
+	// lossEvery drops every n-th packet (0 disables); dupEvery duplicates.
+	lossEvery int
+	dupEvery  int
+	counter   int
+}
+
+func newMemNet(seed uint64) *memNet {
+	return &memNet{sockets: make(map[string]*memSocket), rng: tensor.NewRNG(seed)}
+}
+
+type memPacket struct {
+	from string
+	data []byte
+}
+
+type memSocket struct {
+	net    *memNet
+	addr   string
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []memPacket
+	closed bool
+}
+
+var _ PacketIO = (*memSocket)(nil)
+
+func (n *memNet) socket(addr string) *memSocket {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := &memSocket{net: n, addr: addr}
+	s.cond = sync.NewCond(&s.mu)
+	n.sockets[addr] = s
+	return s
+}
+
+func (s *memSocket) WriteTo(b []byte, addr string) error {
+	s.net.mu.Lock()
+	dst := s.net.sockets[addr]
+	s.net.counter++
+	drop := s.net.lossEvery > 0 && s.net.counter%s.net.lossEvery == 0
+	dup := s.net.dupEvery > 0 && s.net.counter%s.net.dupEvery == 0
+	s.net.mu.Unlock()
+	if dst == nil || drop {
+		return nil // silently lost
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	dst.mu.Lock()
+	dst.queue = append(dst.queue, memPacket{from: s.addr, data: cp})
+	if dup {
+		dst.queue = append(dst.queue, memPacket{from: s.addr, data: cp})
+	}
+	dst.cond.Broadcast()
+	dst.mu.Unlock()
+	return nil
+}
+
+func (s *memSocket) ReadFrom(b []byte) (int, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return 0, "", ErrClosed
+	}
+	p := s.queue[0]
+	s.queue = s.queue[1:]
+	n := copy(b, p.data)
+	return n, p.from, nil
+}
+
+func (s *memSocket) LocalAddr() string { return s.addr }
+
+func (s *memSocket) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// pair builds two connected endpoints over a memNet.
+func pair(t *testing.T, net *memNet) (client, server *Endpoint) {
+	t.Helper()
+	server = NewEndpoint(net.socket("server"))
+	client = NewEndpoint(net.socket("client"))
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	client, server := pair(t, newMemNet(1))
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			conn, err := server.Accept()
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, 5)
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return err
+			}
+			_, err = conn.Write(bytes.ToUpper(buf))
+			return err
+		}()
+	}()
+	conn, err := client.Dial("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Fatalf("echo %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBulkTransferUnderLoss is the ARQ's load-bearing test: a multi-window
+// transfer over a network dropping every 7th packet and duplicating every
+// 11th must arrive intact and in order.
+func TestBulkTransferUnderLoss(t *testing.T) {
+	net := newMemNet(2)
+	net.lossEvery = 7
+	net.dupEvery = 11
+	client, server := pair(t, net)
+
+	const size = 800 * 1024 // ≈50 windows of 16 KiB packets
+	payload := make([]byte, size)
+	rng := tensor.NewRNG(3)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+
+	received := make(chan []byte, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := server.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			errCh <- err
+			return
+		}
+		received <- buf
+	}()
+	conn, err := client.Dial("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case got := <-received:
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload corrupted by lossy transfer")
+		}
+	}
+}
+
+func TestBidirectionalConcurrent(t *testing.T) {
+	net := newMemNet(4)
+	net.lossEvery = 9
+	client, server := pair(t, net)
+
+	const n = 64 * 1024
+	serverDone := make(chan error, 1)
+	go func() {
+		serverDone <- func() error {
+			conn, err := server.Accept()
+			if err != nil {
+				return err
+			}
+			var wg sync.WaitGroup
+			var werr, rerr error
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				out := bytes.Repeat([]byte{'s'}, n)
+				_, werr = conn.Write(out)
+			}()
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, n)
+				_, rerr = io.ReadFull(conn, buf)
+				if rerr == nil && buf[0] != 'c' {
+					rerr = fmt.Errorf("wrong byte %c", buf[0])
+				}
+			}()
+			wg.Wait()
+			if werr != nil {
+				return werr
+			}
+			return rerr
+		}()
+	}()
+
+	conn, err := client.Dial("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var werr, rerr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, werr = conn.Write(bytes.Repeat([]byte{'c'}, n))
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, n)
+		_, rerr = io.ReadFull(conn, buf)
+		if rerr == nil && buf[n-1] != 's' {
+			rerr = fmt.Errorf("wrong byte %c", buf[n-1])
+		}
+	}()
+	wg.Wait()
+	if werr != nil || rerr != nil {
+		t.Fatal(werr, rerr)
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	client, server := pair(t, newMemNet(5))
+	acceptCh := make(chan *Conn, 1)
+	go func() {
+		c, err := server.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	conn, err := client.Dial("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sconn := <-acceptCh
+	conn.Close()
+	buf := make([]byte, 1)
+	if _, err := sconn.Read(buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF after peer close, got %v", err)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed on write after close, got %v", err)
+	}
+}
+
+func TestDialTimeoutWhenPeerAbsent(t *testing.T) {
+	net := newMemNet(6)
+	client := NewEndpoint(net.socket("client"))
+	defer client.Close()
+	if _, err := client.Dial("nobody"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestPacketCodecRoundTrip(t *testing.T) {
+	pkt := encodePacket(pktDATA, 42, []byte("abc"))
+	typ, seq, payload, err := decodePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != pktDATA || seq != 42 || string(payload) != "abc" {
+		t.Fatalf("decoded %d %d %q", typ, seq, payload)
+	}
+	if _, _, _, err := decodePacket([]byte{1, 2}); err == nil {
+		t.Fatal("expected error for short packet")
+	}
+	truncated := encodePacket(pktDATA, 1, []byte("abcdef"))[:headerSize+2]
+	if _, _, _, err := decodePacket(truncated); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestUDPIntegration(t *testing.T) {
+	server, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const size = 256 * 1024
+	payload := make([]byte, size)
+	rng := tensor.NewRNG(7)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	errCh := make(chan error, 1)
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := server.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			errCh <- err
+			return
+		}
+		got <- buf
+	}()
+	conn, err := client.Dial(server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case buf := <-got:
+		if !bytes.Equal(buf, payload) {
+			t.Fatal("UDP transfer corrupted")
+		}
+	}
+}

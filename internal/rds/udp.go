@@ -1,0 +1,52 @@
+package rds
+
+import (
+	"fmt"
+	"net"
+)
+
+// udpIO adapts a UDP socket to PacketIO.
+type udpIO struct {
+	conn *net.UDPConn
+}
+
+var _ PacketIO = (*udpIO)(nil)
+
+// ListenUDP binds a datagram socket and returns its endpoint.
+// Use addr "127.0.0.1:0" for an ephemeral port.
+func ListenUDP(addr string) (*Endpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rds resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("rds listen %s: %w", addr, err)
+	}
+	return NewEndpoint(&udpIO{conn: conn}), nil
+}
+
+// WriteTo implements PacketIO.
+func (u *udpIO) WriteTo(b []byte, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	_, err = u.conn.WriteToUDP(b, ua)
+	return err
+}
+
+// ReadFrom implements PacketIO.
+func (u *udpIO) ReadFrom(b []byte) (int, string, error) {
+	n, from, err := u.conn.ReadFromUDP(b)
+	if err != nil {
+		return 0, "", err
+	}
+	return n, from.String(), nil
+}
+
+// LocalAddr implements PacketIO.
+func (u *udpIO) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// Close implements PacketIO.
+func (u *udpIO) Close() error { return u.conn.Close() }

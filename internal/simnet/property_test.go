@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Property: a single link never moves bytes faster than its capacity —
+// for any random set of flows, total bytes / makespan ≤ bandwidth (within
+// float tolerance), and the simulation is deterministic.
+func TestLinkCapacityNeverExceeded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		bw := 1e8 + rng.Float64()*1e9
+
+		run := func() (time.Duration, float64) {
+			s := New()
+			link, err := NewLink("l", bw, 0)
+			if err != nil {
+				return 0, 0
+			}
+			total := 0.0
+			for i := 0; i < n; i++ {
+				bytes := 1e6 + rng.Float64()*1e8
+				delay := time.Duration(rng.Intn(1000)) * time.Microsecond
+				total += bytes
+				s.Go("w", func(p *Proc) {
+					p.Sleep(delay)
+					p.Transfer(bytes, link)
+				})
+			}
+			if err := s.Run(); err != nil {
+				return 0, 0
+			}
+			return s.Now(), total
+		}
+		elapsed, total := run()
+		if elapsed <= 0 {
+			return false
+		}
+		rate := total / elapsed.Seconds()
+		return rate <= bw*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulation is deterministic — same program, same virtual
+// end time, every time.
+func TestSimulationDeterministic(t *testing.T) {
+	build := func() *Simulation {
+		s := New()
+		link, _ := NewLink("l", 1e9, time.Microsecond)
+		sem := s.NewSemaphore(1)
+		for i := 0; i < 6; i++ {
+			i := i
+			s.Go("w", func(p *Proc) {
+				p.Sleep(time.Duration(i) * time.Millisecond)
+				sem.Acquire(p)
+				p.Transfer(1e7*float64(i+1), link)
+				sem.Release()
+			})
+		}
+		return s
+	}
+	s1 := build()
+	if err := s1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := build()
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Now() != s2.Now() {
+		t.Fatalf("nondeterministic: %v vs %v", s1.Now(), s2.Now())
+	}
+}
+
+// Property: makespan of serialized (semaphore-guarded) sleeps equals the
+// sum of durations, regardless of start order.
+func TestSemaphoreSerializationExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(8)
+		s := New()
+		sem := s.NewSemaphore(1)
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			d := time.Duration(1+rng.Intn(1000)) * time.Microsecond
+			total += d
+			s.Go("w", func(p *Proc) {
+				sem.Acquire(p)
+				p.Sleep(d)
+				sem.Release()
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return s.Now() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package simnet is a deterministic discrete-event network/compute fabric.
+// It substitutes for the paper's physical testbed (56 Gbps FDR Infiniband,
+// PCIe buses, GPUs): processes are cooperative coroutines that sleep for
+// compute durations and move bytes through links; concurrent transfers share
+// link bandwidth max-min fairly. All timing experiments (Figs. 7, 9, 10,
+// 12–15) run on this fabric in virtual time, so they are exact, repeatable,
+// and finish in milliseconds of wall clock.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Link is one shared transmission resource: an HCA port, a switch hop, or a
+// PCIe bus. Bandwidth is in bytes per second of payload after protocol
+// efficiency; Latency is the one-way propagation+setup delay added once per
+// transfer crossing the link.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes/sec
+	Latency   time.Duration
+}
+
+// NewLink validates and returns a link.
+func NewLink(name string, bandwidth float64, latency time.Duration) (*Link, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("simnet: link %q bandwidth %v must be positive", name, bandwidth)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("simnet: link %q negative latency", name)
+	}
+	return &Link{Name: name, Bandwidth: bandwidth, Latency: latency}, nil
+}
+
+// flow is one in-flight transfer.
+type flow struct {
+	proc      *Proc
+	links     []*Link
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, recomputed on any flow-set change
+	maxRate   float64 // per-flow cap (0 = uncapped)
+	seq       int64
+}
+
+// yieldKind tells the scheduler why a process stopped running.
+type yieldKind int
+
+const (
+	yieldSleep yieldKind = iota + 1
+	yieldTransfer
+	yieldDone
+	yieldSpawn
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	proc  *Proc
+	until time.Duration // for yieldSleep: absolute wake time
+	fl    *flow         // for yieldTransfer
+	child *Proc         // for yieldSpawn
+}
+
+// Proc is one simulated process (a worker's main thread, an update thread,
+// an SMB server loop...). Its methods may only be called from inside the
+// process function itself.
+type Proc struct {
+	id     int
+	name   string
+	sim    *Simulation
+	resume chan struct{}
+	fn     func(*Proc)
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Sleep advances the process by d of virtual time (e.g., a GPU compute
+// phase).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.yield <- yieldMsg{kind: yieldSleep, proc: p, until: p.sim.now + d}
+	<-p.resume
+}
+
+// Transfer moves bytes across the given links, blocking in virtual time
+// until the transfer completes. The transfer shares each link's bandwidth
+// max-min fairly with every other in-flight transfer.
+func (p *Proc) Transfer(bytes float64, links ...*Link) {
+	p.TransferCapped(bytes, 0, links...)
+}
+
+// TransferCapped is Transfer with a per-flow rate cap in bytes/sec
+// (0 = uncapped). The cap models per-connection limits such as a single
+// RDMA queue pair's message-rate ceiling.
+func (p *Proc) TransferCapped(bytes, maxRate float64, links ...*Link) {
+	if len(links) == 0 {
+		panic("simnet: transfer without links")
+	}
+	var latency time.Duration
+	for _, l := range links {
+		latency += l.Latency
+	}
+	if latency > 0 {
+		p.Sleep(latency)
+	}
+	if bytes <= 0 {
+		return
+	}
+	f := &flow{
+		proc:      p,
+		links:     links,
+		remaining: bytes,
+		maxRate:   maxRate,
+		seq:       p.sim.nextSeq(),
+	}
+	p.sim.yield <- yieldMsg{kind: yieldTransfer, proc: p, fl: f}
+	<-p.resume
+}
+
+// Spawn starts a child process that joins the simulation immediately. Use
+// it for dynamically created workers (e.g., per-request server handlers).
+func (p *Proc) Spawn(name string, fn func(*Proc)) {
+	child := p.sim.newProc(name, fn)
+	p.sim.yield <- yieldMsg{kind: yieldSpawn, proc: p, child: child}
+	<-p.resume
+}
+
+// timer is a pending sleep wake-up.
+type timer struct {
+	at   time.Duration
+	seq  int64
+	proc *Proc
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulation owns virtual time and the event loop. Create with New, add
+// root processes with Go, then call Run from a single goroutine.
+type Simulation struct {
+	now    time.Duration
+	seq    int64
+	yield  chan yieldMsg
+	ready  []*Proc
+	timers timerHeap
+	flows  []*flow
+	nProcs int
+}
+
+// New returns an empty simulation at time zero.
+func New() *Simulation {
+	return &Simulation{yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+func (s *Simulation) nextSeq() int64 {
+	s.seq++
+	return s.seq
+}
+
+func (s *Simulation) newProc(name string, fn func(*Proc)) *Proc {
+	s.nProcs++
+	return &Proc{
+		id:     s.nProcs,
+		name:   name,
+		sim:    s,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+}
+
+// Go registers a root process. Must be called before Run.
+func (s *Simulation) Go(name string, fn func(*Proc)) {
+	p := s.newProc(name, fn)
+	s.ready = append(s.ready, p)
+}
+
+// Run executes the simulation until every process has finished. It returns
+// an error if processes remain blocked with no pending events (a virtual
+// deadlock, which indicates a bug in the modeled protocol).
+func (s *Simulation) Run() error {
+	live := 0
+	for {
+		// Run every ready process until it blocks.
+		for len(s.ready) > 0 {
+			p := s.ready[0]
+			s.ready = s.ready[1:]
+			if p.fn != nil {
+				// First activation: start the goroutine.
+				fn := p.fn
+				p.fn = nil
+				live++
+				go func(p *Proc, fn func(*Proc)) {
+					<-p.resume
+					fn(p)
+					s.yield <- yieldMsg{kind: yieldDone, proc: p}
+				}(p, fn)
+			}
+			p.resume <- struct{}{}
+			s.handleYields(&live)
+		}
+		if live == 0 && len(s.timers) == 0 && len(s.flows) == 0 {
+			return nil
+		}
+		if err := s.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// handleYields receives one yield from the currently running process and
+// applies it. Spawn keeps the same process running after registering the
+// child, so it loops until the process genuinely blocks or finishes.
+// The return value reports whether the process finished.
+func (s *Simulation) handleYields(live *int) bool {
+	for {
+		msg := <-s.yield
+		switch msg.kind {
+		case yieldSleep:
+			heap.Push(&s.timers, timer{at: msg.until, seq: s.nextSeq(), proc: msg.proc})
+			return false
+		case yieldTransfer:
+			s.flows = append(s.flows, msg.fl)
+			s.recomputeRates()
+			return false
+		case yieldSpawn:
+			s.ready = append(s.ready, msg.child)
+			msg.proc.resume <- struct{}{}
+			// The spawning process keeps running; wait for its next yield.
+		case yieldDone:
+			*live--
+			return true
+		case yieldBlock:
+			// Parked on a synchronization primitive, which holds the
+			// reference and will unblock it.
+			return false
+		default:
+			panic("simnet: unknown yield kind")
+		}
+	}
+}
+
+// advance moves virtual time to the next event (timer expiry or flow
+// completion) and readies the unblocked processes.
+func (s *Simulation) advance() error {
+	next := time.Duration(math.MaxInt64)
+	if len(s.timers) > 0 && s.timers[0].at < next {
+		next = s.timers[0].at
+	}
+	for _, f := range s.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		fin := s.now + time.Duration(f.remaining/f.rate*float64(time.Second))
+		if fin <= s.now {
+			fin = s.now + 1 // guarantee progress at nanosecond granularity
+		}
+		if fin < next {
+			next = fin
+		}
+	}
+	if next == time.Duration(math.MaxInt64) {
+		return fmt.Errorf("simnet: deadlock at %v: no pending events but work remains", s.now)
+	}
+
+	// Drain flow progress over [now, next].
+	dt := (next - s.now).Seconds()
+	s.now = next
+	var stillActive []*flow
+	var completed []*flow
+	for _, f := range s.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining <= 1e-9 {
+			completed = append(completed, f)
+		} else {
+			stillActive = append(stillActive, f)
+		}
+	}
+	s.flows = stillActive
+	if len(completed) > 0 {
+		s.recomputeRates()
+	}
+
+	// Expire timers (deterministic order: heap order is (time, seq)).
+	for len(s.timers) > 0 && s.timers[0].at <= s.now {
+		t := heap.Pop(&s.timers).(timer)
+		s.ready = append(s.ready, t.proc)
+	}
+	// Completed flows wake after timers at the same instant; order among
+	// them follows flow seq (creation order).
+	for _, f := range completed {
+		s.ready = append(s.ready, f.proc)
+	}
+	return nil
+}
+
+// recomputeRates runs progressive filling (water-filling) to assign each
+// active flow its max-min fair rate, honoring per-flow caps.
+func (s *Simulation) recomputeRates() {
+	type linkState struct {
+		cap   float64
+		count int
+	}
+	states := make(map[*Link]*linkState)
+	unsat := make([]*flow, 0, len(s.flows))
+	for _, f := range s.flows {
+		f.rate = 0
+		unsat = append(unsat, f)
+		for _, l := range f.links {
+			st, ok := states[l]
+			if !ok {
+				st = &linkState{cap: l.Bandwidth}
+				states[l] = st
+			}
+			st.count++
+		}
+	}
+	for len(unsat) > 0 {
+		// Bottleneck share: the smallest of per-link fair shares and
+		// per-flow caps among unsaturated flows.
+		share := math.MaxFloat64
+		for _, st := range states {
+			if st.count > 0 {
+				if fs := st.cap / float64(st.count); fs < share {
+					share = fs
+				}
+			}
+		}
+		// A capped flow below the link share saturates at its cap first.
+		capLimited := false
+		for _, f := range unsat {
+			if f.maxRate > 0 && f.maxRate < share {
+				share = f.maxRate
+				capLimited = true
+			}
+		}
+		if share <= 0 || share == math.MaxFloat64 {
+			break
+		}
+		var still []*flow
+		fixedAny := false
+		for _, f := range unsat {
+			// A flow is fixed at this level if it is cap-limited at
+			// exactly this share, or crosses a link whose fair share
+			// equals the bottleneck.
+			atCap := f.maxRate > 0 && f.maxRate <= share
+			onBottleneck := false
+			if !capLimited {
+				for _, l := range f.links {
+					st := states[l]
+					if st.count > 0 && st.cap/float64(st.count) <= share*(1+1e-12) {
+						onBottleneck = true
+						break
+					}
+				}
+			}
+			if atCap || onBottleneck {
+				f.rate = share
+				if atCap {
+					f.rate = f.maxRate
+				}
+				fixedAny = true
+				for _, l := range f.links {
+					st := states[l]
+					st.cap -= f.rate
+					if st.cap < 0 {
+						st.cap = 0
+					}
+					st.count--
+				}
+			} else {
+				still = append(still, f)
+			}
+		}
+		if !fixedAny {
+			// Numerical corner: assign the bottleneck share to everyone.
+			for _, f := range still {
+				f.rate = share
+			}
+			break
+		}
+		unsat = still
+	}
+}

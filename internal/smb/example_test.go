@@ -1,0 +1,40 @@
+package smb_test
+
+import (
+	"fmt"
+
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+)
+
+// The canonical SEASGD buffer interaction (paper Fig. 5): the master
+// creates the global weight segment, a worker attaches by key, writes its
+// weight increment into a private segment and asks the server to
+// accumulate it into the global weights.
+func Example() {
+	store := smb.NewStore()
+	master := smb.NewLocalClient(store)
+
+	// Master: create Wg and seed it.
+	names := smb.SegmentNames{Job: "demo"}
+	wgKey, _ := master.Create(names.Global(), 3*4)
+	hMaster, _ := master.Attach(wgKey)
+	_ = master.Write(hMaster, 0, tensor.Float32Bytes([]float32{1, 2, 3}))
+
+	// Worker: receives wgKey out of band (MPI broadcast in ShmCaffe).
+	worker := smb.NewLocalClient(store)
+	hw, _ := worker.Attach(wgKey)
+	dwKey, _ := worker.Create(names.Increment(1), 3*4)
+	hd, _ := worker.Attach(dwKey)
+
+	// Push an increment ΔWx = {0.5, 0.5, 0.5} and accumulate (Eq. 7).
+	_ = worker.Write(hd, 0, tensor.Float32Bytes([]float32{0.5, 0.5, 0.5}))
+	_ = worker.Accumulate(hw, hd)
+
+	// Read the updated global weight (Eq. 7 applied).
+	buf := make([]byte, 3*4)
+	_ = worker.Read(hw, 0, buf)
+	wg, _ := tensor.Float32FromBytes(buf)
+	fmt.Println(wg)
+	// Output: [1.5 2.5 3.5]
+}

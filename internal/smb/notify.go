@@ -1,0 +1,153 @@
+package smb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Update notification (paper Sec. III-B: SMB "provides APIs to the
+// application process to exchange control messages, such as ... update
+// notification"). Every Write or Accumulate that touches a segment bumps
+// its version; clients can poll the version or block until it advances.
+// ShmCaffe itself polls progress counters, but notification lets library
+// users build push-style coordination (e.g. an evaluator that wakes
+// whenever Wg changes) without busy-reading multi-hundred-MB segments.
+
+// Notifier is the optional notification interface implemented by the
+// in-process and TCP clients (segment versions are per-server, so the
+// sharded client intentionally does not implement it).
+type Notifier interface {
+	// Version returns the segment's current update version (0 = never
+	// written).
+	Version(h Handle) (uint64, error)
+	// WaitUpdate blocks until the segment's version exceeds since, and
+	// returns the new version.
+	WaitUpdate(h Handle, since uint64) (uint64, error)
+}
+
+// versioned augments the segment table with version counters. Stored in a
+// side table keyed by segment pointer so the hot data path stays lean.
+type versionTable struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	v    map[*segment]uint64
+}
+
+func newVersionTable() *versionTable {
+	t := &versionTable{v: make(map[*segment]uint64)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *versionTable) bump(seg *segment) {
+	t.mu.Lock()
+	t.v[seg]++
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+func (t *versionTable) get(seg *segment) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.v[seg]
+}
+
+func (t *versionTable) wait(seg *segment, since uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.v[seg] <= since {
+		t.cond.Wait()
+	}
+	return t.v[seg]
+}
+
+// Version implements Notifier for the Store (and through it LocalClient).
+func (s *Store) Version(h Handle) (uint64, error) {
+	seg, err := s.lookupHandle(h)
+	if err != nil {
+		return 0, err
+	}
+	return s.versions.get(seg), nil
+}
+
+// WaitUpdate implements Notifier for the Store.
+func (s *Store) WaitUpdate(h Handle, since uint64) (uint64, error) {
+	seg, err := s.lookupHandle(h)
+	if err != nil {
+		return 0, err
+	}
+	return s.versions.wait(seg, since), nil
+}
+
+// Version implements Notifier.
+func (c *LocalClient) Version(h Handle) (uint64, error) { return c.store.Version(h) }
+
+// WaitUpdate implements Notifier.
+func (c *LocalClient) WaitUpdate(h Handle, since uint64) (uint64, error) {
+	return c.store.WaitUpdate(h, since)
+}
+
+var _ Notifier = (*LocalClient)(nil)
+var _ Notifier = (*StreamClient)(nil)
+
+// Version implements Notifier over the wire.
+func (c *StreamClient) Version(h Handle) (uint64, error) {
+	var fw frameWriter
+	fw.u64(uint64(h))
+	resp, err := c.call(opVersion, fw.buf)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	return fr.u64(), fr.err
+}
+
+// WaitUpdate implements Notifier over the wire. It blocks the connection
+// until the update arrives, so watchers should use a dedicated connection.
+func (c *StreamClient) WaitUpdate(h Handle, since uint64) (uint64, error) {
+	var fw frameWriter
+	fw.u64(uint64(h)).u64(since)
+	resp, err := c.call(opWaitUpdate, fw.buf)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	return fr.u64(), fr.err
+}
+
+// ensure the protocol knows the new opcodes.
+const (
+	opVersion    opcode = 9
+	opWaitUpdate opcode = 10
+)
+
+func (s *Server) dispatchNotify(op opcode, payload []byte) ([]byte, error) {
+	fr := frameReader{buf: payload}
+	switch op {
+	case opVersion:
+		h := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		v, err := s.store.Version(Handle(h))
+		if err != nil {
+			return nil, err
+		}
+		var fw frameWriter
+		return fw.u64(v).buf, nil
+	case opWaitUpdate:
+		h := fr.u64()
+		since := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		v, err := s.store.WaitUpdate(Handle(h), since)
+		if err != nil {
+			return nil, err
+		}
+		var fw frameWriter
+		return fw.u64(v).buf, nil
+	default:
+		return nil, fmt.Errorf("smb: unknown opcode %d", op)
+	}
+}

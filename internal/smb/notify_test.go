@@ -1,0 +1,143 @@
+package smb
+
+import (
+	"testing"
+	"time"
+
+	"shmcaffe/internal/tensor"
+)
+
+func TestVersionBumpsOnWriteAndAccumulate(t *testing.T) {
+	st := NewStore()
+	kw, _ := st.Create("wg", 8)
+	kd, _ := st.Create("dw", 8)
+	hw, _ := st.Attach(kw)
+	hd, _ := st.Attach(kd)
+
+	v0, err := st.Version(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 0 {
+		t.Fatalf("fresh segment version %d", v0)
+	}
+	if err := st.Write(hw, 0, tensor.Float32Bytes([]float32{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := st.Version(hw)
+	if v1 != 1 {
+		t.Fatalf("version after write %d", v1)
+	}
+	if err := st.Write(hd, 0, tensor.Float32Bytes([]float32{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Accumulate(hw, hd); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := st.Version(hw)
+	if v2 != 2 {
+		t.Fatalf("version after accumulate %d", v2)
+	}
+	// Reads do not bump versions.
+	buf := make([]byte, 8)
+	st.Read(hw, 0, buf)
+	v3, _ := st.Version(hw)
+	if v3 != v2 {
+		t.Fatal("read bumped version")
+	}
+	// The source of an accumulate is untouched.
+	vd, _ := st.Version(hd)
+	if vd != 1 {
+		t.Fatalf("accumulate source version %d", vd)
+	}
+}
+
+func TestWaitUpdateBlocksUntilWrite(t *testing.T) {
+	st := NewStore()
+	key, _ := st.Create("seg", 8)
+	h, _ := st.Attach(key)
+
+	got := make(chan uint64, 1)
+	go func() {
+		v, err := st.WaitUpdate(h, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("WaitUpdate returned %d before any write", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := st.Write(h, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 1 {
+			t.Fatalf("woke with version %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUpdate never woke")
+	}
+	// Waiting on an old version returns immediately.
+	v, err := st.WaitUpdate(h, 0)
+	if err != nil || v != 1 {
+		t.Fatalf("immediate WaitUpdate = %d, %v", v, err)
+	}
+}
+
+func TestNotifyOverTCP(t *testing.T) {
+	srv := startServer(t)
+	c := dialT(t, srv)
+	key, err := c.Create("seg", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Version(h)
+	if err != nil || v != 0 {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	// A dedicated watcher connection blocks in WaitUpdate while the main
+	// connection writes.
+	watcher := dialT(t, srv)
+	hw, err := watcher.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	woke := make(chan uint64, 1)
+	go func() {
+		v, err := watcher.WaitUpdate(hw, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		woke <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Write(h, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-woke:
+		if v != 1 {
+			t.Fatalf("TCP watcher woke with %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP watcher never woke")
+	}
+}
+
+func TestVersionUnknownHandle(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Version(42); err == nil {
+		t.Fatal("expected error for unknown handle")
+	}
+	if _, err := st.WaitUpdate(42, 0); err == nil {
+		t.Fatal("expected error for unknown handle")
+	}
+}

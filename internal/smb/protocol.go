@@ -1,0 +1,150 @@
+package smb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol for the TCP transport. Every message is a length-prefixed
+// frame:
+//
+//	[4B frame length (excluding itself)] [1B opcode/status] [payload]
+//
+// Integers are little-endian fixed width; strings are 2-byte length +
+// bytes. The protocol is synchronous RPC: one response per request, in
+// order. It stands in for the RDMA verbs + RDS control channel the paper's
+// SMB implements in the kernel.
+
+type opcode byte
+
+const (
+	opCreate opcode = iota + 1
+	opLookup
+	opAttach
+	opDetach
+	opFree
+	opRead
+	opWrite
+	opAccumulate
+)
+
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxFrame guards against corrupt length prefixes (1 GiB of payload is far
+// above any weight vector in the paper's models).
+const maxFrame = 1 << 30
+
+// ErrFrameTooLarge reports a frame exceeding maxFrame.
+var ErrFrameTooLarge = errors.New("smb: frame exceeds size limit")
+
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("frame length %d: %w", n, ErrFrameTooLarge)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// payload builder/reader helpers.
+
+type frameWriter struct{ buf []byte }
+
+func (b *frameWriter) u64(v uint64) *frameWriter {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.buf = append(b.buf, tmp[:]...)
+	return b
+}
+
+func (b *frameWriter) str(s string) *frameWriter {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], uint16(len(s)))
+	b.buf = append(b.buf, tmp[:]...)
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+func (b *frameWriter) bytes(p []byte) *frameWriter {
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+type frameReader struct {
+	buf []byte
+	err error
+}
+
+func (r *frameReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[:8])
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *frameReader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	if len(r.buf) < 2 {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(r.buf[:2]))
+	r.buf = r.buf[2:]
+	if len(r.buf) < n {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *frameReader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.buf
+	r.buf = nil
+	return b
+}

@@ -1,0 +1,106 @@
+package smb_test
+
+import (
+	"sync"
+	"testing"
+
+	"shmcaffe/internal/rds"
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+)
+
+// TestSMBOverRDS runs the full SMB protocol over the RDS-like reliable
+// datagram transport — the transport stack of the paper (SMB on modified
+// RDS) end to end: handshake, segment creation, a multi-packet weight
+// write, accumulate, and read-back.
+func TestSMBOverRDS(t *testing.T) {
+	serverEP, err := rds.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverEP.Close()
+
+	store := smb.NewStore()
+	srv, err := smb.NewServer(store, "127.0.0.1:0") // TCP listener unused here
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Accept RDS connections and serve SMB on each.
+	var wg sync.WaitGroup
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := serverEP.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+
+	clientEP, err := rds.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientEP.Close()
+	conn, err := clientEP.Dial(serverEP.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := smb.NewStreamClient(conn)
+	defer client.Close()
+
+	// A weight vector spanning many RDS packets (256 KiB > 16 KiB MTU).
+	const elems = 64 * 1024
+	kw, err := client.Create("wg", elems*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := client.Create("dw", elems*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := client.Attach(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := client.Attach(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := make([]float32, elems)
+	rng := tensor.NewRNG(1)
+	for i := range inc {
+		inc[i] = float32(rng.NormFloat64())
+	}
+	if err := client.Write(hd, 0, tensor.Float32Bytes(inc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Accumulate(hw, hd); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, elems*4)
+	if err := client.Read(hw, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tensor.Float32FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inc {
+		if got[i] != inc[i] {
+			t.Fatalf("element %d: %v vs %v", i, got[i], inc[i])
+		}
+	}
+	// Stats flowed through the datagram transport.
+	if store.Stats().Accumulates != 1 {
+		t.Fatalf("server stats %+v", store.Stats())
+	}
+}

@@ -1,0 +1,371 @@
+package smb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server exposes a Store over TCP — the process playing the role of the
+// paper's dedicated memory server (the machine with 256 GB RAM and an
+// Infiniband HCA). Connections are handled concurrently; Accumulate remains
+// globally exclusive inside the Store.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[io.Closer]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server around store listening on addr
+// (e.g. "127.0.0.1:0"). Serve must be called to accept connections.
+func NewServer(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("smb server listen: %w", err)
+	}
+	return &Server{
+		store: store,
+		ln:    ln,
+		conns: make(map[io.Closer]struct{}),
+	}, nil
+}
+
+// Addr returns the listener's address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Store returns the backing segment store.
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections until Close is called. It always returns a
+// non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}(conn)
+	}
+}
+
+// ServeConn serves the SMB protocol on one already-established stream
+// connection of any transport (TCP, in-process pipe, the RDS-like
+// datagram transport in internal/rds...). It blocks until the connection
+// fails or the server closes, and closes rwc on return.
+func (s *Server) ServeConn(rwc io.ReadWriteCloser) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rwc.Close()
+		return
+	}
+	s.conns[rwc] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.handleConn(rwc)
+	s.mu.Lock()
+	delete(s.conns, rwc)
+	s.mu.Unlock()
+}
+
+// Close stops the listener, closes all connections, and waits for handlers
+// to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken connection: drop silently
+		}
+		resp, err := s.dispatch(opcode(op), payload)
+		if err != nil {
+			var fw frameWriter
+			fw.str(err.Error())
+			if werr := writeFrame(conn, statusErr, fw.buf); werr != nil {
+				return
+			}
+			continue
+		}
+		if werr := writeFrame(conn, statusOK, resp); werr != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
+	fr := frameReader{buf: payload}
+	switch op {
+	case opCreate:
+		name := fr.str()
+		size := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		key, err := s.store.Create(name, int(size))
+		if err != nil {
+			return nil, err
+		}
+		var fw frameWriter
+		return fw.u64(uint64(key)).buf, nil
+	case opLookup:
+		name := fr.str()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		key, err := s.store.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		var fw frameWriter
+		return fw.u64(uint64(key)).buf, nil
+	case opAttach:
+		key := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		h, err := s.store.Attach(SHMKey(key))
+		if err != nil {
+			return nil, err
+		}
+		var fw frameWriter
+		return fw.u64(uint64(h)).buf, nil
+	case opDetach:
+		h := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		return nil, s.store.Detach(Handle(h))
+	case opFree:
+		key := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		return nil, s.store.Free(SHMKey(key))
+	case opRead:
+		h := fr.u64()
+		off := fr.u64()
+		n := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if n > maxFrame {
+			return nil, ErrFrameTooLarge
+		}
+		dst := make([]byte, n)
+		if err := s.store.Read(Handle(h), int(off), dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	case opWrite:
+		h := fr.u64()
+		off := fr.u64()
+		data := fr.rest()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		return nil, s.store.Write(Handle(h), int(off), data)
+	case opAccumulate:
+		dst := fr.u64()
+		src := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		return nil, s.store.Accumulate(Handle(dst), Handle(src))
+	default:
+		return s.dispatchNotify(op, payload)
+	}
+}
+
+// StreamClient speaks the SMB wire protocol over one stream connection of
+// any transport (TCP via Dial, or anything implementing
+// io.ReadWriteCloser via NewStreamClient). It is safe for concurrent use;
+// requests serialize on the connection, matching one RDMA queue pair's
+// ordering.
+type StreamClient struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+}
+
+var _ Client = (*StreamClient)(nil)
+
+// Dial connects to an SMB server over TCP.
+func Dial(addr string) (*StreamClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("smb dial %s: %w", addr, err)
+	}
+	return &StreamClient{conn: conn}, nil
+}
+
+// NewStreamClient wraps an established connection of any transport.
+func NewStreamClient(rwc io.ReadWriteCloser) *StreamClient {
+	return &StreamClient{conn: rwc}
+}
+
+// Close implements Client.
+func (c *StreamClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one synchronous RPC.
+func (c *StreamClient) call(op opcode, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, byte(op), payload); err != nil {
+		return nil, fmt.Errorf("smb request: %w", err)
+	}
+	status, resp, err := readFrame(c.conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("smb server closed connection: %w", err)
+		}
+		return nil, fmt.Errorf("smb response: %w", err)
+	}
+	if status == statusErr {
+		fr := frameReader{buf: resp}
+		msg := fr.str()
+		return nil, remoteError(msg)
+	}
+	return resp, nil
+}
+
+// remoteError reconstructs well-known errors from their messages so callers
+// can keep using errors.Is across the wire.
+func remoteError(msg string) error {
+	for _, known := range []error{
+		ErrSegmentExists, ErrUnknownSegment, ErrUnknownHandle,
+		ErrOutOfRange, ErrSizeMismatch, ErrNotFloatAligned,
+	} {
+		if hasSuffix(msg, known.Error()) {
+			return fmt.Errorf("%s: %w", msg, known)
+		}
+	}
+	return errors.New(msg)
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+// Create implements Client.
+func (c *StreamClient) Create(name string, size int) (SHMKey, error) {
+	var fw frameWriter
+	fw.str(name).u64(uint64(size))
+	resp, err := c.call(opCreate, fw.buf)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	return SHMKey(fr.u64()), fr.err
+}
+
+// Lookup implements Client.
+func (c *StreamClient) Lookup(name string) (SHMKey, error) {
+	var fw frameWriter
+	fw.str(name)
+	resp, err := c.call(opLookup, fw.buf)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	return SHMKey(fr.u64()), fr.err
+}
+
+// Attach implements Client.
+func (c *StreamClient) Attach(key SHMKey) (Handle, error) {
+	var fw frameWriter
+	fw.u64(uint64(key))
+	resp, err := c.call(opAttach, fw.buf)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	return Handle(fr.u64()), fr.err
+}
+
+// Detach implements Client.
+func (c *StreamClient) Detach(h Handle) error {
+	var fw frameWriter
+	fw.u64(uint64(h))
+	_, err := c.call(opDetach, fw.buf)
+	return err
+}
+
+// Free implements Client.
+func (c *StreamClient) Free(key SHMKey) error {
+	var fw frameWriter
+	fw.u64(uint64(key))
+	_, err := c.call(opFree, fw.buf)
+	return err
+}
+
+// Read implements Client.
+func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
+	var fw frameWriter
+	fw.u64(uint64(h)).u64(uint64(off)).u64(uint64(len(dst)))
+	resp, err := c.call(opRead, fw.buf)
+	if err != nil {
+		return err
+	}
+	if len(resp) != len(dst) {
+		return fmt.Errorf("smb read returned %d bytes, want %d", len(resp), len(dst))
+	}
+	copy(dst, resp)
+	return nil
+}
+
+// Write implements Client.
+func (c *StreamClient) Write(h Handle, off int, src []byte) error {
+	var fw frameWriter
+	fw.u64(uint64(h)).u64(uint64(off)).bytes(src)
+	_, err := c.call(opWrite, fw.buf)
+	return err
+}
+
+// Accumulate implements Client.
+func (c *StreamClient) Accumulate(dst, src Handle) error {
+	var fw frameWriter
+	fw.u64(uint64(dst)).u64(uint64(src))
+	_, err := c.call(opAccumulate, fw.buf)
+	return err
+}

@@ -1,0 +1,294 @@
+// Package smb implements the Soft Memory Box: the remote-shared-memory
+// framework underneath ShmCaffe (paper Sec. III-B). A memory server owns
+// byte segments; clients obtain an SHM key at creation time, exchange it
+// out of band (the master broadcasts it over MPI, Fig. 2), attach to get an
+// access key (the stand-in for the Infiniband rkey), and then issue
+// Read / Write / Accumulate operations. Accumulate is the server-side
+// float32 "dst += src" between segments that lets SEASGD run without a
+// parameter server (Eq. 7).
+//
+// Two transports are provided: a zero-copy in-process client for
+// goroutine-per-worker deployments, and a TCP client/server pair with a
+// binary protocol standing in for RDMA verbs.
+package smb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Exported errors; callers match with errors.Is.
+var (
+	ErrSegmentExists   = errors.New("smb: segment already exists")
+	ErrUnknownSegment  = errors.New("smb: unknown segment")
+	ErrUnknownHandle   = errors.New("smb: unknown access handle")
+	ErrOutOfRange      = errors.New("smb: offset/length out of segment range")
+	ErrSizeMismatch    = errors.New("smb: segment sizes incompatible")
+	ErrNotFloatAligned = errors.New("smb: segment size not float32-aligned")
+)
+
+// SHMKey identifies a segment for attachment; it is the shared-memory
+// generation key the master broadcasts to slaves (Fig. 2).
+type SHMKey uint64
+
+// Handle is an attached client's access key to one segment — the analogue
+// of the RDMA remote key granting direct access.
+type Handle uint64
+
+// Stats counts server-side traffic; the Fig. 7 bandwidth experiment and the
+// comm-volume assertions read these.
+type Stats struct {
+	Creates     int64
+	Attaches    int64
+	Reads       int64
+	Writes      int64
+	Accumulates int64
+	BytesRead   int64
+	BytesWrite  int64
+}
+
+// segment is one shared memory region.
+type segment struct {
+	key  SHMKey
+	name string
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Store is the server-side segment table. It is safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	nextKey    SHMKey
+	nextHandle Handle
+	segments   map[SHMKey]*segment
+	byName     map[string]SHMKey
+	handles    map[Handle]*segment
+
+	// accMu serializes Accumulate calls: the paper's SMB server
+	// "exclusively processes the cumulative update requests of global
+	// weights from each worker" (Fig. 6, T.A3).
+	accMu sync.Mutex
+
+	statMu sync.Mutex
+	stats  Stats
+
+	// versions backs the update-notification API (notify.go).
+	versions *versionTable
+}
+
+// NewStore returns an empty segment store.
+func NewStore() *Store {
+	return &Store{
+		segments: make(map[SHMKey]*segment),
+		byName:   make(map[string]SHMKey),
+		handles:  make(map[Handle]*segment),
+		versions: newVersionTable(),
+	}
+}
+
+// Create allocates a zero-filled segment of size bytes under a unique name
+// and returns its SHM key.
+func (s *Store) Create(name string, size int) (SHMKey, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("smb: create %q with size %d", name, size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		return 0, fmt.Errorf("create %q: %w", name, ErrSegmentExists)
+	}
+	s.nextKey++
+	key := s.nextKey
+	seg := &segment{key: key, name: name, data: make([]byte, size)}
+	s.segments[key] = seg
+	s.byName[name] = key
+	s.addStat(func(st *Stats) { st.Creates++ })
+	return key, nil
+}
+
+// Lookup returns the SHM key of a named segment.
+func (s *Store) Lookup(name string) (SHMKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("lookup %q: %w", name, ErrUnknownSegment)
+	}
+	return key, nil
+}
+
+// Attach grants access to the segment identified by key, returning an
+// access handle.
+func (s *Store) Attach(key SHMKey) (Handle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.segments[key]
+	if !ok {
+		return 0, fmt.Errorf("attach key %d: %w", key, ErrUnknownSegment)
+	}
+	s.nextHandle++
+	h := s.nextHandle
+	s.handles[h] = seg
+	s.addStat(func(st *Stats) { st.Attaches++ })
+	return h, nil
+}
+
+// Detach revokes an access handle.
+func (s *Store) Detach(h Handle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.handles[h]; !ok {
+		return fmt.Errorf("detach handle %d: %w", h, ErrUnknownHandle)
+	}
+	delete(s.handles, h)
+	return nil
+}
+
+// Free destroys a segment and invalidates all handles to it.
+func (s *Store) Free(key SHMKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.segments[key]
+	if !ok {
+		return fmt.Errorf("free key %d: %w", key, ErrUnknownSegment)
+	}
+	delete(s.segments, key)
+	delete(s.byName, seg.name)
+	for h, hs := range s.handles {
+		if hs == seg {
+			delete(s.handles, h)
+		}
+	}
+	return nil
+}
+
+func (s *Store) lookupHandle(h Handle) (*segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("handle %d: %w", h, ErrUnknownHandle)
+	}
+	return seg, nil
+}
+
+// SegmentSize returns the byte size of the segment behind handle h.
+func (s *Store) SegmentSize(h Handle) (int, error) {
+	seg, err := s.lookupHandle(h)
+	if err != nil {
+		return 0, err
+	}
+	return len(seg.data), nil
+}
+
+// Read copies len(dst) bytes from the segment at off into dst — the RDMA
+// Read verb.
+func (s *Store) Read(h Handle, off int, dst []byte) error {
+	seg, err := s.lookupHandle(h)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(dst) > len(seg.data) {
+		return fmt.Errorf("read [%d,%d) of %d-byte segment %q: %w",
+			off, off+len(dst), len(seg.data), seg.name, ErrOutOfRange)
+	}
+	seg.mu.RLock()
+	copy(dst, seg.data[off:])
+	seg.mu.RUnlock()
+	s.addStat(func(st *Stats) {
+		st.Reads++
+		st.BytesRead += int64(len(dst))
+	})
+	return nil
+}
+
+// Write copies src into the segment at off — the RDMA Write verb.
+func (s *Store) Write(h Handle, off int, src []byte) error {
+	seg, err := s.lookupHandle(h)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(src) > len(seg.data) {
+		return fmt.Errorf("write [%d,%d) of %d-byte segment %q: %w",
+			off, off+len(src), len(seg.data), seg.name, ErrOutOfRange)
+	}
+	seg.mu.Lock()
+	copy(seg.data[off:], src)
+	seg.mu.Unlock()
+	s.versions.bump(seg)
+	s.addStat(func(st *Stats) {
+		st.Writes++
+		st.BytesWrite += int64(len(src))
+	})
+	return nil
+}
+
+// Accumulate performs dst[i] += src[i] over the segments interpreted as
+// float32 vectors. The whole operation is exclusive server-side, matching
+// the paper's accumulation semantics (T.A3): concurrent Accumulates from
+// different workers never interleave, so no increments are lost.
+func (s *Store) Accumulate(dst, src Handle) error {
+	dseg, err := s.lookupHandle(dst)
+	if err != nil {
+		return err
+	}
+	sseg, err := s.lookupHandle(src)
+	if err != nil {
+		return err
+	}
+	if len(dseg.data) != len(sseg.data) {
+		return fmt.Errorf("accumulate %q (%d B) += %q (%d B): %w",
+			dseg.name, len(dseg.data), sseg.name, len(sseg.data), ErrSizeMismatch)
+	}
+	if len(dseg.data)%4 != 0 {
+		return fmt.Errorf("accumulate %q: %w", dseg.name, ErrNotFloatAligned)
+	}
+
+	s.accMu.Lock()
+	defer s.accMu.Unlock()
+	sseg.mu.RLock()
+	srcVals, err := tensor.Float32FromBytes(sseg.data)
+	sseg.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("accumulate decode: %w", err)
+	}
+	dseg.mu.Lock()
+	defer dseg.mu.Unlock()
+	dstVals, err := tensor.Float32FromBytes(dseg.data)
+	if err != nil {
+		return fmt.Errorf("accumulate decode: %w", err)
+	}
+	tensor.AxpySlice(1, srcVals, dstVals)
+	if _, err := tensor.EncodeFloat32(dstVals, dseg.data); err != nil {
+		return fmt.Errorf("accumulate encode: %w", err)
+	}
+	s.versions.bump(dseg)
+	s.addStat(func(st *Stats) {
+		st.Accumulates++
+		st.BytesWrite += int64(len(dseg.data))
+	})
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Store) ResetStats() {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	s.stats = Stats{}
+}
+
+func (s *Store) addStat(fn func(*Stats)) {
+	s.statMu.Lock()
+	fn(&s.stats)
+	s.statMu.Unlock()
+}

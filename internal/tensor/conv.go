@@ -1,0 +1,84 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution or pooling geometry.
+type ConvParams struct {
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.PadH-p.KernelH)/p.StrideH + 1
+	ow = (w+2*p.PadW-p.KernelW)/p.StrideW + 1
+	return oh, ow
+}
+
+// Validate checks that the geometry is usable for an h×w input.
+func (p ConvParams) Validate(h, w int) error {
+	if p.KernelH <= 0 || p.KernelW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 {
+		return fmt.Errorf("tensor: invalid conv params %+v", p)
+	}
+	if p.PadH < 0 || p.PadW < 0 {
+		return fmt.Errorf("tensor: negative padding %+v", p)
+	}
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: conv output %dx%d non-positive for input %dx%d params %+v", oh, ow, h, w, p)
+	}
+	return nil
+}
+
+// Im2Col expands one image (c×h×w, flat) into columns for GEMM-based
+// convolution. col must have (c·kh·kw)×(oh·ow) elements and is overwritten.
+// This mirrors the canonical Caffe lowering.
+func Im2Col(img []float32, c, h, w int, p ConvParams, col []float32) {
+	oh, ow := p.OutSize(h, w)
+	colIdx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for kh := 0; kh < p.KernelH; kh++ {
+			for kw := 0; kw < p.KernelW; kw++ {
+				for y := 0; y < oh; y++ {
+					iy := y*p.StrideH - p.PadH + kh
+					for x := 0; x < ow; x++ {
+						ix := x*p.StrideW - p.PadW + kw
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							col[colIdx] = img[base+iy*w+ix]
+						} else {
+							col[colIdx] = 0
+						}
+						colIdx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters columns back into an image gradient (accumulating), the
+// adjoint of Im2Col. img must have c·h·w elements and should be zeroed by
+// the caller if accumulation from a clean slate is desired.
+func Col2Im(col []float32, c, h, w int, p ConvParams, img []float32) {
+	oh, ow := p.OutSize(h, w)
+	colIdx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for kh := 0; kh < p.KernelH; kh++ {
+			for kw := 0; kw < p.KernelW; kw++ {
+				for y := 0; y < oh; y++ {
+					iy := y*p.StrideH - p.PadH + kh
+					for x := 0; x < ow; x++ {
+						ix := x*p.StrideW - p.PadW + kw
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							img[base+iy*w+ix] += col[colIdx]
+						}
+						colIdx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvParamsOutSize(t *testing.T) {
+	tests := []struct {
+		name   string
+		p      ConvParams
+		h, w   int
+		oh, ow int
+	}{
+		{"same-3x3", ConvParams{3, 3, 1, 1, 1, 1}, 8, 8, 8, 8},
+		{"valid-3x3", ConvParams{3, 3, 1, 1, 0, 0}, 8, 8, 6, 6},
+		{"stride2", ConvParams{2, 2, 2, 2, 0, 0}, 8, 8, 4, 4},
+		{"rect", ConvParams{3, 5, 1, 2, 1, 2}, 10, 10, 10, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			oh, ow := tt.p.OutSize(tt.h, tt.w)
+			if oh != tt.oh || ow != tt.ow {
+				t.Fatalf("OutSize = %dx%d, want %dx%d", oh, ow, tt.oh, tt.ow)
+			}
+			if err := tt.p.Validate(tt.h, tt.w); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestConvParamsValidateErrors(t *testing.T) {
+	if err := (ConvParams{0, 3, 1, 1, 0, 0}).Validate(8, 8); err == nil {
+		t.Fatal("expected error for zero kernel")
+	}
+	if err := (ConvParams{3, 3, 1, 1, -1, 0}).Validate(8, 8); err == nil {
+		t.Fatal("expected error for negative pad")
+	}
+	if err := (ConvParams{9, 9, 1, 1, 0, 0}).Validate(4, 4); err == nil {
+		t.Fatal("expected error for non-positive output")
+	}
+}
+
+// TestIm2ColIdentityKernel checks that a 1x1 kernel with stride 1 reproduces
+// the image.
+func TestIm2ColIdentityKernel(t *testing.T) {
+	img := []float32{1, 2, 3, 4}
+	p := ConvParams{KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1}
+	col := make([]float32, 4)
+	Im2Col(img, 1, 2, 2, p, col)
+	for i := range img {
+		if col[i] != img[i] {
+			t.Fatalf("col[%d] = %v, want %v", i, col[i], img[i])
+		}
+	}
+}
+
+// TestIm2ColKnown verifies a hand-computed 2x2/stride-1 expansion of a 3x3
+// image.
+func TestIm2ColKnown(t *testing.T) {
+	img := []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	p := ConvParams{KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1}
+	// Output is 2x2, kernel has 4 positions, so col is 4 rows x 4 cols.
+	col := make([]float32, 16)
+	Im2Col(img, 1, 3, 3, p, col)
+	want := []float32{
+		1, 2, 4, 5, // kernel offset (0,0)
+		2, 3, 5, 6, // (0,1)
+		4, 5, 7, 8, // (1,0)
+		5, 6, 8, 9, // (1,1)
+	}
+	for i, w := range want {
+		if col[i] != w {
+			t.Fatalf("col[%d] = %v, want %v (%v)", i, col[i], w, col)
+		}
+	}
+}
+
+// TestCol2ImAdjoint checks the defining adjoint property of the pair:
+// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y. This is the invariant the
+// conv backward pass relies on.
+func TestCol2ImAdjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		c := 1 + rng.Intn(3)
+		h := 3 + rng.Intn(5)
+		w := 3 + rng.Intn(5)
+		p := ConvParams{
+			KernelH: 1 + rng.Intn(3), KernelW: 1 + rng.Intn(3),
+			StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2),
+			PadH: rng.Intn(2), PadW: rng.Intn(2),
+		}
+		if p.Validate(h, w) != nil {
+			return true // skip impossible geometry
+		}
+		oh, ow := p.OutSize(h, w)
+		colLen := c * p.KernelH * p.KernelW * oh * ow
+
+		x := New(c * h * w)
+		rng.FillUniform(x, -1, 1)
+		y := New(colLen)
+		rng.FillUniform(y, -1, 1)
+
+		colX := make([]float32, colLen)
+		Im2Col(x.Data(), c, h, w, p, colX)
+		var lhs float64
+		for i := range colX {
+			lhs += float64(colX[i]) * float64(y.Data()[i])
+		}
+
+		imgY := make([]float32, c*h*w)
+		Col2Im(y.Data(), c, h, w, p, imgY)
+		var rhs float64
+		for i := range imgY {
+			rhs += float64(imgY[i]) * float64(x.Data()[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-3*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []float32{0, 1.5, -2.25, 3.14159, -0.0001}
+	buf := Float32Bytes(vals)
+	if len(buf) != 20 {
+		t.Fatalf("encoded length = %d, want 20", len(buf))
+	}
+	out, err := Float32FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("round trip [%d] = %v, want %v", i, out[i], vals[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Float32FromBytes(make([]byte, 3)); err == nil {
+		t.Fatal("expected error for non-multiple-of-4 input")
+	}
+	if err := DecodeFloat32(make([]byte, 8), make([]float32, 1)); err == nil {
+		t.Fatal("expected error for short destination")
+	}
+	if _, err := EncodeFloat32(make([]float32, 4), make([]byte, 8)); err == nil {
+		t.Fatal("expected error for short encode buffer")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := rng.Intn(128)
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64())
+		}
+		out, err := Float32FromBytes(Float32Bytes(vals))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndSplit(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	s1 := NewRNG(42).Split(1)
+	s2 := NewRNG(42).Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap too much: %d/64 equal", same)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	rng := NewRNG(7)
+	p := rng.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	rng := NewRNG(3)
+	x := New(1000)
+	rng.XavierInit(x, 100)
+	bound := float32(math.Sqrt(3.0 / 100.0))
+	for _, v := range x.Data() {
+		if v < -bound || v >= bound {
+			t.Fatalf("xavier value %v outside [-%v, %v)", v, bound, bound)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	rng := NewRNG(11)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}

@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeFloat32 serializes vals as little-endian float32 into dst, which must
+// have 4·len(vals) bytes. It returns the number of bytes written. The SMB
+// wire protocol and segment store move weight vectors in this encoding.
+func EncodeFloat32(vals []float32, dst []byte) (int, error) {
+	need := 4 * len(vals)
+	if len(dst) < need {
+		return 0, fmt.Errorf("tensor: encode needs %d bytes, have %d", need, len(dst))
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+	return need, nil
+}
+
+// DecodeFloat32 deserializes little-endian float32 values from src into dst,
+// which must have len(src)/4 elements; len(src) must be a multiple of 4.
+func DecodeFloat32(src []byte, dst []float32) error {
+	if len(src)%4 != 0 {
+		return fmt.Errorf("tensor: decode length %d not a multiple of 4", len(src))
+	}
+	n := len(src) / 4
+	if len(dst) < n {
+		return fmt.Errorf("tensor: decode needs %d elements, have %d", n, len(dst))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return nil
+}
+
+// Float32Bytes allocates and returns the little-endian encoding of vals.
+func Float32Bytes(vals []float32) []byte {
+	buf := make([]byte, 4*len(vals))
+	if _, err := EncodeFloat32(vals, buf); err != nil {
+		// Unreachable: buf is sized exactly.
+		panic(err)
+	}
+	return buf
+}
+
+// Float32FromBytes allocates and returns the float32 decoding of src.
+func Float32FromBytes(src []byte) ([]float32, error) {
+	if len(src)%4 != 0 {
+		return nil, fmt.Errorf("tensor: decode length %d not a multiple of 4", len(src))
+	}
+	out := make([]float32, len(src)/4)
+	if err := DecodeFloat32(src, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes dst = a × b for 2-D tensors: a is (m×k), b is (k×n),
+// dst is (m×n). dst must be preallocated; it is overwritten.
+func MatMul(a, b, dst *Tensor) error {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		return fmt.Errorf("tensor: matmul requires 2-D operands: %w", ErrShapeMismatch)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmul (%dx%d)x(%dx%d)->(%dx%d): %w",
+			m, k, k2, n, dst.shape[0], dst.shape[1], ErrShapeMismatch)
+	}
+	gemm(m, n, k, a.data, b.data, dst.data)
+	return nil
+}
+
+// gemm computes C = A×B with A (m×k), B (k×n), C (m×n), all row-major.
+// The k-outer loop with a row-broadcast inner loop keeps accesses
+// sequential, which matters for the larger functional models.
+func gemm(m, n, k int, a, b, c []float32) {
+	for i := range c {
+		c[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ × b for a (k×m), b (k×n), dst (m×n).
+func MatMulTransA(a, b, dst *Tensor) error {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		return fmt.Errorf("tensor: matmulTransA requires 2-D operands: %w", ErrShapeMismatch)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmulTransA: %w", ErrShapeMismatch)
+	}
+	c := dst.data
+	for i := range c {
+		c[i] = 0
+	}
+	for l := 0; l < k; l++ {
+		arow := a.data[l*m : (l+1)*m]
+		brow := b.data[l*n : (l+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulTransB computes dst = a × bᵀ for a (m×k), b (n×k), dst (m×n).
+func MatMulTransB(a, b, dst *Tensor) error {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		return fmt.Errorf("tensor: matmulTransB requires 2-D operands: %w", ErrShapeMismatch)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmulTransB: %w", ErrShapeMismatch)
+	}
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			crow[j] = s
+		}
+	}
+	return nil
+}

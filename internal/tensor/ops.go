@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axpy computes y += alpha*x over the raw element vectors. This is the core
+// kernel of every weight update in the solvers (Eqs. 2, 5, 6, 7 of the
+// paper operate on flat weight vectors).
+func Axpy(alpha float32, x, y *Tensor) error {
+	if len(x.data) != len(y.data) {
+		return fmt.Errorf("tensor: axpy %d vs %d elements: %w", len(x.data), len(y.data), ErrShapeMismatch)
+	}
+	AxpySlice(alpha, x.data, y.data)
+	return nil
+}
+
+// AxpySlice computes y += alpha*x elementwise over raw slices.
+// It is exported because the SMB accumulate path operates on byte-decoded
+// float32 slices, not tensors.
+func AxpySlice(alpha float32, x, y []float32) {
+	_ = y[len(x)-1] // bounds-check hint
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of t by alpha.
+func Scale(alpha float32, t *Tensor) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(a, b, dst *Tensor) error {
+	if len(a.data) != len(b.data) || len(a.data) != len(dst.data) {
+		return fmt.Errorf("tensor: add: %w", ErrShapeMismatch)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return nil
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(a, b, dst *Tensor) error {
+	if len(a.data) != len(b.data) || len(a.data) != len(dst.data) {
+		return fmt.Errorf("tensor: sub: %w", ErrShapeMismatch)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return nil
+}
+
+// Mul computes dst = a * b elementwise (Hadamard product).
+func Mul(a, b, dst *Tensor) error {
+	if len(a.data) != len(b.data) || len(a.data) != len(dst.data) {
+		return fmt.Errorf("tensor: mul: %w", ErrShapeMismatch)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b *Tensor) (float32, error) {
+	if len(a.data) != len(b.data) {
+		return 0, fmt.Errorf("tensor: dot: %w", ErrShapeMismatch)
+	}
+	var s float32
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s, nil
+}
+
+// Sum returns the sum of all elements.
+func Sum(t *Tensor) float32 {
+	var s float32
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MaxIndex returns the index of the largest element in the flat data.
+func MaxIndex(t *Tensor) int {
+	best := 0
+	for i, v := range t.data {
+		if v > t.data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// L2Norm returns the Euclidean norm of the tensor.
+func L2Norm(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ClipInPlace clamps every element into [-limit, limit]. Gradient clipping
+// keeps the small functional models stable at high worker counts.
+func ClipInPlace(t *Tensor, limit float32) {
+	if limit <= 0 {
+		return
+	}
+	for i, v := range t.data {
+		if v > limit {
+			t.data[i] = limit
+		} else if v < -limit {
+			t.data[i] = -limit
+		}
+	}
+}

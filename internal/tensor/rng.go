@@ -1,0 +1,103 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64) used for
+// weight initialization and synthetic data. A dedicated generator keeps every
+// experiment reproducible regardless of math/rand global state and lets each
+// distributed worker own an independent stream.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value of the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := r.Float64()
+		v := r.Float64()
+		if u <= 1e-300 {
+			continue
+		}
+		mag := math.Sqrt(-2 * math.Log(u))
+		r.spare = mag * math.Sin(2*math.Pi*v)
+		r.hasSpare = true
+		return mag * math.Cos(2*math.Pi*v)
+	}
+}
+
+// FillNormal fills t with N(mean, std²) variates.
+func (r *RNG) FillNormal(t *Tensor, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(mean + std*r.NormFloat64())
+	}
+}
+
+// FillUniform fills t with uniform variates in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// XavierInit fills t with the Caffe "xavier" filler: uniform in
+// [-√(3/fanIn), +√(3/fanIn)].
+func (r *RNG) XavierInit(t *Tensor, fanIn int) {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	bound := math.Sqrt(3.0 / float64(fanIn))
+	r.FillUniform(t, -bound, bound)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator; worker i of an experiment takes
+// Split(i) of the experiment seed so streams never collide.
+func (r *RNG) Split(i uint64) *RNG {
+	return NewRNG(r.state ^ (0x632be59bd9b4e019 * (i + 1)))
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders horizontal (optionally stacked) bar charts as text — the
+// figure-shaped view of the benchmark results, so `benchtables -chart`
+// output reads like the paper's bar figures.
+type Chart struct {
+	Title string
+	Unit  string
+	rows  []chartRow
+	// Legend maps glyphs to segment meanings, rendered under the chart.
+	Legend []string
+}
+
+type chartRow struct {
+	label string
+	segs  []Segment
+}
+
+// Segment is one stacked portion of a bar.
+type Segment struct {
+	Glyph byte
+	Value float64
+}
+
+// NewChart returns an empty chart.
+func NewChart(title, unit string) *Chart {
+	return &Chart{Title: title, Unit: unit}
+}
+
+// Add appends one bar made of the given stacked segments.
+func (c *Chart) Add(label string, segs ...Segment) {
+	cp := make([]Segment, len(segs))
+	copy(cp, segs)
+	c.rows = append(c.rows, chartRow{label: label, segs: cp})
+}
+
+// chartWidth is the bar area width in characters.
+const chartWidth = 50
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	labelW := 0
+	maxTotal := 0.0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		total := 0.0
+		for _, s := range r.segs {
+			total += s.Value
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	for _, r := range c.rows {
+		b.WriteString(r.label)
+		b.WriteString(strings.Repeat(" ", labelW-len(r.label)))
+		b.WriteString(" |")
+		total := 0.0
+		used := 0
+		for _, s := range r.segs {
+			total += s.Value
+			n := int(s.Value / maxTotal * chartWidth)
+			if n > 0 {
+				b.WriteString(strings.Repeat(string(s.Glyph), n))
+				used += n
+			}
+		}
+		if used < chartWidth {
+			b.WriteString(strings.Repeat(" ", chartWidth-used))
+		}
+		fmt.Fprintf(&b, "| %.1f %s\n", total, c.Unit)
+	}
+	for _, l := range c.Legend {
+		b.WriteString("  ")
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

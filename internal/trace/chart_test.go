@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("Demo", "ms")
+	c.Legend = []string{"# comp", "= comm"}
+	c.Add("short", Segment{Glyph: '#', Value: 10}, Segment{Glyph: '=', Value: 10})
+	c.Add("long", Segment{Glyph: '#', Value: 40})
+	var b bytes.Buffer
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "20.0 ms") || !strings.Contains(out, "40.0 ms") {
+		t.Fatalf("chart output %q", out)
+	}
+	// Bars scale by total: "long" (40) must be twice "short" (20).
+	lines := strings.Split(out, "\n")
+	var shortBar, longBar int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "short") {
+			shortBar = strings.Count(l, "#") + strings.Count(l, "=")
+		}
+		if strings.HasPrefix(l, "long") {
+			longBar = strings.Count(l, "#")
+		}
+	}
+	if longBar < 2*shortBar-2 || longBar > 2*shortBar+2 {
+		t.Fatalf("scaling: short %d, long %d", shortBar, longBar)
+	}
+	if !strings.Contains(out, "# comp") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestChartEmptyAndZero(t *testing.T) {
+	c := NewChart("", "x")
+	c.Add("zero", Segment{Glyph: '#', Value: 0})
+	var b bytes.Buffer
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.0 x") {
+		t.Fatalf("zero chart %q", b.String())
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := New("Title", "A", "LongColumn")
+	tab.Add("x", "1")
+	tab.Add("longer", "2")
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "=====") {
+		t.Fatalf("underline %q", lines[1])
+	}
+	// Header cells align with row cells: column B starts at same offset.
+	hIdx := strings.Index(lines[2], "LongColumn")
+	rIdx := strings.Index(lines[5], "2")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned: header col at %d, row value at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableAddPadsAndTruncates(t *testing.T) {
+	tab := New("", "A", "B")
+	tab.Add("only-one")
+	tab.Add("x", "y", "dropped-extra")
+	if tab.Rows[0][1] != "" {
+		t.Fatalf("missing cell not padded: %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 2 {
+		t.Fatalf("extra cell not dropped: %v", tab.Rows[1])
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tab := New("", "A")
+	tab.Add("1")
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") || strings.Contains(b.String(), "=") {
+		t.Fatalf("title artifacts without title: %q", b.String())
+	}
+}
+
+func TestRenderCSVEscapesCommas(t *testing.T) {
+	tab := New("t", "A,B", "C")
+	tab.Add("1,2", "3")
+	var b bytes.Buffer
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "A;B,C" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1;2,3" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Ms(1234567 * time.Nanosecond); got != "1.2" {
+		t.Fatalf("Ms = %q", got)
+	}
+	if got := HoursMinutes(22*time.Hour + 59*time.Minute); got != "22:59" {
+		t.Fatalf("HoursMinutes = %q", got)
+	}
+	if got := HoursMinutes(61 * time.Minute); got != "1:01" {
+		t.Fatalf("HoursMinutes = %q", got)
+	}
+	if got := Pct(0.963); got != "96.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := F2(3.14159); got != "3.14" {
+		t.Fatalf("F2 = %q", got)
+	}
+	if got := F1(2.71); got != "2.7" {
+		t.Fatalf("F1 = %q", got)
+	}
+	if got := GBs(6.72e9); got != "6.72 GB/s" {
+		t.Fatalf("GBs = %q", got)
+	}
+	if got := Itoa(42); got != "42" {
+		t.Fatalf("Itoa = %q", got)
+	}
+}
