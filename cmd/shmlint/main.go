@@ -1,0 +1,106 @@
+// Command shmlint runs the project's static-analysis suite
+// (internal/lint) over module packages. It is tier 2 of the verify
+// pipeline (scripts/check.sh), next to go vet and go test -race: the
+// analyzers machine-check the concurrency and protocol conventions the
+// SMB/SEASGD core depends on — mutex-guarded field access, goroutine
+// lifetime, %w error wrapping, opcode dispatch exhaustiveness, and
+// deterministic numeric paths.
+//
+// Usage:
+//
+//	shmlint [-list] [-run name,name] [packages...]
+//
+// Package patterns are module-relative ("./...", "./internal/smb", or
+// full import paths); the default is ./... . Exit status: 0 clean,
+// 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shmcaffe/internal/lint"
+)
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body; dir is any directory inside the target
+// module.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "shmlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "shmlint:", err)
+		return 2
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "shmlint:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkgDir := range dirs {
+		pkg, err := loader.LoadDir(pkgDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "shmlint:", err)
+			return 2
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "shmlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			if rel, err := filepath.Rel(loader.ModuleDir(), d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "shmlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for driver tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunReportsFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errX = errors.New("x")
+
+// F loses the error chain.
+func F() error { return fmt.Errorf("context: %v", errX) }
+
+func Leak() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run(dir, []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"errwrap:", "goleak:", "a/a.go:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errX = errors.New("x")
+
+// F wraps properly.
+func F() error { return fmt.Errorf("context: %w", errX) }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run(dir, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errX = errors.New("x")
+
+func F() error { return fmt.Errorf("context: %v", errX) }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	// Only goleak selected: the errwrap violation must not be reported.
+	if code := run(dir, []string{"-run", "goleak", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s", code, stdout.String())
+	}
+	if code := run(dir, []string{"-run", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer: exit code = %d, want 2", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"guardedby", "goleak", "errwrap", "opcode", "determinism"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -53,9 +54,15 @@ func run() error {
 			srv.Close()
 			return err
 		}
+		// Join the accept loop on shutdown: Wait is registered before
+		// Close so the deferred Close unblocks Accept first.
+		var rdsWG sync.WaitGroup
+		defer rdsWG.Wait()
 		defer ep.Close()
 		fmt.Printf("SMB server listening on rds/udp %s\n", ep.Addr())
+		rdsWG.Add(1)
 		go func() {
+			defer rdsWG.Done()
 			for {
 				conn, err := ep.Accept()
 				if err != nil {

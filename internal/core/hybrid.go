@@ -96,9 +96,9 @@ type HybridGroup struct {
 	group   *nccl.Group
 
 	mu           sync.Mutex
-	pendingDelta []float32
-	pushErr      error
-	pushes       int
+	pendingDelta []float32 // guarded by mu
+	pushErr      error     // guarded by mu
+	pushes       int       // guarded by mu
 }
 
 // NewHybridGroup validates cfg, initializes the intra-node NCCL group, and

@@ -115,10 +115,10 @@ type Worker struct {
 	// Exchange state shared between the main and update threads; mu is
 	// the Fig. 6 lock making T1+T2 and T.A1–T.A4 mutually exclusive.
 	mu           sync.Mutex
-	pendingDelta []float32
-	cachedGlobal []float32 // HideGlobalRead mode: last Wg seen
-	pushErr      error
-	pushes       int
+	pendingDelta []float32 // guarded by mu
+	cachedGlobal []float32 // HideGlobalRead mode: last Wg seen; guarded by mu
+	pushErr      error     // guarded by mu
+	pushes       int       // guarded by mu
 }
 
 // NewWorker validates cfg and performs the collective buffer bootstrap

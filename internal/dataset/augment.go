@@ -36,8 +36,8 @@ type Augmented struct {
 	w    int
 
 	mu  sync.Mutex
-	rng *tensor.RNG
-	buf []float32
+	rng *tensor.RNG // guarded by mu
+	buf []float32   // guarded by mu
 }
 
 var _ Dataset = (*Augmented)(nil)

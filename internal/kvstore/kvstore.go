@@ -48,10 +48,10 @@ type entry struct {
 type DB struct {
 	mu     sync.RWMutex
 	f      *os.File
-	size   int64
-	index  map[string]entry
-	order  []string // insertion order for cursors
-	closed bool
+	size   int64            // guarded by mu
+	index  map[string]entry // guarded by mu
+	order  []string         // insertion order for cursors; guarded by mu
+	closed bool             // guarded by mu
 }
 
 // Create creates a new database file, failing if it already exists.
@@ -87,6 +87,8 @@ func Open(path string) (*DB, error) {
 }
 
 // scan rebuilds the index from the file.
+//
+//lint:ignore guardedby scan runs inside Open before the DB is shared
 func (db *DB) scan() error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(db.f, hdr[:]); err != nil {

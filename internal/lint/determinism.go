@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism keeps the numeric core reproducible. The tensor and nn
+// packages back every convergence experiment (EXPERIMENTS.md replays the
+// paper's Fig. 8/9 accuracy curves from fixed seeds); a stray global
+// math/rand call or wall-clock read makes a run unrepeatable and turns a
+// convergence regression into a heisenbug. Inside the configured
+// packages, randomness must come from an injected *rand.Rand (see
+// tensor/rng.go) and time from an injected clock.
+var Determinism = determinismAnalyzer(defaultDeterminismScope)
+
+// defaultDeterminismScope lists the import-path suffixes that must stay
+// deterministic.
+var defaultDeterminismScope = []string{
+	"internal/tensor",
+	"internal/nn",
+}
+
+// determinismAnalyzer builds the analyzer for a given package scope; the
+// golden tests instantiate it with the testdata package path.
+func determinismAnalyzer(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "no global math/rand or time.Now in deterministic numeric packages",
+	}
+	a.Run = func(pass *Pass) error {
+		inScope := false
+		for _, s := range scope {
+			if pass.Pkg.Path() == s || strings.HasSuffix(pass.Pkg.Path(), "/"+s) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "math/rand", "math/rand/v2":
+					// Constructors and type references are the sanctioned
+					// way to build a seeded source; only the global-state
+					// top-level functions are nondeterministic.
+					fn, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+					if !isFunc {
+						return true
+					}
+					switch fn.Name() {
+					case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s in deterministic package %s; use an injected seeded *rand.Rand",
+						sel.Sel.Name, pass.Pkg.Path())
+				case "time":
+					if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+						pass.Reportf(sel.Pos(),
+							"time.%s in deterministic package %s; inject a clock instead",
+							sel.Sel.Name, pass.Pkg.Path())
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrWrap requires fmt.Errorf calls that pass an error operand to wrap it
+// with %w, so errors.Is/As keep working across layers — the repo's error
+// taxonomy (smb.ErrUnknownHandle, kvstore.ErrNotFound, ...) is matched
+// with errors.Is throughout the tests and the TCP client even
+// reconstructs wrapped sentinels from the wire; a single %v in the chain
+// silently severs it.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error operand must wrap it with %w",
+	Run:  runErrWrap,
+}
+
+var wrapVerbRE = regexp.MustCompile(`%(\[\d+\])?w`)
+
+func runErrWrap(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.FullName() != "fmt.Errorf" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic format string: out of scope
+			}
+			format := constant.StringVal(tv.Value)
+			errArgs := 0
+			for _, arg := range call.Args[1:] {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && types.Implements(t, errType) {
+					errArgs++
+				}
+			}
+			if errArgs == 0 {
+				return true
+			}
+			// Count %w verbs, ignoring literal %%.
+			clean := strings.ReplaceAll(format, "%%", "")
+			wraps := len(wrapVerbRE.FindAllString(clean, -1))
+			if wraps < errArgs {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf passes %d error operand(s) but format %q has %d %%w verb(s); wrap with %%w to keep errors.Is working",
+					errArgs, format, wraps)
+			}
+			return true
+		})
+	}
+	return nil
+}

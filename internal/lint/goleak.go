@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoLeak requires every `go func(...) {...}()` literal to have a visible
+// exit/join path, the discipline the SMB server's conn-handler pattern
+// established (Server.Serve: wg.Add before the go statement, defer
+// wg.Done inside). A goroutine literal is accepted when its body
+//
+//   - calls Done on a sync.WaitGroup (joinable),
+//   - receives from a channel or contains a select/range-over-channel
+//     (ctx/closed-channel exit path), or
+//   - is a single one-shot channel send (result handoff).
+//
+// Anything else is a goroutine whose lifetime nothing bounds — the kind of
+// leak that turns a long-lived parameter-sharing process into an OOM.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine literals must be tied to a WaitGroup, channel/ctx exit path, or one-shot send",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named funcs manage their own lifetime
+			}
+			if !goroutineTied(pass, lit.Body) {
+				pass.Reportf(gs.Pos(), "goroutine literal has no WaitGroup.Done, channel receive/select, or one-shot send; tie it to an exit path")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineTied reports whether the goroutine body shows one of the
+// accepted lifetime patterns.
+func goroutineTied(pass *Pass, body *ast.BlockStmt) bool {
+	// One-shot result handoff: the whole body is a single channel send.
+	if len(body.List) == 1 {
+		if _, ok := body.List[0].(*ast.SendStmt); ok {
+			return true
+		}
+	}
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					strings.HasPrefix(fn.FullName(), "(*sync.WaitGroup)") {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

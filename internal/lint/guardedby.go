@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces the repository's mutex-annotation convention: a
+// struct field whose comment says "guarded by <mu>" may only be touched in
+// functions that lock <mu> on the same base expression. The check is
+// flow-insensitive — it demands a matching <base>.<mu>.Lock() or .RLock()
+// call anywhere in the enclosing function — which is exactly the coarse
+// guarantee the SMB store relies on (every method takes the lock before
+// the table access, Fig. 6's T1/T2 exclusion). Initialisation paths that
+// run before the value is shared can opt out with a function-level
+// //lint:ignore guardedby directive.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  `fields commented "guarded by <mu>" must only be accessed under that mutex`,
+	Run:  runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuardedBy(pass *Pass) error {
+	// Pass 1: collect annotated fields declared in this package.
+	guards := make(map[*types.Var]string) // field object -> mutex field name
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuard(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every function. Functions named *Locked declare by
+	// convention that the caller already holds the lock, so they are
+	// exempt (the call sites are still checked).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkGuardedFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// fieldGuard extracts the guard mutex name from a struct field's comments.
+func fieldGuard(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedFunc verifies guarded-field accesses within one function
+// (including nested function literals, which share the lock environment).
+func checkGuardedFunc(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]string) {
+	// Lock set: printed receiver expressions of every Lock/RLock call.
+	locked := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			full := fn.FullName()
+			if strings.HasPrefix(full, "(*sync.") {
+				locked[types.ExprString(sel.X)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guard, ok := guards[v]
+		if !ok {
+			return true
+		}
+		want := types.ExprString(sel.X) + "." + guard
+		if !locked[want] {
+			pass.Reportf(sel.Pos(), "%s accessed without holding %s",
+				types.ExprString(sel), want)
+		}
+		return true
+	})
+}

@@ -1,0 +1,203 @@
+// Package lint is shmlint's analyzer framework: a deliberately small,
+// stdlib-only (go/ast + go/parser + go/types) reimplementation of the
+// golang.org/x/tools analysis idea, specialised to this repository. The
+// ShmCaffe concurrency core — the SMB store's exclusive Accumulate, the
+// SEASGD main/update thread exclusion (paper Fig. 6) — depends on
+// invariants that ordinary tests exercise but cannot *prove*; the
+// analyzers here machine-check the conventions the code relies on
+// (mutex-guarded fields, goroutine lifetime, error wrapping, opcode
+// dispatch exhaustiveness, deterministic numeric paths).
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Findings can be suppressed with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// which applies to its own line and the line below when written inline or
+// directly above the offending statement, and to the whole function when
+// written in a function's doc comment (for code that is correct for
+// reasons outside the analyzer's model, e.g. pre-publication
+// initialisation).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used by -run selection and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by shmlint -list.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All is the default analyzer suite, in execution order.
+var All = []*Analyzer{
+	GuardedBy,
+	GoLeak,
+	ErrWrap,
+	OpcodeExhaustive,
+	Determinism,
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to pkg and returns the surviving diagnostics
+// (ignore directives applied), sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !sup.suppressed(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressRange silences one analyzer between two lines of a file.
+type suppressRange struct {
+	analyzer string
+	file     string
+	from, to int
+}
+
+type suppressions struct{ ranges []suppressRange }
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	for _, r := range s.ranges {
+		if r.analyzer != analyzer && r.analyzer != "*" {
+			continue
+		}
+		if r.file == pos.Filename && r.from <= pos.Line && pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions gathers //lint:ignore directives from comments and
+// function doc comments.
+func collectSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{}
+	for _, f := range pkg.Files {
+		// Function-doc directives suppress the whole function body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if name, ok := parseIgnore(c.Text); ok {
+					start := pkg.Fset.Position(fd.Pos())
+					end := pkg.Fset.Position(fd.End())
+					sup.ranges = append(sup.ranges, suppressRange{
+						analyzer: name, file: start.Filename,
+						from: start.Line, to: end.Line,
+					})
+				}
+			}
+		}
+		// Free-standing / trailing directives cover their own line and the
+		// next (so the directive works both inline and on the line above).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				sup.ranges = append(sup.ranges, suppressRange{
+					analyzer: name, file: p.Filename,
+					from: p.Line, to: p.Line + 1,
+				})
+			}
+		}
+	}
+	return sup
+}
+
+// parseIgnore extracts the analyzer name from an ignore directive.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one Loader across golden tests so the standard
+// library is source-typechecked once per test binary.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// wantRE extracts the quoted regexps of one `// want "..."` comment.
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// runGolden loads testdata/src/<name>, runs the analyzer, and compares the
+// diagnostics against the `// want` annotations, analysistest-style.
+func runGolden(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pat string
+				if raw[0] == '`' {
+					pat = raw[1 : len(raw)-1]
+				} else {
+					pat, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("bad want %s: %v", raw, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pat, err)
+				}
+				p := pkg.Fset.Position(c.Pos())
+				k := key{file: p.Filename, line: p.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{file: d.Pos.Filename, line: d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+					filepath.Base(k.file), k.line, re)
+			}
+		}
+	}
+}
+
+func TestGuardedByGolden(t *testing.T)  { runGolden(t, GuardedBy, "guardedby") }
+func TestGoLeakGolden(t *testing.T)     { runGolden(t, GoLeak, "goleak") }
+func TestErrWrapGolden(t *testing.T)    { runGolden(t, ErrWrap, "errwrap") }
+func TestExhaustiveGolden(t *testing.T) { runGolden(t, OpcodeExhaustive, "opcode") }
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, determinismAnalyzer([]string{"testdata/src/determinism"}), "determinism")
+}
+
+// TestDeterminismOutOfScope: the analyzer must stay silent outside its
+// configured packages even when the code uses global rand.
+func TestDeterminismOutOfScope(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{determinismAnalyzer([]string{"internal/tensor"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+// TestLookup checks the analyzer registry used by shmlint -run.
+func TestLookup(t *testing.T) {
+	for _, a := range All {
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown name should be nil")
+	}
+}
+
+// TestExpandPatterns exercises ./... expansion against this module.
+func TestExpandPatterns(t *testing.T) {
+	l := testLoader(t)
+	dirs, err := l.ExpandPatterns([]string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("want exactly this package (testdata skipped), got %v", dirs)
+	}
+	single, err := l.ExpandPatterns([]string{"shmcaffe/internal/smb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || filepath.Base(single[0]) != "smb" {
+		t.Fatalf("import-path pattern: got %v", single)
+	}
+}
+
+// TestDiagnosticString pins the file:line:col output format the driver
+// prints and check.sh greps.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "errwrap", Message: "m"}
+	d.Pos.Filename = "f.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "f.go:3:7: errwrap: m"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}

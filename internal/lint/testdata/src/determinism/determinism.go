@@ -1,0 +1,34 @@
+// Package determinism is golden-file input for the determinism analyzer.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // sanctioned: explicit seed
+	return rng.Float64()
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `global math/rand\.Float64`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand\.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func durationOK() time.Duration {
+	return 5 * time.Millisecond // type/const references to time are fine
+}

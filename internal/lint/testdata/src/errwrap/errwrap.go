@@ -1,0 +1,33 @@
+// Package errwrap is golden-file input for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapped() error {
+	return fmt.Errorf("context: %w", errBase)
+}
+
+func noErrorOperand(n int) error {
+	return fmt.Errorf("code %d at 100%%", n)
+}
+
+func unwrapped() error {
+	return fmt.Errorf("context: %v", errBase) // want `1 error operand\(s\) but format .* has 0`
+}
+
+func halfWrapped(err error) error {
+	return fmt.Errorf("a %w b %v", errBase, err) // want `2 error operand\(s\) but format .* has 1`
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // dynamic format string: out of scope
+}
+
+func indexedVerb(err error) error {
+	return fmt.Errorf("wrapped %[1]w", err)
+}

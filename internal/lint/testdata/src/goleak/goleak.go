@@ -1,0 +1,68 @@
+// Package goleak is golden-file input for the goleak analyzer.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func waitGroupTied() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func selectTied(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-work:
+			}
+		}
+	}()
+}
+
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func oneShotSend() chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- nil }()
+	return ch
+}
+
+func rangeTied(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func leak(counter *int) {
+	go func() { // want `goroutine literal has no WaitGroup\.Done`
+		for {
+			*counter++
+		}
+	}()
+}
+
+func leakIgnored(counter *int) {
+	//lint:ignore goleak runs for the process lifetime by design
+	go func() {
+		for {
+			*counter++
+		}
+	}()
+}
+
+func namedFunc() {
+	go waitGroupTied() // named call: out of scope for this analyzer
+}

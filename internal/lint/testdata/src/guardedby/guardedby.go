@@ -1,0 +1,90 @@
+// Package guardedby is golden-file input for the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func newCounter() *counter {
+	return &counter{n: 1} // composite-literal init: not an access
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want `c\.n accessed without holding c\.mu`
+}
+
+func (c *counter) inlineIgnored() int {
+	return c.n //lint:ignore guardedby caller holds the lock
+}
+
+//lint:ignore guardedby runs before the counter is shared
+func (c *counter) funcIgnored() {
+	c.n++
+}
+
+// incLocked follows the *Locked naming convention: the caller holds c.mu,
+// so the function body is exempt.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+func (c *counter) callsLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+type rw struct {
+	mu sync.RWMutex
+	// data is the byte payload.
+	// guarded by mu
+	data []byte
+}
+
+func (r *rw) read(dst []byte) {
+	r.mu.RLock()
+	copy(dst, r.data)
+	r.mu.RUnlock()
+}
+
+func (r *rw) badLen() int {
+	return len(r.data) // want `r\.data accessed without holding r\.mu`
+}
+
+type owner struct {
+	c counter
+}
+
+func (o *owner) nestedGood() int {
+	o.c.mu.Lock()
+	defer o.c.mu.Unlock()
+	return o.c.n
+}
+
+func (o *owner) nestedBad() int {
+	return o.c.n // want `o\.c\.n accessed without holding o\.c\.mu`
+}
+
+func useAll() {
+	c := newCounter()
+	_ = c.good()
+	_ = c.bad()
+	_ = c.inlineIgnored()
+	c.funcIgnored()
+	c.callsLocked()
+	r := &rw{}
+	r.read(nil)
+	_ = r.badLen()
+	o := &owner{}
+	_ = o.nestedGood()
+	_ = o.nestedBad()
+}

@@ -32,13 +32,13 @@ type World struct {
 	// accumulator generation used by AllreduceSum.
 	mu      sync.Mutex
 	cond    *sync.Cond
-	arrived int
-	gen     uint64
-	// reduce accumulator for the current generation
+	arrived int    // guarded by mu
+	gen     uint64 // guarded by mu
+	// reduce accumulator for the current generation; guarded by mu
 	acc []float64
-	// bcast buffer for the current generation
+	// bcast buffer for the current generation; guarded by mu
 	bcastBuf []byte
-	// gather buffers for the current generation
+	// gather buffers for the current generation; guarded by mu
 	gatherBufs [][]byte
 }
 

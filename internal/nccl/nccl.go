@@ -28,11 +28,11 @@ type Group struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	arrived int
-	gen     uint64
-	bufs    [][]float32
-	length  int
-	aborted bool
+	arrived int         // guarded by mu
+	gen     uint64      // guarded by mu
+	bufs    [][]float32 // guarded by mu
+	length  int         // guarded by mu
+	aborted bool        // guarded by mu
 }
 
 // NewGroup returns a communicator for n devices.
@@ -153,7 +153,7 @@ func (g *Group) AllReduce(rank int, data []float32) error {
 	for s := 0; s < n-1; s++ {
 		c := ((rank-s-1)%n + n) % n
 		lo, hi := chunkBounds(len(data), n, c)
-		src := g.bufs[left][lo:hi]
+		src := g.bufs[left][lo:hi] //lint:ignore guardedby step barriers order this read after the neighbor's write
 		dst := data[lo:hi]
 		for i := range dst {
 			dst[i] += src[i]
@@ -169,7 +169,7 @@ func (g *Group) AllReduce(rank int, data []float32) error {
 	for s := 0; s < n-1; s++ {
 		c := ((rank-s)%n + n) % n
 		lo, hi := chunkBounds(len(data), n, c)
-		copy(data[lo:hi], g.bufs[left][lo:hi])
+		copy(data[lo:hi], g.bufs[left][lo:hi]) //lint:ignore guardedby step barriers order this read after the neighbor's write
 		if err := g.barrier(); err != nil {
 			return err
 		}
@@ -194,7 +194,7 @@ func (g *Group) Broadcast(rank, root int, data []float32) error {
 		return err
 	}
 	if rank != root {
-		copy(data, g.bufs[root])
+		copy(data, g.bufs[root]) //lint:ignore guardedby register's barrier publishes root's buffer before this read
 	}
 	return g.release(rank)
 }

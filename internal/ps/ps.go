@@ -29,9 +29,9 @@ var ErrSize = errors.New("ps: vector size mismatch")
 // consistency model of a single-shard parameter server.
 type Server struct {
 	mu      sync.Mutex
-	weights []float32
-	pushes  int64
-	pulls   int64
+	weights []float32 // guarded by mu
+	pushes  int64     // guarded by mu
+	pulls   int64     // guarded by mu
 }
 
 // NewServer returns a server initialized with a copy of init.

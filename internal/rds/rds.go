@@ -93,11 +93,11 @@ type Endpoint struct {
 	io PacketIO
 
 	mu      sync.Mutex
-	conns   map[string]*Conn
+	conns   map[string]*Conn // guarded by mu
 	accept  chan *Conn
-	closed  bool
+	closed  bool // guarded by mu
 	done    chan struct{}
-	readErr error
+	readErr error // guarded by mu
 }
 
 // NewEndpoint wraps a datagram socket and starts its demultiplexer.
@@ -261,18 +261,18 @@ type Conn struct {
 	// Sender state (go-back-N).
 	sndMu   sync.Mutex
 	sndCond *sync.Cond
-	sndNext uint64            // next sequence number to assign
-	sndUna  uint64            // oldest unacknowledged
-	pending map[uint64][]byte // encoded packets awaiting ack
-	lastAck time.Time
+	sndNext uint64            // next sequence number to assign; guarded by sndMu
+	sndUna  uint64            // oldest unacknowledged; guarded by sndMu
+	pending map[uint64][]byte // encoded packets awaiting ack; guarded by sndMu
+	lastAck time.Time         // guarded by sndMu
 
 	// Receiver state.
 	rcvMu   sync.Mutex
 	rcvCond *sync.Cond
-	rcvNext uint64
-	stash   map[uint64][]byte // out-of-order payloads
-	rcvBuf  []byte            // in-order bytes ready for Read
-	rcvEOF  bool
+	rcvNext uint64            // guarded by rcvMu
+	stash   map[uint64][]byte // out-of-order payloads; guarded by rcvMu
+	rcvBuf  []byte            // in-order bytes ready for Read; guarded by rcvMu
+	rcvEOF  bool              // guarded by rcvMu
 
 	stopRetransmit chan struct{}
 }

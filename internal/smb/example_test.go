@@ -10,31 +10,44 @@ import (
 // The canonical SEASGD buffer interaction (paper Fig. 5): the master
 // creates the global weight segment, a worker attaches by key, writes its
 // weight increment into a private segment and asks the server to
-// accumulate it into the global weights.
+// accumulate it into the global weights. Every SMB verb returns an error
+// that real callers must check; the example uses must so the happy path
+// stays readable while still modelling correct handling.
 func Example() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
 	store := smb.NewStore()
 	master := smb.NewLocalClient(store)
 
 	// Master: create Wg and seed it.
 	names := smb.SegmentNames{Job: "demo"}
-	wgKey, _ := master.Create(names.Global(), 3*4)
-	hMaster, _ := master.Attach(wgKey)
-	_ = master.Write(hMaster, 0, tensor.Float32Bytes([]float32{1, 2, 3}))
+	wgKey, err := master.Create(names.Global(), 3*4)
+	must(err)
+	hMaster, err := master.Attach(wgKey)
+	must(err)
+	must(master.Write(hMaster, 0, tensor.Float32Bytes([]float32{1, 2, 3})))
 
 	// Worker: receives wgKey out of band (MPI broadcast in ShmCaffe).
 	worker := smb.NewLocalClient(store)
-	hw, _ := worker.Attach(wgKey)
-	dwKey, _ := worker.Create(names.Increment(1), 3*4)
-	hd, _ := worker.Attach(dwKey)
+	hw, err := worker.Attach(wgKey)
+	must(err)
+	dwKey, err := worker.Create(names.Increment(1), 3*4)
+	must(err)
+	hd, err := worker.Attach(dwKey)
+	must(err)
 
 	// Push an increment ΔWx = {0.5, 0.5, 0.5} and accumulate (Eq. 7).
-	_ = worker.Write(hd, 0, tensor.Float32Bytes([]float32{0.5, 0.5, 0.5}))
-	_ = worker.Accumulate(hw, hd)
+	must(worker.Write(hd, 0, tensor.Float32Bytes([]float32{0.5, 0.5, 0.5})))
+	must(worker.Accumulate(hw, hd))
 
 	// Read the updated global weight (Eq. 7 applied).
 	buf := make([]byte, 3*4)
-	_ = worker.Read(hw, 0, buf)
-	wg, _ := tensor.Float32FromBytes(buf)
+	must(worker.Read(hw, 0, buf))
+	wg, err := tensor.Float32FromBytes(buf)
+	must(err)
 	fmt.Println(wg)
 	// Output: [1.5 2.5 3.5]
 }

@@ -30,7 +30,7 @@ type Notifier interface {
 type versionTable struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	v    map[*segment]uint64
+	v    map[*segment]uint64 // guarded by mu
 }
 
 func newVersionTable() *versionTable {

@@ -17,8 +17,8 @@ type Server struct {
 	ln    net.Listener
 
 	mu     sync.Mutex
-	conns  map[io.Closer]struct{}
-	closed bool
+	conns  map[io.Closer]struct{} // guarded by mu
+	closed bool                   // guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -21,8 +21,8 @@ type ShardedClient struct {
 	clients []Client
 
 	mu         sync.Mutex
-	nextHandle Handle
-	handles    map[Handle]*shardedHandle
+	nextHandle Handle                    // guarded by mu
+	handles    map[Handle]*shardedHandle // guarded by mu
 }
 
 type shardedHandle struct {

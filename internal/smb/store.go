@@ -55,17 +55,17 @@ type segment struct {
 	key  SHMKey
 	name string
 	mu   sync.RWMutex
-	data []byte
+	data []byte // contents guarded by mu (the backing array; the header never changes)
 }
 
 // Store is the server-side segment table. It is safe for concurrent use.
 type Store struct {
 	mu         sync.Mutex
-	nextKey    SHMKey
-	nextHandle Handle
-	segments   map[SHMKey]*segment
-	byName     map[string]SHMKey
-	handles    map[Handle]*segment
+	nextKey    SHMKey              // guarded by mu
+	nextHandle Handle              // guarded by mu
+	segments   map[SHMKey]*segment // guarded by mu
+	byName     map[string]SHMKey   // guarded by mu
+	handles    map[Handle]*segment // guarded by mu
 
 	// accMu serializes Accumulate calls: the paper's SMB server
 	// "exclusively processes the cumulative update requests of global
@@ -73,7 +73,7 @@ type Store struct {
 	accMu sync.Mutex
 
 	statMu sync.Mutex
-	stats  Stats
+	stats  Stats // guarded by statMu
 
 	// versions backs the update-notification API (notify.go).
 	versions *versionTable
@@ -181,7 +181,7 @@ func (s *Store) SegmentSize(h Handle) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(seg.data), nil
+	return len(seg.data), nil //lint:ignore guardedby the slice header is immutable after Create; only contents need mu
 }
 
 // Read copies len(dst) bytes from the segment at off into dst — the RDMA

@@ -1,0 +1,56 @@
+#!/bin/sh
+# check.sh — the repo's verification gate, in two tiers.
+#
+#   Tier 1 (correctness): build + full test suite. Must always pass;
+#   CI and the growth driver treat a tier-1 failure as a broken tree.
+#
+#   Tier 2 (analysis): go vet, the project-specific shmlint analyzers,
+#   the -race stress suite over the concurrency core, and a short
+#   deterministic smoke run of every fuzz target (replays testdata/fuzz
+#   corpora plus 100 fresh execs each).
+#
+# Usage: scripts/check.sh [tier1|tier2|all]   (default: all)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tier="${1:-all}"
+
+tier1() {
+	echo "== tier 1: build =="
+	go build ./...
+	echo "== tier 1: tests =="
+	go test ./...
+}
+
+tier2() {
+	echo "== tier 2: go vet =="
+	go vet ./...
+	echo "== tier 2: shmlint =="
+	go run ./cmd/shmlint ./...
+	echo "== tier 2: race stress (smb, ps, core, rds) =="
+	go test -race ./internal/smb ./internal/ps ./internal/core ./internal/rds
+	echo "== tier 2: fuzz smoke (100 execs per target) =="
+	# go test accepts exactly one -fuzz pattern per invocation.
+	for target in FuzzDispatch FuzzFrameRoundTrip FuzzReadFrame; do
+		go test -run='^$' -fuzz="^${target}\$" -fuzztime=100x ./internal/smb
+	done
+	for target in FuzzParseNetSpec FuzzLoadCheckpoint; do
+		go test -run='^$' -fuzz="^${target}\$" -fuzztime=100x ./internal/nn
+	done
+}
+
+case "$tier" in
+tier1) tier1 ;;
+tier2) tier2 ;;
+all)
+	tier1
+	tier2
+	;;
+*)
+	echo "usage: $0 [tier1|tier2|all]" >&2
+	exit 2
+	;;
+esac
+
+echo "check.sh: OK ($tier)"
