@@ -45,6 +45,9 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 8, "worker count for fig8")
 		epochs    = fs.Int("epochs", 0, "override epochs for the convergence exhibits")
 		perClass  = fs.Int("per-class", 0, "override per-class sample count for the convergence exhibits")
+		kernels   = fs.Bool("kernels", false, "run the kernel microbenchmarks (gemm, im2col, SMB) and emit JSON")
+		kernOut   = fs.String("kernels-out", "", "with -kernels: write the JSON report here instead of stdout")
+		kernQuick = fs.Bool("kernels-quick", false, "with -kernels: shorter size list for smoke runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +109,23 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch {
+	case *kernels:
+		rep, err := bench.KernelBench(*kernQuick)
+		if err != nil {
+			return err
+		}
+		if *kernOut == "" {
+			return rep.WriteJSON(out)
+		}
+		f, err := os.Create(*kernOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	case *charts:
 		chartGens := []func() (*trace.Chart, error){
 			func() (*trace.Chart, error) { return bench.Fig7Chart(hw) },

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+)
+
+// Kernel microbenchmarks, run in-process through testing.Benchmark so that
+// cmd/benchtables -kernels can emit BENCH_kernels.json without shelling
+// out to the go toolchain. These measure the real kernels (the same code
+// the *_bench_test.go files exercise), not the perfmodel: gemm scalar vs
+// parallel, im2col/col2im as dispatched, and the SMB store data path.
+//
+// Results are machine-dependent by nature; the report therefore records
+// GOMAXPROCS and NumCPU so a single-core run is not mistaken for a
+// scaling claim.
+
+// KernelResult is one benchmark line.
+type KernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelReport is the schema of BENCH_kernels.json.
+type KernelReport struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Note       string             `json:"note,omitempty"`
+	Results    []KernelResult     `json:"results"`
+	Speedups   map[string]float64 `json:"speedups_parallel_vs_scalar"`
+}
+
+// singleCoreNote is attached when GOMAXPROCS is 1, where the pinned
+// parallel kernels can only lose to the scalar reference.
+const singleCoreNote = "gemm/parallel entries pin the blocked parallel kernel for " +
+	"comparison; with GOMAXPROCS=1 the MatMul dispatcher always selects the scalar " +
+	"kernel, so these ratios measure kernel overhead, not the shipped configuration. " +
+	"Re-run `benchtables -kernels` on a multi-core host for scaling numbers."
+
+// kernelFill writes a deterministic mixed-magnitude pattern (including
+// exact zeros, which the gemm kernels special-case).
+func kernelFill(dst []float32, seed int) {
+	for i := range dst {
+		switch (i + seed) % 7 {
+		case 0:
+			dst[i] = 0
+		case 1:
+			dst[i] = float32(i%13) * 1e-3
+		default:
+			dst[i] = float32((i*31+seed)%17) - 8
+		}
+	}
+}
+
+func benchResult(name string, logicalBytes int64, r testing.BenchmarkResult) KernelResult {
+	kr := KernelResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if logicalBytes > 0 && kr.NsPerOp > 0 {
+		kr.MBPerSec = float64(logicalBytes) / kr.NsPerOp * 1e9 / (1 << 20)
+	}
+	return kr
+}
+
+// benchGemmKernel benchmarks one raw gemm implementation at size s³.
+func benchGemmKernel(fn func(m, n, k int, a, b, c []float32), s int) testing.BenchmarkResult {
+	a := make([]float32, s*s)
+	b := make([]float32, s*s)
+	c := make([]float32, s*s)
+	kernelFill(a, 1)
+	kernelFill(b, 2)
+	return testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			fn(s, s, s, a, b, c)
+		}
+	})
+}
+
+// KernelBench runs the suite and returns the report. quick shortens the
+// size list for smoke runs.
+func KernelBench(quick bool) (*KernelReport, error) {
+	rep := &KernelReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Speedups:   map[string]float64{},
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = singleCoreNote
+	}
+
+	sizes := []int{64, 128, 256}
+	if quick {
+		sizes = []int{64, 128}
+	}
+	for _, s := range sizes {
+		flopBytes := int64(2) * int64(s) * int64(s) * int64(s) * 4
+		sc := benchGemmKernel(tensor.GemmScalar, s)
+		pa := benchGemmKernel(tensor.GemmParallel, s)
+		rep.Results = append(rep.Results,
+			benchResult(fmt.Sprintf("gemm/scalar/%d", s), flopBytes, sc),
+			benchResult(fmt.Sprintf("gemm/parallel/%d", s), flopBytes, pa))
+		if pa.T > 0 && pa.N > 0 {
+			scNs := float64(sc.T.Nanoseconds()) / float64(sc.N)
+			paNs := float64(pa.T.Nanoseconds()) / float64(pa.N)
+			if paNs > 0 {
+				rep.Speedups[fmt.Sprintf("gemm/%d", s)] = scNs / paNs
+			}
+		}
+	}
+
+	// im2col / col2im as dispatched (c=64 channels crosses the parallel
+	// threshold).
+	{
+		const ch, h, w = 64, 32, 32
+		p := tensor.ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		img := make([]float32, ch*h*w)
+		kernelFill(img, 3)
+		oh, ow := p.OutSize(h, w)
+		col := make([]float32, ch*p.KernelH*p.KernelW*oh*ow)
+		logical := int64(len(col)) * 4
+		r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				tensor.Im2Col(img, ch, h, w, p, col)
+			}
+		})
+		rep.Results = append(rep.Results, benchResult("im2col/c64_32x32_k3", logical, r))
+		r = testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				tensor.Col2Im(col, ch, h, w, p, img)
+			}
+		})
+		rep.Results = append(rep.Results, benchResult("col2im/c64_32x32_k3", logical, r))
+	}
+
+	// SMB store Accumulate: one shared multi-stripe global, concurrent
+	// private deltas — the SEASGD contention point.
+	for _, workers := range []int{1, 4} {
+		const vals = 1 << 18 // 1 MiB, spans multiple lock stripes
+		store := smb.NewStore()
+		gKey, err := store.Create("kern/wg", vals*4)
+		if err != nil {
+			return nil, err
+		}
+		hg, err := store.Attach(gKey)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]float32, vals)
+		kernelFill(buf, 4)
+		raw := tensor.Float32Bytes(buf)
+		handles := make([]smb.Handle, workers)
+		for i := range handles {
+			dKey, err := store.Create(fmt.Sprintf("kern/dw%d", i), vals*4)
+			if err != nil {
+				return nil, err
+			}
+			hd, err := store.Attach(dKey)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.Write(hd, 0, raw); err != nil {
+				return nil, err
+			}
+			handles[i] = hd
+		}
+		r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			if workers == 1 {
+				for i := 0; i < bb.N; i++ {
+					if err := store.Accumulate(hg, handles[0]); err != nil {
+						bb.Fatal(err)
+					}
+				}
+				return
+			}
+			var next int
+			bb.RunParallel(func(pb *testing.PB) {
+				hd := handles[next%len(handles)]
+				next++
+				for pb.Next() {
+					if err := store.Accumulate(hg, hd); err != nil {
+						bb.Fatal(err)
+					}
+				}
+			})
+		})
+		rep.Results = append(rep.Results,
+			benchResult(fmt.Sprintf("smb/accumulate/workers=%d", workers), vals*4, r))
+	}
+
+	// TCP round trip: Write of a 16 KiB payload through the stream
+	// protocol (zero-alloc wire path; ns/op is dominated by loopback).
+	{
+		store := smb.NewStore()
+		srv, err := smb.NewServer(store, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		go srv.Serve() //lint:ignore goleak joined by srv.Close via the server's WaitGroup
+		client, err := smb.Dial(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		key, err := client.Create("kern/rt", 4096*4)
+		if err != nil {
+			return nil, err
+		}
+		h, err := client.Attach(key)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]float32, 4096)
+		kernelFill(buf, 5)
+		raw := tensor.Float32Bytes(buf)
+		r := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if err := client.Write(h, 0, raw); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, benchResult("smb/tcp_write/16KiB", 4096*4, r))
+	}
+
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -16,6 +16,11 @@ import (
 //     (ctx/closed-channel exit path), or
 //   - is a single one-shot channel send (result handoff).
 //
+// Long-lived worker pools (internal/parallel.NewPool) pass on both counts
+// at once: each worker ranges over the job channel (closed by Close) and
+// defers WaitGroup.Done (joined by Close). "Long-lived" is therefore fine
+// as long as something still owns the shutdown.
+//
 // Anything else is a goroutine whose lifetime nothing bounds — the kind of
 // leak that turns a long-lived parameter-sharing process into an OOM.
 var GoLeak = &Analyzer{

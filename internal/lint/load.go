@@ -198,7 +198,10 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return pkg, nil
 }
 
-// goFilesIn lists the buildable non-test Go files in dir, sorted.
+// goFilesIn lists the buildable non-test Go files in dir, sorted. Build
+// constraints are honoured against the default build context (so of a
+// `//go:build race` / `//go:build !race` pair only the non-race file is
+// loaded, matching what `go build` compiles).
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -210,6 +213,9 @@ func goFilesIn(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -46,6 +46,25 @@ func rangeTied(ch chan int) {
 	}()
 }
 
+// workerPool mirrors internal/parallel.NewPool: long-lived workers are
+// tied twice over — a WaitGroup joined on Close, and a range over the job
+// channel that exits when the channel is closed. Either alone satisfies
+// the analyzer; this case pins the combined worker-pool shape.
+type workerPool struct {
+	wg   sync.WaitGroup
+	jobs chan func()
+}
+
+func workerPoolTied(p *workerPool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for job := range p.jobs {
+			job()
+		}
+	}()
+}
+
 func leak(counter *int) {
 	go func() { // want `goroutine literal has no WaitGroup\.Done`
 		for {

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks every index is visited exactly once across a
+// spread of sizes, grains, and pool widths, including non-grain-aligned n.
+func TestForCoversRange(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 4, 8} {
+		p := NewPool(width)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000, 1023, 4096} {
+			for _, grain := range []int{0, 1, 3, 64, 5000} {
+				visits := make([]int32, n)
+				p.For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("width=%d n=%d grain=%d: bad range [%d,%d)", width, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("width=%d n=%d grain=%d: index %d visited %d times", width, n, grain, i, v)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestChunkSizeDeterministic pins the partition contract: boundaries depend
+// only on (n, grain, width).
+func TestChunkSizeDeterministic(t *testing.T) {
+	cases := []struct {
+		n, grain, width, want int
+	}{
+		{100, 1, 4, 25},
+		{100, 30, 4, 30},  // grain floor wins
+		{101, 1, 4, 26},   // ceil split
+		{8, 1, 8, 1},
+		{7, 0, 2, 4},      // grain<1 treated as 1
+		{1 << 20, 256, 8, 1 << 17},
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.n, c.grain, c.width); got != c.want {
+			t.Errorf("chunkSize(%d,%d,%d) = %d, want %d", c.n, c.grain, c.width, got, c.want)
+		}
+	}
+}
+
+// TestForReuse hammers one pool from many goroutines at once — the reuse
+// path the tensor kernels and SMB server share. Run under -race in tier 2.
+func TestForReuse(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const goroutines = 8
+	const rounds = 50
+	const n = 512
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum int64
+			for r := 0; r < rounds; r++ {
+				var total atomic.Int64
+				p.For(n, 16, func(lo, hi int) {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					total.Add(s)
+				})
+				sum = total.Load()
+			}
+			if want := int64(n * (n - 1) / 2); sum != want {
+				t.Errorf("sum = %d, want %d", sum, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestForNested checks that a For issued from inside a worker completes
+// rather than deadlocking the pool (the helping-wait path).
+func TestForNested(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var count atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(16, 1, func(ilo, ihi int) {
+				count.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := count.Load(); got != 8*16 {
+		t.Fatalf("nested For visited %d indices, want %d", got, 8*16)
+	}
+}
+
+// TestDefaultPool exercises the shared pool (never closed; long-lived
+// workers by design).
+func TestDefaultPool(t *testing.T) {
+	var total atomic.Int64
+	For(100, 10, func(lo, hi int) {
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != 100 {
+		t.Fatalf("default For covered %d of 100", total.Load())
+	}
+	if Default().Width() < 1 {
+		t.Fatalf("default width %d", Default().Width())
+	}
+}
+
+func BenchmarkForDispatch(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(1024, 64, func(lo, hi int) {})
+	}
+}

@@ -1,0 +1,166 @@
+package smb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Chunk-striping stress: the tests in race_stress_test.go use segments far
+// smaller than one lock stripe, so they never exercise the multi-stripe
+// Accumulate path. These tests use segments spanning several chunkBytes
+// stripes so that concurrent accumulates genuinely interleave stripe by
+// stripe, and the exact-sum invariant must still hold at the end.
+
+// chunkStressVals spans a bit over three lock stripes.
+const chunkStressVals = 3*chunkBytes/4 + 1024
+
+func TestChunkedAccumulateRaceStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 8
+	)
+	store := NewStore()
+	gKey, err := store.Create("chunk/wg", chunkStressVals*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := store.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := tensor.Float32Bytes(onesVec(chunkStressVals))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errCh <- func() error {
+				dKey, err := store.Create(fmt.Sprintf("chunk/dw%d", w), chunkStressVals*4)
+				if err != nil {
+					return err
+				}
+				hd, err := store.Attach(dKey)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < iters; i++ {
+					if err := store.Write(hd, 0, ones); err != nil {
+						return err
+					}
+					if err := store.Accumulate(hg, hd); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}()
+		// Concurrent readers sweep the whole multi-stripe segment.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errCh <- func() error {
+				buf := make([]byte, chunkStressVals*4)
+				for i := 0; i < iters; i++ {
+					if err := store.Read(hg, 0, buf); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buf := make([]byte, chunkStressVals*4)
+	if err := store.Read(hg, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tensor.Float32FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(workers * iters)
+	for i, v := range got {
+		if v != want {
+			t.Fatalf("global[%d] = %v, want %v (lost increment in stripe %d)",
+				i, v, want, i*4/chunkBytes)
+		}
+	}
+}
+
+// TestCrossedAccumulateNoDeadlock pits X += Y against Y += X on
+// multi-stripe segments. The per-stripe locks are taken in segment-key
+// order, so the crossed pattern must neither deadlock nor race. Both
+// segments hold zeros, which keeps every sum exact regardless of
+// interleaving.
+func TestCrossedAccumulateNoDeadlock(t *testing.T) {
+	store := NewStore()
+	xKey, err := store.Create("cross/x", chunkStressVals*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yKey, err := store.Create("cross/y", chunkStressVals*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx, err := store.Attach(xKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := store.Attach(yKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	run := func(dst, src Handle) {
+		defer wg.Done()
+		errCh <- func() error {
+			for i := 0; i < iters; i++ {
+				if err := store.Accumulate(dst, src); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}
+	wg.Add(3)
+	go run(hx, hy)
+	go run(hy, hx)
+	go run(hx, hx) // self-accumulate takes the single-lock path
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buf := make([]byte, chunkStressVals*4)
+	if err := store.Read(hx, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tensor.Float32FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0", i, v)
+		}
+	}
+}

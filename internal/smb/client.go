@@ -101,9 +101,12 @@ func ReadInt64(c Client, h Handle, slot int) (int64, error) {
 	return int64(binary.LittleEndian.Uint64(buf[:])), nil
 }
 
-// ReadInt64Slots loads n consecutive int64 slots starting at slot 0.
+// ReadInt64Slots loads n consecutive int64 slots starting at slot 0. The
+// byte staging buffer comes from the package scratch pool, so the only
+// allocation is the returned slice.
 func ReadInt64Slots(c Client, h Handle, n int) ([]int64, error) {
-	buf := make([]byte, 8*n)
+	buf, bp := getScratch(8 * n)
+	defer putScratch(bp)
 	if err := c.Read(h, 0, buf); err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func FuzzDispatch(f *testing.F) {
 			binary.LittleEndian.Uint64(payload) == uint64(h) {
 			t.Skip("WaitUpdate on live handle blocks by design")
 		}
-		_, _ = srv.dispatch(opcode(op), payload)
+		_, _ = srv.dispatch(opcode(op), payload, &connState{})
 	})
 }
 

@@ -92,9 +92,10 @@ var _ Notifier = (*StreamClient)(nil)
 
 // Version implements Notifier over the wire.
 func (c *StreamClient) Version(h Handle) (uint64, error) {
-	var fw frameWriter
-	fw.u64(uint64(h))
-	resp, err := c.call(opVersion, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h))
+	resp, err := c.roundTripLocked(opVersion)
 	if err != nil {
 		return 0, err
 	}
@@ -105,9 +106,10 @@ func (c *StreamClient) Version(h Handle) (uint64, error) {
 // WaitUpdate implements Notifier over the wire. It blocks the connection
 // until the update arrives, so watchers should use a dedicated connection.
 func (c *StreamClient) WaitUpdate(h Handle, since uint64) (uint64, error) {
-	var fw frameWriter
-	fw.u64(uint64(h)).u64(since)
-	resp, err := c.call(opWaitUpdate, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h)).u64(since)
+	resp, err := c.roundTripLocked(opWaitUpdate)
 	if err != nil {
 		return 0, err
 	}

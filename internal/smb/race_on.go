@@ -1,0 +1,7 @@
+//go:build race
+
+package smb
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation guards skip under -race, whose instrumentation allocates.
+const raceEnabled = true

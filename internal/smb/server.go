@@ -10,8 +10,9 @@ import (
 
 // Server exposes a Store over TCP — the process playing the role of the
 // paper's dedicated memory server (the machine with 256 GB RAM and an
-// Infiniband HCA). Connections are handled concurrently; Accumulate remains
-// globally exclusive inside the Store.
+// Infiniband HCA). Connections are handled concurrently; Accumulates from
+// different connections proceed in parallel per 64 KiB stripe while the
+// Store's chunk locks preserve exact accumulation (see Store.Accumulate).
 type Server struct {
 	store *Store
 	ln    net.Listener
@@ -108,30 +109,49 @@ func (s *Server) Close() error {
 	return err
 }
 
+// connState is the per-connection scratch a handler loop reuses frame to
+// frame: the inbound frame body, the outbound payload builder, and the
+// bulk-read buffer. Pooled so steady-state Read/Write/Accumulate service
+// allocates nothing per op.
+type connState struct {
+	in   []byte      // inbound frame scratch (readFrameInto)
+	out  []byte      // opRead response scratch, grow-only
+	fw   frameWriter // outbound payload builder, reset per frame
+	wire []byte      // outbound frame staging (writeFrameInto)
+}
+
+var connStatePool = sync.Pool{New: func() any { return new(connState) }}
+
 func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
+	cs := connStatePool.Get().(*connState)
+	defer connStatePool.Put(cs)
 	for {
-		op, payload, err := readFrame(conn)
+		op, payload, err := readFrameInto(conn, &cs.in)
 		if err != nil {
 			return // EOF or broken connection: drop silently
 		}
-		resp, err := s.dispatch(opcode(op), payload)
+		resp, err := s.dispatch(opcode(op), payload, cs)
 		if err != nil {
-			var fw frameWriter
-			fw.str(err.Error())
-			if werr := writeFrame(conn, statusErr, fw.buf); werr != nil {
+			cs.fw.buf = cs.fw.buf[:0]
+			cs.fw.str(err.Error())
+			if werr := writeFrameInto(conn, statusErr, cs.fw.buf, &cs.wire); werr != nil {
 				return
 			}
 			continue
 		}
-		if werr := writeFrame(conn, statusOK, resp); werr != nil {
+		if werr := writeFrameInto(conn, statusOK, resp, &cs.wire); werr != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
+// dispatch decodes and executes one request. The returned payload may alias
+// cs scratch and is valid until the next dispatch on the same connection.
+func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, error) {
 	fr := frameReader{buf: payload}
+	fw := &cs.fw
+	fw.buf = fw.buf[:0]
 	switch op {
 	case opCreate:
 		name := fr.str()
@@ -143,7 +163,6 @@ func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fw frameWriter
 		return fw.u64(uint64(key)).buf, nil
 	case opLookup:
 		name := fr.str()
@@ -154,7 +173,6 @@ func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fw frameWriter
 		return fw.u64(uint64(key)).buf, nil
 	case opAttach:
 		key := fr.u64()
@@ -165,7 +183,6 @@ func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fw frameWriter
 		return fw.u64(uint64(h)).buf, nil
 	case opDetach:
 		h := fr.u64()
@@ -189,7 +206,10 @@ func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
 		if n > maxFrame {
 			return nil, ErrFrameTooLarge
 		}
-		dst := make([]byte, n)
+		if uint64(cap(cs.out)) < n {
+			cs.out = make([]byte, n)
+		}
+		dst := cs.out[:n]
 		if err := s.store.Read(Handle(h), int(off), dst); err != nil {
 			return nil, err
 		}
@@ -218,10 +238,15 @@ func (s *Server) dispatch(op opcode, payload []byte) ([]byte, error) {
 // any transport (TCP via Dial, or anything implementing
 // io.ReadWriteCloser via NewStreamClient). It is safe for concurrent use;
 // requests serialize on the connection, matching one RDMA queue pair's
-// ordering.
+// ordering. Request building and response parsing run inside the
+// connection lock against per-client grow-only scratch buffers, so
+// steady-state verbs allocate nothing.
 type StreamClient struct {
 	mu   sync.Mutex
 	conn io.ReadWriteCloser
+	req  frameWriter // request payload builder, guarded by mu
+	in   []byte      // response frame scratch, guarded by mu
+	wire []byte      // request frame staging, guarded by mu
 }
 
 var _ Client = (*StreamClient)(nil)
@@ -247,14 +272,21 @@ func (c *StreamClient) Close() error {
 	return c.conn.Close()
 }
 
-// call performs one synchronous RPC.
-func (c *StreamClient) call(op opcode, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, byte(op), payload); err != nil {
+// beginLocked resets the request builder for a new call. The caller must
+// hold c.mu (every verb method locks, builds, then round-trips).
+func (c *StreamClient) beginLocked() *frameWriter {
+	c.req.buf = c.req.buf[:0]
+	return &c.req
+}
+
+// roundTripLocked performs one synchronous RPC with c.req.buf as the
+// request payload. The returned payload aliases the client's scratch and
+// must be consumed before c.mu is released. Caller holds c.mu.
+func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
+	if err := writeFrameInto(c.conn, byte(op), c.req.buf, &c.wire); err != nil {
 		return nil, fmt.Errorf("smb request: %w", err)
 	}
-	status, resp, err := readFrame(c.conn)
+	status, resp, err := readFrameInto(c.conn, &c.in)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("smb server closed connection: %w", err)
@@ -289,9 +321,10 @@ func hasSuffix(s, suffix string) bool {
 
 // Create implements Client.
 func (c *StreamClient) Create(name string, size int) (SHMKey, error) {
-	var fw frameWriter
-	fw.str(name).u64(uint64(size))
-	resp, err := c.call(opCreate, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().str(name).u64(uint64(size))
+	resp, err := c.roundTripLocked(opCreate)
 	if err != nil {
 		return 0, err
 	}
@@ -301,9 +334,10 @@ func (c *StreamClient) Create(name string, size int) (SHMKey, error) {
 
 // Lookup implements Client.
 func (c *StreamClient) Lookup(name string) (SHMKey, error) {
-	var fw frameWriter
-	fw.str(name)
-	resp, err := c.call(opLookup, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().str(name)
+	resp, err := c.roundTripLocked(opLookup)
 	if err != nil {
 		return 0, err
 	}
@@ -313,9 +347,10 @@ func (c *StreamClient) Lookup(name string) (SHMKey, error) {
 
 // Attach implements Client.
 func (c *StreamClient) Attach(key SHMKey) (Handle, error) {
-	var fw frameWriter
-	fw.u64(uint64(key))
-	resp, err := c.call(opAttach, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(key))
+	resp, err := c.roundTripLocked(opAttach)
 	if err != nil {
 		return 0, err
 	}
@@ -325,25 +360,29 @@ func (c *StreamClient) Attach(key SHMKey) (Handle, error) {
 
 // Detach implements Client.
 func (c *StreamClient) Detach(h Handle) error {
-	var fw frameWriter
-	fw.u64(uint64(h))
-	_, err := c.call(opDetach, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h))
+	_, err := c.roundTripLocked(opDetach)
 	return err
 }
 
 // Free implements Client.
 func (c *StreamClient) Free(key SHMKey) error {
-	var fw frameWriter
-	fw.u64(uint64(key))
-	_, err := c.call(opFree, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(key))
+	_, err := c.roundTripLocked(opFree)
 	return err
 }
 
-// Read implements Client.
+// Read implements Client. The response payload is copied into dst straight
+// from the connection scratch — no intermediate allocation.
 func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
-	var fw frameWriter
-	fw.u64(uint64(h)).u64(uint64(off)).u64(uint64(len(dst)))
-	resp, err := c.call(opRead, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h)).u64(uint64(off)).u64(uint64(len(dst)))
+	resp, err := c.roundTripLocked(opRead)
 	if err != nil {
 		return err
 	}
@@ -356,16 +395,18 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 
 // Write implements Client.
 func (c *StreamClient) Write(h Handle, off int, src []byte) error {
-	var fw frameWriter
-	fw.u64(uint64(h)).u64(uint64(off)).bytes(src)
-	_, err := c.call(opWrite, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h)).u64(uint64(off)).bytes(src)
+	_, err := c.roundTripLocked(opWrite)
 	return err
 }
 
 // Accumulate implements Client.
 func (c *StreamClient) Accumulate(dst, src Handle) error {
-	var fw frameWriter
-	fw.u64(uint64(dst)).u64(uint64(src))
-	_, err := c.call(opAccumulate, fw.buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(dst)).u64(uint64(src))
+	_, err := c.roundTripLocked(opAccumulate)
 	return err
 }

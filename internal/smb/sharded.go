@@ -140,7 +140,8 @@ func (s *ShardedClient) resolveName(key SHMKey) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	buf := make([]byte, size)
+	buf, bp := getScratch(size)
+	defer putScratch(bp)
 	if err := s.clients[0].Read(h, 0, buf); err != nil {
 		return "", err
 	}
@@ -154,23 +155,28 @@ func segmentSize(c Client, h Handle) (int, error) {
 	if lc, ok := c.(*LocalClient); ok {
 		return lc.store.SegmentSize(h)
 	}
-	// Grow until a read fails.
+	// Grow until a read fails. One pooled buffer serves every probe: it is
+	// grown to the next probe size by getScratch's grow-only contract.
+	probe, bp := getScratch(1)
+	defer func() { putScratch(bp) }()
 	hi := 1
 	for {
-		buf := make([]byte, hi)
-		if err := c.Read(h, 0, buf); err != nil {
+		if err := c.Read(h, 0, probe[:hi]); err != nil {
 			break
 		}
 		if hi > 1<<20 {
 			return 0, fmt.Errorf("smb: directory segment unreasonably large")
 		}
 		hi *= 2
+		if cap(probe) < hi {
+			putScratch(bp)
+			probe, bp = getScratch(hi)
+		}
 	}
 	lo := hi / 2
 	for lo < hi-1 {
 		mid := (lo + hi) / 2
-		buf := make([]byte, mid)
-		if err := c.Read(h, 0, buf); err != nil {
+		if err := c.Read(h, 0, probe[:mid]); err != nil {
 			hi = mid
 		} else {
 			lo = mid

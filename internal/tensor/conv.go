@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"shmcaffe/internal/parallel"
+)
 
 // ConvParams describes a 2-D convolution or pooling geometry.
 type ConvParams struct {
@@ -31,13 +35,32 @@ func (p ConvParams) Validate(h, w int) error {
 	return nil
 }
 
+// convParallelWork is the per-channel element count above which the
+// im2col/col2im lowering fans out across the pool.
+const convParallelWork = 1 << 15
+
 // Im2Col expands one image (c×h×w, flat) into columns for GEMM-based
 // convolution. col must have (c·kh·kw)×(oh·ow) elements and is overwritten.
-// This mirrors the canonical Caffe lowering.
+// This mirrors the canonical Caffe lowering. Channels are independent (each
+// owns a contiguous kh·kw·oh·ow block of col), so large lowerings run
+// channel ranges in parallel; the result is position-for-position identical
+// to the scalar walk.
 func Im2Col(img []float32, c, h, w int, p ConvParams, col []float32) {
 	oh, ow := p.OutSize(h, w)
-	colIdx := 0
-	for ch := 0; ch < c; ch++ {
+	perChannel := p.KernelH * p.KernelW * oh * ow
+	if c > 1 && perChannel*c >= convParallelWork {
+		parallel.For(c, 1, func(lo, hi int) {
+			im2ColChannels(img, lo, hi, h, w, oh, ow, p, col)
+		})
+		return
+	}
+	im2ColChannels(img, 0, c, h, w, oh, ow, p, col)
+}
+
+// im2ColChannels is the scalar reference kernel over channels [lo, hi).
+func im2ColChannels(img []float32, lo, hi, h, w, oh, ow int, p ConvParams, col []float32) {
+	colIdx := lo * p.KernelH * p.KernelW * oh * ow
+	for ch := lo; ch < hi; ch++ {
 		base := ch * h * w
 		for kh := 0; kh < p.KernelH; kh++ {
 			for kw := 0; kw < p.KernelW; kw++ {
@@ -60,11 +83,26 @@ func Im2Col(img []float32, c, h, w int, p ConvParams, col []float32) {
 
 // Col2Im scatters columns back into an image gradient (accumulating), the
 // adjoint of Im2Col. img must have c·h·w elements and should be zeroed by
-// the caller if accumulation from a clean slate is desired.
+// the caller if accumulation from a clean slate is desired. Each channel
+// scatters only into its own h·w block of img, so channel ranges are
+// data-disjoint and the parallel path accumulates in the same per-element
+// order as the scalar walk.
 func Col2Im(col []float32, c, h, w int, p ConvParams, img []float32) {
 	oh, ow := p.OutSize(h, w)
-	colIdx := 0
-	for ch := 0; ch < c; ch++ {
+	perChannel := p.KernelH * p.KernelW * oh * ow
+	if c > 1 && perChannel*c >= convParallelWork {
+		parallel.For(c, 1, func(lo, hi int) {
+			col2ImChannels(col, lo, hi, h, w, oh, ow, p, img)
+		})
+		return
+	}
+	col2ImChannels(col, 0, c, h, w, oh, ow, p, img)
+}
+
+// col2ImChannels is the scalar reference kernel over channels [lo, hi).
+func col2ImChannels(col []float32, lo, hi, h, w, oh, ow int, p ConvParams, img []float32) {
+	colIdx := lo * p.KernelH * p.KernelW * oh * ow
+	for ch := lo; ch < hi; ch++ {
 		base := ch * h * w
 		for kh := 0; kh < p.KernelH; kh++ {
 			for kw := 0; kw < p.KernelW; kw++ {

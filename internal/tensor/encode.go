@@ -4,7 +4,35 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// nativeLittleEndian reports whether the host stores float32/uint32 in the
+// wire byte order, which makes reinterpreting segment bytes as floats a
+// pure pointer cast.
+var nativeLittleEndian = func() bool {
+	var probe [4]byte
+	binary.LittleEndian.PutUint32(probe[:], 0x01020304)
+	return *(*uint32)(unsafe.Pointer(&probe[0])) == 0x01020304
+}()
+
+// Float32View returns a []float32 aliasing b — no copy, no allocation —
+// when the platform is little-endian and b is 4-byte aligned with a length
+// that is a multiple of 4. ok is false otherwise and callers must fall back
+// to DecodeFloat32. Writes through the view are writes to b: the SMB
+// accumulate path uses this to run dst += src directly on segment bytes.
+func Float32View(b []byte) (vals []float32, ok bool) {
+	if !nativeLittleEndian || len(b)%4 != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(float32(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
 
 // EncodeFloat32 serializes vals as little-endian float32 into dst, which must
 // have 4·len(vals) bytes. It returns the number of bytes written. The SMB

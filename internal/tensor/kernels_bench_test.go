@@ -1,0 +1,76 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks: the gemm sizes the acceptance gate tracks (the hot
+// shapes of the zoo models are in this range), plus the conv lowering.
+// cmd/benchtables -kernels runs the same bodies through testing.Benchmark
+// to emit BENCH_kernels.json.
+
+func benchGemm(b *testing.B, m, n, k int, kernel func(m, n, k int, a, bb, c []float32)) {
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	fillPattern(a, 1)
+	fillPattern(bb, 2)
+	b.SetBytes(int64(2 * m * n * k * 4)) // 2 flops per element-pair, float32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(m, n, k, a, bb, c)
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, size := range []int{64, 128, 256, 384} {
+		b.Run(fmt.Sprintf("scalar/%d", size), func(b *testing.B) {
+			benchGemm(b, size, size, size, gemmScalar)
+		})
+		b.Run(fmt.Sprintf("parallel/%d", size), func(b *testing.B) {
+			benchGemm(b, size, size, size, gemmParallel)
+		})
+	}
+}
+
+func BenchmarkGemmTransA(b *testing.B) {
+	b.Run("scalar/256", func(b *testing.B) { benchGemm(b, 256, 256, 256, gemmTransAScalar) })
+	b.Run("parallel/256", func(b *testing.B) { benchGemm(b, 256, 256, 256, gemmTransAParallel) })
+}
+
+func BenchmarkGemmTransB(b *testing.B) {
+	b.Run("scalar/256", func(b *testing.B) { benchGemm(b, 256, 256, 256, gemmTransBScalar) })
+	b.Run("parallel/256", func(b *testing.B) { benchGemm(b, 256, 256, 256, gemmTransBParallel) })
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	const c, h, w = 64, 32, 32
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	oh, ow := p.OutSize(h, w)
+	img := make([]float32, c*h*w)
+	col := make([]float32, c*p.KernelH*p.KernelW*oh*ow)
+	fillPattern(img, 3)
+	b.SetBytes(int64(len(col) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(img, c, h, w, p, col)
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	const c, h, w = 64, 32, 32
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	oh, ow := p.OutSize(h, w)
+	img := make([]float32, c*h*w)
+	col := make([]float32, c*p.KernelH*p.KernelW*oh*ow)
+	fillPattern(col, 4)
+	b.SetBytes(int64(len(col) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2Im(col, c, h, w, p, img)
+	}
+}

@@ -1,6 +1,48 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"shmcaffe/internal/parallel"
+)
+
+// The GEMM family below has two implementations each: a scalar reference
+// kernel (the seed's original loops, kept verbatim as the ground truth the
+// equivalence tests compare against) and a cache-blocked parallel kernel
+// that partitions output rows across the worker pool. Dispatch picks the
+// parallel path only when the problem carries enough flops to amortise it.
+//
+// Determinism: the parallel kernels split C by rows; every C element is
+// produced entirely inside one range, and the k loop always runs 0..k-1 in
+// order within a row, so the floating-point accumulation order per element
+// is identical to the scalar kernel regardless of pool width or schedule.
+
+const (
+	// gemmParallelFlops is the m·n·k threshold below which the scalar
+	// kernel wins (dispatch + partition overhead dominates under ~64³).
+	gemmParallelFlops = 1 << 18
+	// gemmBlockK/gemmBlockJ are the cache-block edge lengths: a K-panel of
+	// B (gemmBlockK rows × gemmBlockJ columns ≈ 256 KiB at float32) stays
+	// resident while a range of C rows streams over it.
+	gemmBlockK = 256
+	gemmBlockJ = 256
+	// gemmRowGrain is the minimum C-row count per parallel range.
+	gemmRowGrain = 8
+)
+
+// packPool recycles the scratch panels the transposed-A path packs into.
+var packPool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getPack(n int) ([]float32, *[]float32) {
+	p := packPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	return (*p)[:n], p
+}
+
+func putPack(p *[]float32) { packPool.Put(p) }
 
 // MatMul computes dst = a × b for 2-D tensors: a is (m×k), b is (k×n),
 // dst is (m×n). dst must be preallocated; it is overwritten.
@@ -18,10 +60,36 @@ func MatMul(a, b, dst *Tensor) error {
 	return nil
 }
 
-// gemm computes C = A×B with A (m×k), B (k×n), C (m×n), all row-major.
-// The k-outer loop with a row-broadcast inner loop keeps accesses
-// sequential, which matters for the larger functional models.
+// useParallelGemm reports whether the blocked parallel kernel should run:
+// the problem must carry enough flops to amortise dispatch, and the pool
+// must actually have more than one lane (on a single-core machine the
+// blocked kernel can only lose to the scalar reference).
+func useParallelGemm(flops int) bool {
+	return flops >= gemmParallelFlops && parallel.DefaultWidth() > 1
+}
+
+// gemm computes C = A×B with A (m×k), B (k×n), C (m×n), all row-major,
+// choosing between the scalar reference and the blocked parallel kernel.
 func gemm(m, n, k int, a, b, c []float32) {
+	if !useParallelGemm(m * n * k) {
+		gemmScalar(m, n, k, a, b, c)
+		return
+	}
+	gemmParallel(m, n, k, a, b, c)
+}
+
+// gemmParallel always takes the blocked parallel path (exported to the
+// equivalence tests through the package boundary of a _test file).
+func gemmParallel(m, n, k int, a, b, c []float32) {
+	parallel.For(m, gemmRowGrain, func(lo, hi int) {
+		gemmRows(a[lo*k:hi*k], b, c[lo*n:hi*n], hi-lo, k, n)
+	})
+}
+
+// gemmScalar is the seed's original kernel: k-outer with a row-broadcast
+// inner loop, which keeps accesses sequential. It is the reference the
+// blocked kernels must match.
+func gemmScalar(m, n, k int, a, b, c []float32) {
 	for i := range c {
 		c[i] = 0
 	}
@@ -41,6 +109,63 @@ func gemm(m, n, k int, a, b, c []float32) {
 	}
 }
 
+// gemmRows computes rows of C for a row-major A panel (rows×k), full B
+// (k×n) and C panel (rows×n), cache-blocked over k and j. For every (i, j)
+// the k index still increases monotonically across blocks, so the
+// accumulation order matches gemmScalar exactly.
+func gemmRows(aRows, b, cRows []float32, rows, k, n int) {
+	for i := range cRows {
+		cRows[i] = 0
+	}
+	for kb := 0; kb < k; kb += gemmBlockK {
+		kend := kb + gemmBlockK
+		if kend > k {
+			kend = k
+		}
+		for jb := 0; jb < n; jb += gemmBlockJ {
+			jend := jb + gemmBlockJ
+			if jend > n {
+				jend = n
+			}
+			for i := 0; i < rows; i++ {
+				arow := aRows[i*k+kb : i*k+kend]
+				crow := cRows[i*n+jb : i*n+jend]
+				for l, av := range arow {
+					if av == 0 {
+						continue
+					}
+					// Full-slice-expression plus clamp let the compiler
+					// prove j < len(crow) and drop the bounds check in the
+					// hot loop (~2× on amd64; the lengths are always equal,
+					// so the clamp never trims).
+					brow := b[(kb+l)*n+jb : (kb+l)*n+jend : (kb+l)*n+jend]
+					if len(brow) > len(crow) {
+						brow = brow[:len(crow)]
+					}
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// Raw-slice gemm entry points. Gemm dispatches exactly like MatMul;
+// GemmScalar and GemmParallel pin one implementation each so that
+// cmd/benchtables can measure the scalar-vs-parallel speedup without
+// reaching through the Tensor API.
+
+// Gemm computes C = A×B on flat row-major slices: a (m×k), b (k×n),
+// c (m×n). Slices must have exactly those lengths.
+func Gemm(m, n, k int, a, b, c []float32) { gemm(m, n, k, a, b, c) }
+
+// GemmScalar always runs the scalar reference kernel.
+func GemmScalar(m, n, k int, a, b, c []float32) { gemmScalar(m, n, k, a, b, c) }
+
+// GemmParallel always runs the cache-blocked parallel kernel.
+func GemmParallel(m, n, k int, a, b, c []float32) { gemmParallel(m, n, k, a, b, c) }
+
 // MatMulTransA computes dst = aᵀ × b for a (k×m), b (k×n), dst (m×n).
 func MatMulTransA(a, b, dst *Tensor) error {
 	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
@@ -51,13 +176,40 @@ func MatMulTransA(a, b, dst *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTransA: %w", ErrShapeMismatch)
 	}
-	c := dst.data
+	if !useParallelGemm(m * n * k) {
+		gemmTransAScalar(m, n, k, a.data, b.data, dst.data)
+		return nil
+	}
+	gemmTransAParallel(m, n, k, a.data, b.data, dst.data)
+	return nil
+}
+
+// gemmTransAParallel partitions C rows; each range packs its strip of aᵀ
+// (rows lo..hi of the logical m×k matrix, read column-wise from a) into a
+// contiguous pooled panel so the row kernel streams it like plain gemm.
+func gemmTransAParallel(m, n, k int, a, b, c []float32) {
+	parallel.For(m, gemmRowGrain, func(lo, hi int) {
+		rows := hi - lo
+		pack, ph := getPack(rows * k)
+		for l := 0; l < k; l++ {
+			src := a[l*m+lo : l*m+hi]
+			for i, v := range src {
+				pack[i*k+l] = v
+			}
+		}
+		gemmRows(pack, b, c[lo*n:hi*n], rows, k, n)
+		putPack(ph)
+	})
+}
+
+// gemmTransAScalar is the seed's original aᵀ×b kernel (reference).
+func gemmTransAScalar(m, n, k int, a, b, c []float32) {
 	for i := range c {
 		c[i] = 0
 	}
 	for l := 0; l < k; l++ {
-		arow := a.data[l*m : (l+1)*m]
-		brow := b.data[l*n : (l+1)*n]
+		arow := a[l*m : (l+1)*m]
+		brow := b[l*n : (l+1)*n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
@@ -68,7 +220,6 @@ func MatMulTransA(a, b, dst *Tensor) error {
 			}
 		}
 	}
-	return nil
 }
 
 // MatMulTransB computes dst = a × bᵀ for a (m×k), b (n×k), dst (m×n).
@@ -81,11 +232,32 @@ func MatMulTransB(a, b, dst *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTransB: %w", ErrShapeMismatch)
 	}
+	if !useParallelGemm(m * n * k) {
+		gemmTransBScalar(m, n, k, a.data, b.data, dst.data)
+		return nil
+	}
+	gemmTransBParallel(m, n, k, a.data, b.data, dst.data)
+	return nil
+}
+
+// gemmTransBParallel partitions C rows; both operands already stream
+// row-contiguously, so the scalar kernel doubles as the range kernel.
+func gemmTransBParallel(m, n, k int, a, b, c []float32) {
+	parallel.For(m, gemmRowGrain, func(lo, hi int) {
+		gemmTransBScalar(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
+	})
+}
+
+// gemmTransBScalar is the seed's original a×bᵀ kernel (reference). Both
+// operands stream row-contiguously, so it doubles as the per-range kernel
+// of the parallel path: each dot product c[i][j] is computed in one l-scan,
+// identical in FP order at any partition.
+func gemmTransBScalar(m, n, k int, a, b, c []float32) {
 	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := dst.data[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			var s float32
 			for l, av := range arow {
 				s += av * brow[l]
@@ -93,5 +265,4 @@ func MatMulTransB(a, b, dst *Tensor) error {
 			crow[j] = s
 		}
 	}
-	return nil
 }

@@ -38,6 +38,13 @@ tier2() {
 	for target in FuzzParseNetSpec FuzzLoadCheckpoint; do
 		go test -run='^$' -fuzz="^${target}\$" -fuzztime=100x ./internal/nn
 	done
+	echo "== tier 2: bench smoke (1 iteration per benchmark) =="
+	go test -run='^$' -bench=. -benchtime=1x -benchmem \
+		./internal/parallel ./internal/tensor ./internal/smb
+	echo "== tier 2: allocation regression guard =="
+	# Pins the zero-alloc contract of the SMB hot path (Store and
+	# StreamClient Read/Write/Accumulate, pooled wire scratch).
+	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
 }
 
 case "$tier" in
