@@ -7,6 +7,7 @@
 //	benchtables -exhibit fig8 -workers 8 -epochs 10
 //	benchtables -ablations           # the DESIGN.md §6 ablations
 //	benchtables -csv                 # CSV instead of aligned text
+//	benchtables -trace trace.json    # phase breakdown of a shmtrain -trace-out file
 //
 // Exhibits: table1 table2 table3 table4 table5 table6 fig7 fig8 fig10
 // fig11 fig15 (fig9 is the chart form of table2; figs 12-14 are the chart
@@ -48,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		kernels   = fs.Bool("kernels", false, "run the kernel microbenchmarks (gemm, im2col, SMB) and emit JSON")
 		kernOut   = fs.String("kernels-out", "", "with -kernels: write the JSON report here instead of stdout")
 		kernQuick = fs.Bool("kernels-quick", false, "with -kernels: shorter size list for smoke runs")
+		traceFile = fs.String("trace", "", "print the per-phase breakdown of a Chrome trace written by shmtrain -trace-out")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch {
+	case *traceFile != "":
+		return traceReport(out, *traceFile, *csv)
 	case *kernels:
 		rep, err := bench.KernelBench(*kernQuick)
 		if err != nil {
@@ -192,7 +196,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	default:
 		fs.Usage()
-		return fmt.Errorf("choose -all, -exhibit, -ablations or -charts")
+		return fmt.Errorf("choose -all, -exhibit, -ablations, -charts or -trace")
 	}
 }
 

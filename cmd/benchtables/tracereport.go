@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"shmcaffe/internal/telemetry"
+	"shmcaffe/internal/trace"
+)
+
+// phaseRole names the Fig. 6 role of each phase in the breakdown table.
+func phaseRole(p telemetry.Phase) string {
+	switch {
+	case telemetry.HiddenPhase(p):
+		return "hidden"
+	case p == telemetry.PhaseT45:
+		return "compute"
+	case p == telemetry.PhaseTA5:
+		return "blocked"
+	default:
+		return "exposed"
+	}
+}
+
+// us formats a duration in microseconds, the natural unit of the spans.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// traceReport prints the per-phase breakdown of a Chrome trace written by
+// shmtrain -trace-out: Fig. 6 in tabular form, plus the overlap summary.
+func traceReport(out io.Writer, path string, csv bool) error {
+	events, err := telemetry.LoadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	b := telemetry.ComputeBreakdown(events)
+	if len(b.Phases) == 0 {
+		return fmt.Errorf("%s: no SEASGD phase spans in trace (%d unknown events)", path, b.Unknown)
+	}
+
+	t := trace.New(fmt.Sprintf("Phase breakdown of %s (Fig. 6)", filepath.Base(path)),
+		"Phase", "Role", "Spans", "Total ms", "Mean us", "Min us", "Max us")
+	for _, st := range b.Phases {
+		t.Add(st.Phase.String(), phaseRole(st.Phase), trace.Itoa(st.Count),
+			trace.F2(float64(st.Total.Nanoseconds())/1e6),
+			us(st.Mean()), us(st.Min), us(st.Max))
+	}
+	var rerr error
+	if csv {
+		rerr = t.RenderCSV(out)
+	} else {
+		rerr = t.Render(out)
+	}
+	if rerr != nil {
+		return rerr
+	}
+
+	fmt.Fprintf(out, "\nworkers: %d\n", b.Workers)
+	fmt.Fprintf(out, "compute (T4+T5):          %s\n", trace.Ms(b.ComputeTime))
+	fmt.Fprintf(out, "hidden comm (T.A1-T.A4):  %s\n", trace.Ms(b.HiddenTime))
+	fmt.Fprintf(out, "exposed comm (T1+T2):     %s\n", trace.Ms(b.ExposedTime))
+	fmt.Fprintf(out, "blocked (T.A5):           %s\n", trace.Ms(b.BlockedTime))
+	fmt.Fprintf(out, "overlap ratio (hidden/compute): %.3f\n", b.OverlapRatio())
+	if b.Unknown > 0 {
+		fmt.Fprintf(out, "skipped %d non-phase events\n", b.Unknown)
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"shmcaffe/internal/dataset"
 	"shmcaffe/internal/nn"
 	"shmcaffe/internal/platform"
+	"shmcaffe/internal/telemetry"
 	"shmcaffe/internal/trace"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("shmtrain", flag.ContinueOnError)
 	var (
 		platformName = fs.String("platform", "shmcaffe-a", "caffe | caffe-mpi | mpicaffe | shmcaffe-a | shmcaffe-h")
@@ -53,10 +54,25 @@ func run(args []string, out io.Writer) error {
 		netspecPath  = fs.String("netspec", "", "build the model from a netspec file instead of -model")
 		rank         = fs.Int("rank", -1, "multi-process mode: this process's rank (requires -world and -smb)")
 		world        = fs.Int("world", 0, "multi-process mode: total process count")
+		telAddr      = fs.String("telemetry", "", "serve Prometheus /metrics and /debug/pprof on this HTTP address (e.g. 127.0.0.1:0)")
+		traceOut     = fs.String("trace-out", "", "write a Chrome trace_event JSON file of the SEASGD phase spans at exit")
+		telLinger    = fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after training ends")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	sink, err := startTelemetry(out, *telAddr, *traceOut, *telLinger)
+	if err != nil {
+		return err
+	}
+	// finish writes the trace and lingers on every exit path; a finish
+	// failure surfaces only when training itself succeeded.
+	defer func() {
+		if ferr := sink.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	if *rank >= 0 {
 		// Multi-process mode: this process is ONE SEASGD worker; the SMB
@@ -74,6 +90,7 @@ func run(args []string, out io.Writer) error {
 			job: job, epochs: *epochs, batch: *batch,
 			classes: *classes, perClass: *perClass, noise: *noise,
 			lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
+			tel: sink.trainer(), reg: sink.registry(),
 		})
 	}
 
@@ -84,7 +101,6 @@ func run(args []string, out io.Writer) error {
 
 	var (
 		full dataset.Dataset
-		err  error
 		mdl  platform.ModelBuilder
 	)
 	if *netspecPath != "" {
@@ -139,6 +155,7 @@ func run(args []string, out io.Writer) error {
 			workers: *workers, group: *group, epochs: *epochs, batch: *batch,
 			lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
 			smbAddr: *smbAddr, smbTransport: *smbTransport, jobName: *jobName, savePath: *savePath,
+			tel: sink.trainer(), reg: sink.registry(),
 		})
 	}
 	switch *model {
@@ -181,6 +198,7 @@ func run(args []string, out io.Writer) error {
 		workers: *workers, group: *group, epochs: *epochs, batch: *batch,
 		lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
 		smbAddr: *smbAddr, smbTransport: *smbTransport, jobName: *jobName, savePath: *savePath,
+		tel: sink.trainer(), reg: sink.registry(),
 	})
 }
 
@@ -190,6 +208,8 @@ type trainOpts struct {
 	lr, movingRate                           float64
 	seed                                     uint64
 	smbAddr, smbTransport, jobName, savePath string
+	tel                                      *telemetry.Trainer
+	reg                                      *telemetry.Registry
 }
 
 // train2 runs the configured job and renders its curve and summary.
@@ -212,6 +232,8 @@ func train2(out io.Writer, trainer platform.Trainer, mdl platform.ModelBuilder,
 		SMBAddr:      o.smbAddr,
 		SMBTransport: o.smbTransport,
 		Job:          o.jobName,
+		Telemetry:    o.tel,
+		Metrics:      o.reg,
 	}
 
 	fmt.Fprintf(out, "training %s: %d workers, %d epochs, %d samples\n\n",

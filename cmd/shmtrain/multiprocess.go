@@ -9,6 +9,7 @@ import (
 	"shmcaffe/internal/nn"
 	"shmcaffe/internal/rds"
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 	"shmcaffe/internal/tensor"
 	"shmcaffe/internal/trace"
 )
@@ -24,6 +25,8 @@ type singleWorkerOpts struct {
 	noise              float64
 	lr, movingRate     float64
 	seed               uint64
+	tel                *telemetry.Trainer
+	reg                *telemetry.Registry
 }
 
 // runSingleWorker runs this process's share of a multi-process SEASGD job.
@@ -35,6 +38,11 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 		return err
 	}
 	defer cleanup()
+	if o.reg != nil {
+		if ic, ok := client.(interface{ Instrument(*telemetry.Registry) }); ok {
+			ic.Instrument(o.reg)
+		}
+	}
 
 	full, err := dataset.NewGaussian(dataset.GaussianConfig{
 		Classes: o.classes, PerClass: o.perClass, Shape: []int{8},
@@ -76,6 +84,7 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 		Termination:   core.StopOnMaster,
 		MaxIterations: itersPerEpoch * o.epochs,
 		Loader:        loader,
+		Telemetry:     o.tel,
 	}
 	fmt.Fprintf(out, "worker %d/%d joining job %q on %s (%s)\n",
 		o.rank, o.world, o.job, o.smbAddr, transportName(o.transport))

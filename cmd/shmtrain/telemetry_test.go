@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shmcaffe/internal/telemetry"
+)
+
+// syncBuffer is an io.Writer the test can poll while run() writes to it
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`telemetry listening on http://(\S+)`)
+
+// TestTelemetryEndToEnd is the issue's acceptance criterion: a two-worker
+// -telemetry run serves a Prometheus-parseable /metrics carrying the SMB
+// accumulate-latency histogram and the T1 staleness histogram, and emits a
+// Chrome trace with every Fig. 6 phase.
+func TestTelemetryEndToEnd(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-platform", "shmcaffe-a", "-workers", "2", "-epochs", "2",
+			"-per-class", "40",
+			"-telemetry", "127.0.0.1:0",
+			"-trace-out", tracePath,
+			"-telemetry-linger", "3s",
+		}, &buf)
+	}()
+
+	// Find the bound address in the log.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry URL in output:\n%s", buf.String())
+		}
+		if m := listenRe.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Scrape until the run has recorded both families (training races the
+	// scrape; the linger window guarantees a final complete exposition).
+	var out string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never complete; last scrape:\n%s", out)
+		}
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = string(body)
+		if strings.Contains(out, "smb_accumulate_seconds_bucket") &&
+			strings.Contains(out, "seasgd_t1_staleness_iterations_count") &&
+			strings.Contains(out, `seasgd_phase_seconds_count{phase="T.A3"}`) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// pprof index answers on the same server.
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := telemetry.LoadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			seen[ev.Name] = true
+		}
+	}
+	for p := 0; p < telemetry.NumPhases; p++ {
+		if name := telemetry.Phase(p).String(); !seen[name] {
+			t.Errorf("trace missing %s spans", name)
+		}
+	}
+}

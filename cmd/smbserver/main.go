@@ -33,7 +33,7 @@ func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
 		rdsAddr  = flag.String("rds", "", "additionally serve the RDS datagram transport on this UDP address")
-		httpAddr = flag.String("http", "", "serve JSON metrics on this HTTP address (GET /metrics)")
+		httpAddr = flag.String("http", "", "serve Prometheus metrics on this HTTP address (GET /metrics; JSON at /metrics.json; liveness at /healthz)")
 		statsSec = flag.Int("stats", 10, "seconds between traffic stat lines (0 disables)")
 	)
 	flag.Parse()

@@ -2,14 +2,23 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
+	"strings"
 
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 )
 
-// metricsServer serves the SMB traffic counters as JSON, the operational
-// endpoint a deployed memory server exposes to its monitoring.
+// promContentType is the Prometheus text exposition format version the
+// registry writes.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metricsServer serves the SMB traffic counters — Prometheus text on
+// /metrics (the scrape endpoint a deployed memory server registers with its
+// monitoring), the legacy JSON payload on /metrics.json, and a liveness
+// probe on /healthz.
 type metricsServer struct {
 	// Addr is the bound address (useful with port 0).
 	Addr string
@@ -17,7 +26,8 @@ type metricsServer struct {
 	ln   net.Listener
 }
 
-// metricsPayload is the GET /metrics response body.
+// metricsPayload is the JSON metrics response body, kept for pre-Prometheus
+// consumers.
 type metricsPayload struct {
 	Creates     int64 `json:"creates"`
 	Attaches    int64 `json:"attaches"`
@@ -28,18 +38,26 @@ type metricsPayload struct {
 	BytesWrite  int64 `json:"bytesWritten"`
 }
 
-// startMetricsHTTP binds addr and serves /metrics from store's counters.
+// wantsJSON reports whether the request's Accept header prefers JSON over
+// the text exposition (compat switch for pre-Prometheus consumers that
+// scrape /metrics directly).
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json")
+}
+
+// startMetricsHTTP binds addr and serves the store's operational surface.
+// It installs the latency histograms on the store, so servers running with
+// -http also export smb_*_seconds distributions.
 func startMetricsHTTP(store *smb.Store, addr string) (*metricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	reg := telemetry.NewRegistry()
+	store.Instrument(reg)
+
+	writeJSON := func(w http.ResponseWriter) {
 		s := store.Stats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(metricsPayload{
@@ -51,7 +69,43 @@ func startMetricsHTTP(store *smb.Store, addr string) (*metricsServer, error) {
 			BytesRead:   s.BytesRead,
 			BytesWrite:  s.BytesWrite,
 		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if wantsJSON(r) {
+			writeJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; the scraper sees a short body and retries.
+			return
+		}
 	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		// SegmentCount takes the store lock: answering proves the store is
+		// not wedged, not just that the HTTP goroutine is alive.
+		n := store.SegmentCount()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok segments=%d\n", n)
+	})
+
 	ms := &metricsServer{
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: mux},

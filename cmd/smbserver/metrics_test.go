@@ -3,25 +3,41 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"testing"
 
 	"shmcaffe/internal/smb"
 )
 
-func TestMetricsEndpoint(t *testing.T) {
+// traffic generates one create/attach/write/read against store.
+func traffic(t *testing.T, store *smb.Store) {
+	t.Helper()
+	key, err := store.Create("seg", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := store.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(h, 0, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Read(h, 0, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsPrometheus(t *testing.T) {
 	store := smb.NewStore()
 	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ms.Close()
-
-	// Generate some traffic.
-	key, _ := store.Create("seg", 16)
-	h, _ := store.Attach(key)
-	store.Write(h, 0, make([]byte, 16))
-	store.Read(h, 0, make([]byte, 16))
+	traffic(t, store)
 
 	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr))
 	if err != nil {
@@ -31,16 +47,76 @@ func TestMetricsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var payload metricsPayload
-	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, promContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if payload.Creates != 1 || payload.Writes != 1 || payload.Reads != 1 {
-		t.Fatalf("payload %+v", payload)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE smb_reads_total counter",
+		"smb_reads_total 1",
+		"smb_writes_total 1",
+		"smb_creates_total 1",
+		"smb_segments 1",
+		"smb_read_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
-	if payload.BytesRead != 16 || payload.BytesWrite != 16 {
-		t.Fatalf("byte counters %+v", payload)
+}
+
+// TestMetricsJSONCompat: the legacy JSON payload stays reachable both via
+// the dedicated path and via content negotiation on /metrics.
+func TestMetricsJSONCompat(t *testing.T) {
+	store := smb.NewStore()
+	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer ms.Close()
+	traffic(t, store)
+
+	check := func(resp *http.Response) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		var payload metricsPayload
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.Creates != 1 || payload.Writes != 1 || payload.Reads != 1 {
+			t.Fatalf("payload %+v", payload)
+		}
+		if payload.BytesRead != 16 || payload.BytesWrite != 16 {
+			t.Fatalf("byte counters %+v", payload)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics.json", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp)
+
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("http://%s/metrics", ms.Addr), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp)
 
 	// Non-GET rejected.
 	post, err := http.Post(fmt.Sprintf("http://%s/metrics", ms.Addr), "text/plain", nil)
@@ -50,5 +126,33 @@ func TestMetricsEndpoint(t *testing.T) {
 	post.Body.Close()
 	if post.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status %d", post.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	store := smb.NewStore()
+	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if _, err := store.Create("seg", 16); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(body); got != "ok segments=1\n" {
+		t.Fatalf("healthz body %q", got)
 	}
 }

@@ -136,9 +136,10 @@ func (b *JobBuffers) ReadGlobal(dst []float32) error {
 	return tensor.DecodeFloat32(b.wgBytes, dst)
 }
 
-// PushIncrement writes delta into the worker's ΔWx segment (T.A1) and asks
-// the server to accumulate it into Wg (T.A2–T.A3) — Eq. (7).
-func (b *JobBuffers) PushIncrement(delta []float32) error {
+// WriteIncrement stores delta into the worker's ΔWx segment — the T.A2
+// store of the push. Split from AccumulateIncrement so the phase tracer can
+// time the two halves of the exchange separately.
+func (b *JobBuffers) WriteIncrement(delta []float32) error {
 	if len(delta) != b.elems {
 		return fmt.Errorf("push %d elements, want %d: %w", len(delta), b.elems, ErrConfig)
 	}
@@ -148,10 +149,25 @@ func (b *JobBuffers) PushIncrement(delta []float32) error {
 	if err := b.client.Write(b.incr, 0, b.dwBytes); err != nil {
 		return fmt.Errorf("write increment: %w", err)
 	}
+	return nil
+}
+
+// AccumulateIncrement asks the server to fold the previously written ΔWx
+// into Wg — the T.A3 accumulate, Eq. (7).
+func (b *JobBuffers) AccumulateIncrement() error {
 	if err := b.client.Accumulate(b.global, b.incr); err != nil {
 		return fmt.Errorf("accumulate: %w", err)
 	}
 	return nil
+}
+
+// PushIncrement writes delta into the worker's ΔWx segment and asks the
+// server to accumulate it into Wg — the full T.A2–T.A3 push, Eq. (7).
+func (b *JobBuffers) PushIncrement(delta []float32) error {
+	if err := b.WriteIncrement(delta); err != nil {
+		return err
+	}
+	return b.AccumulateIncrement()
 }
 
 // ReportProgress publishes this worker's completed iteration count to its
@@ -163,6 +179,16 @@ func (b *JobBuffers) ReportProgress(iter int64) error {
 // Progress reads every worker's published iteration count.
 func (b *JobBuffers) Progress() ([]int64, error) {
 	return smb.ReadInt64Slots(b.client, b.control, b.n)
+}
+
+// ProgressInto reads every worker's published iteration count into out
+// (len WorldSize) without allocating — the telemetry staleness probe calls
+// this on every T1 read.
+func (b *JobBuffers) ProgressInto(out []int64) error {
+	if len(out) != b.n {
+		return fmt.Errorf("progress into %d slots, want %d: %w", len(out), b.n, ErrConfig)
+	}
+	return smb.ReadInt64SlotsInto(b.client, b.control, out)
 }
 
 // SignalStop raises the shared stop flag; every worker observes it at its

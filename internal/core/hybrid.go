@@ -12,6 +12,7 @@ import (
 	"shmcaffe/internal/nccl"
 	"shmcaffe/internal/nn"
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 )
 
 // HybridGroupConfig configures one HSGD worker group (paper Sec. III-D):
@@ -47,6 +48,9 @@ type HybridGroupConfig struct {
 	// Hook, if non-nil, runs on the root member after every completed
 	// group iteration. Returning an error aborts training.
 	Hook func(g *HybridGroup, iter int) error
+	// Telemetry, if non-nil, records the root's Fig. 6 phase spans and
+	// counters (tracks are per group: the SMB world has one rank per group).
+	Telemetry *telemetry.Trainer
 }
 
 // Validate checks the configuration.
@@ -132,6 +136,7 @@ func NewHybridGroup(cfg HybridGroupConfig) (*HybridGroup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("group %d setup: %w", cfg.Comm.Rank(), err)
 	}
+	cfg.Telemetry.NameWorker(cfg.Comm.Rank())
 	return &HybridGroup{
 		cfg:          cfg,
 		buffers:      buffers,
@@ -242,6 +247,13 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 	loader := cfg.Loaders[m]
 	isRoot := m == 0
 	elems := g.buffers.Elems()
+	// Only the root member records spans: the group occupies one pair of
+	// tracks in the trace, mirroring the one-SMB-rank-per-group topology.
+	var tel *telemetry.Trainer
+	if isRoot {
+		tel = cfg.Telemetry
+	}
+	mainTID := telemetry.MainTID(cfg.Comm.Rank())
 
 	grads := make([]float32, elems)
 	local := make([]float32, elems)
@@ -252,41 +264,52 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 	for iter := 0; iter < hardCap; iter++ {
 		// (1) Synchronous SSGD inside the group: compute gradients,
 		// ncclAllReduce, local update from the aggregated gradient.
+		spT45 := tel.Begin(mainTID, telemetry.PhaseT45)
 		batch := loader.Next()
 		net.ZeroGrads()
 		loss, _, err := net.TrainStep(batch.X, batch.Labels)
 		if err != nil {
+			spT45.End()
 			return fmt.Errorf("group %d member %d iter %d: %w", cfg.Comm.Rank(), m, iter, err)
 		}
 		net.FlatGrads(grads)
-		if err := g.group.AllReduceMean(m, grads); err != nil {
-			return err
+		err = g.group.AllReduceMean(m, grads)
+		if err == nil {
+			err = net.SetFlatGrads(grads)
 		}
-		if err := net.SetFlatGrads(grads); err != nil {
+		spT45.End()
+		if err != nil {
 			return err
 		}
 		solver.ApplyUpdate()
 		if isRoot {
 			stats.RootLossHistory = append(stats.RootLossHistory, loss)
+			tel.IncIteration()
 		}
 
 		// (2) Root's inter-group SEASGD exchange every update_interval.
 		if iter%cfg.Elastic.UpdateInterval == 0 && isRoot {
+			spA5 := tel.Begin(mainTID, telemetry.PhaseTA5)
 			g.mu.Lock()
-			if err := g.buffers.ReadGlobal(global); err != nil {
+			spA5.End()
+			spT1 := tel.Begin(mainTID, telemetry.PhaseT1)
+			err := g.buffers.ReadGlobal(global)
+			spT1.End()
+			if err != nil {
 				g.mu.Unlock()
 				return err
 			}
+			spT2 := tel.Begin(mainTID, telemetry.PhaseT2)
 			net.FlatWeights(local)
-			if err := WeightIncrement(delta, local, global, cfg.Elastic.MovingRate); err != nil {
-				g.mu.Unlock()
-				return err
+			err = WeightIncrement(delta, local, global, cfg.Elastic.MovingRate)
+			if err == nil {
+				err = ApplyIncrementLocal(local, delta)
 			}
-			if err := ApplyIncrementLocal(local, delta); err != nil {
-				g.mu.Unlock()
-				return err
+			if err == nil {
+				err = net.SetFlatWeights(local)
 			}
-			if err := net.SetFlatWeights(local); err != nil {
+			spT2.End()
+			if err != nil {
 				g.mu.Unlock()
 				return err
 			}
@@ -386,12 +409,28 @@ func (g *HybridGroup) checkTermination(completed int64) (bool, string, error) {
 }
 
 func (g *HybridGroup) pushPending() error {
+	tel := g.cfg.Telemetry
+	tid := telemetry.UpdateTID(g.cfg.Comm.Rank())
+	spA1 := tel.Begin(tid, telemetry.PhaseTA1)
 	g.mu.Lock()
+	spA1.End()
 	defer g.mu.Unlock()
-	if err := g.buffers.PushIncrement(g.pendingDelta); err != nil {
+	spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+	err := g.buffers.WriteIncrement(g.pendingDelta)
+	spA2.End()
+	if err != nil {
 		return err
 	}
+	spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+	err = g.buffers.AccumulateIncrement()
+	spA3.End()
+	if err != nil {
+		return err
+	}
+	spA4 := tel.Begin(tid, telemetry.PhaseTA4)
 	g.pushes++
+	tel.IncPush()
+	spA4.End()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"shmcaffe/internal/mpi"
 	"shmcaffe/internal/nn"
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 )
 
 // WorkerConfig configures one SEASGD worker (one "deep learning worker" of
@@ -52,6 +53,10 @@ type WorkerConfig struct {
 	// Experiment harnesses use it to snapshot accuracy curves. Returning
 	// an error aborts training.
 	Hook func(w *Worker, iter int) error
+	// Telemetry, if non-nil, records the Fig. 6 phase spans, the per-read
+	// T1 staleness, and the push/iteration counters. Nil disables all
+	// recording at the cost of one branch per record.
+	Telemetry *telemetry.Trainer
 }
 
 // Validate checks the configuration.
@@ -119,6 +124,11 @@ type Worker struct {
 	cachedGlobal []float32 // HideGlobalRead mode: last Wg seen; guarded by mu
 	pushErr      error     // guarded by mu
 	pushes       int       // guarded by mu
+
+	// Staleness probe scratch (telemetry only): progress counters seen at
+	// the previous and current T1 read. Used by the main thread under mu.
+	lastProgress []int64
+	progressNow  []int64
 }
 
 // NewWorker validates cfg and performs the collective buffer bootstrap
@@ -143,6 +153,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rank %d setup: %w", cfg.Comm.Rank(), err)
 	}
+	cfg.Telemetry.NameWorker(cfg.Comm.Rank())
 	return &Worker{
 		cfg:          cfg,
 		rank:         cfg.Comm.Rank(),
@@ -150,6 +161,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		solver:       nn.NewSGDSolver(cfg.Net, cfg.Solver),
 		pendingDelta: make([]float32, elems),
 		cachedGlobal: make([]float32, elems),
+		lastProgress: make([]int64, buffers.WorldSize()),
+		progressNow:  make([]int64, buffers.WorldSize()),
 	}, nil
 }
 
@@ -163,6 +176,8 @@ func (w *Worker) Run() (*RunStats, error) {
 	rank := w.rank
 	stats := &RunStats{Rank: rank}
 	elems := w.buffers.Elems()
+	tel := cfg.Telemetry
+	mainTID := telemetry.MainTID(rank)
 
 	local := make([]float32, elems)
 	global := make([]float32, elems)
@@ -202,31 +217,42 @@ func (w *Worker) Run() (*RunStats, error) {
 loop:
 	for ; iter < hardCap; iter++ {
 		if iter%cfg.Elastic.UpdateInterval == 0 {
+			// T.A5: the main thread blocks here whenever the update
+			// thread's previous push outlived the compute phase.
 			t0 := cfg.Now()
+			spA5 := tel.Begin(mainTID, telemetry.PhaseTA5)
 			w.mu.Lock()
+			spA5.End()
 			tLocked := cfg.Now()
 			// T1: obtain the global weight.
+			spT1 := tel.Begin(mainTID, telemetry.PhaseT1)
+			var readErr error
 			if cfg.HideGlobalRead {
 				copy(global, w.cachedGlobal)
+				tel.HiddenHit()
 			} else {
-				if err := w.buffers.ReadGlobal(global); err != nil {
-					w.mu.Unlock()
-					return nil, fmt.Errorf("rank %d iter %d: %w", rank, iter, err)
-				}
+				readErr = w.buffers.ReadGlobal(global)
+			}
+			w.observeStaleness()
+			spT1.End()
+			if readErr != nil {
+				w.mu.Unlock()
+				return nil, fmt.Errorf("rank %d iter %d: %w", rank, iter, readErr)
 			}
 			// T2: elastic update of the local weight, Eqs. (5)+(6).
+			spT2 := tel.Begin(mainTID, telemetry.PhaseT2)
 			cfg.Net.FlatWeights(local)
-			if err := WeightIncrement(delta, local, global, cfg.Elastic.MovingRate); err != nil {
-				w.mu.Unlock()
-				return nil, err
+			t2err := WeightIncrement(delta, local, global, cfg.Elastic.MovingRate)
+			if t2err == nil {
+				t2err = ApplyIncrementLocal(local, delta)
 			}
-			if err := ApplyIncrementLocal(local, delta); err != nil {
-				w.mu.Unlock()
-				return nil, err
+			if t2err == nil {
+				t2err = cfg.Net.SetFlatWeights(local)
 			}
-			if err := cfg.Net.SetFlatWeights(local); err != nil {
+			spT2.End()
+			if t2err != nil {
 				w.mu.Unlock()
-				return nil, err
+				return nil, t2err
 			}
 			copy(w.pendingDelta, delta)
 			w.mu.Unlock()
@@ -238,7 +264,10 @@ loop:
 			// inline in the no-overlap ablation.
 			if cfg.DisableOverlap {
 				tp0 := cfg.Now()
-				if err := w.pushPending(); err != nil {
+				// The push runs inline on the main thread in this
+				// ablation, so its spans land on the main track —
+				// rendering the lost overlap visibly in the trace.
+				if err := w.pushPending(mainTID); err != nil {
 					return nil, fmt.Errorf("rank %d iter %d push: %w", rank, iter, err)
 				}
 				stats.ExposedCommTime += cfg.Now().Sub(tp0)
@@ -249,13 +278,16 @@ loop:
 
 		// T4 + T5: train one minibatch and apply the gradient (Eq. 2).
 		tc0 := cfg.Now()
+		spT45 := tel.Begin(mainTID, telemetry.PhaseT45)
 		batch := cfg.Loader.Next()
 		loss, err := w.solver.Step(batch.X, batch.Labels)
+		spT45.End()
 		if err != nil {
 			return nil, fmt.Errorf("rank %d iter %d train: %w", rank, iter, err)
 		}
 		stats.CompTime += cfg.Now().Sub(tc0)
 		stats.LossHistory = append(stats.LossHistory, loss)
+		tel.IncIteration()
 
 		// Check for an asynchronous push failure.
 		w.mu.Lock()
@@ -340,31 +372,78 @@ func (w *Worker) checkTermination(completed int64) (bool, string, error) {
 	return false, "", nil
 }
 
-// pushPending sends the pending increment to the server under the lock.
-func (w *Worker) pushPending() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.buffers.PushIncrement(w.pendingDelta); err != nil {
-		return err
+// observeStaleness records how many iterations the other workers completed
+// since this worker's previous T1 read — the per-read staleness bound that
+// governs asynchronous SEASGD convergence. Caller holds w.mu. Telemetry off
+// or a probe failure records nothing (the probe must never fail training).
+func (w *Worker) observeStaleness() {
+	tel := w.cfg.Telemetry
+	if tel == nil {
+		return
 	}
-	w.pushes++
-	if w.cfg.HideGlobalRead {
-		// Refresh the cached global inside the hidden phase.
-		if err := w.buffers.ReadGlobal(w.cachedGlobal); err != nil {
-			return err
+	if err := w.buffers.ProgressInto(w.progressNow); err != nil {
+		return
+	}
+	var stale int64
+	for y, now := range w.progressNow {
+		if y == w.rank {
+			continue
+		}
+		if d := now - w.lastProgress[y]; d > 0 {
+			stale += d
 		}
 	}
-	return nil
+	tel.ObserveStaleness(stale)
+	copy(w.lastProgress, w.progressNow)
+}
+
+// pushPending sends the pending increment to the server under the lock,
+// recording the T.A1–T.A4 spans on track tid (the update thread normally;
+// the main track in the DisableOverlap ablation).
+func (w *Worker) pushPending(tid int32) error {
+	tel := w.cfg.Telemetry
+	// T.A1: acquire the exchange lock.
+	spA1 := tel.Begin(tid, telemetry.PhaseTA1)
+	w.mu.Lock()
+	spA1.End()
+	defer w.mu.Unlock()
+	// T.A2: store ΔWx into the worker's increment segment.
+	spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+	err := w.buffers.WriteIncrement(w.pendingDelta)
+	spA2.End()
+	if err != nil {
+		return err
+	}
+	// T.A3: server-side accumulate Wg += ΔWx (Eq. 7).
+	spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+	err = w.buffers.AccumulateIncrement()
+	spA3.End()
+	if err != nil {
+		return err
+	}
+	// T.A4: bookkeeping tail (and the cached-Wg refresh in hidden-read
+	// mode — done here precisely because this phase is off the critical
+	// path).
+	spA4 := tel.Begin(tid, telemetry.PhaseTA4)
+	w.pushes++
+	tel.IncPush()
+	if w.cfg.HideGlobalRead {
+		err = w.buffers.ReadGlobal(w.cachedGlobal)
+		tel.HiddenRefresh()
+	}
+	spA4.End()
+	return err
 }
 
 // updateThread is the Fig. 6 update thread: blocked until woken (T3), then
 // T.A1 store increment, T.A2 request accumulation, T.A4 release, repeat.
 func (w *Worker) updateThread(wake <-chan struct{}, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	tid := telemetry.UpdateTID(w.rank)
 	for {
 		select {
 		case <-wake:
-			if err := w.pushPending(); err != nil {
+			if err := w.pushPending(tid); err != nil {
 				w.mu.Lock()
 				if w.pushErr == nil {
 					w.pushErr = err
@@ -377,7 +456,7 @@ func (w *Worker) updateThread(wake <-chan struct{}, stop <-chan struct{}, done c
 			// not silently dropped.
 			select {
 			case <-wake:
-				if err := w.pushPending(); err != nil {
+				if err := w.pushPending(tid); err != nil {
 					w.mu.Lock()
 					if w.pushErr == nil {
 						w.pushErr = err

@@ -48,6 +48,7 @@ var All = []*Analyzer{
 	ErrWrap,
 	OpcodeExhaustive,
 	Determinism,
+	SpanPair,
 }
 
 // Lookup returns the analyzer with the given name, or nil.

@@ -105,6 +105,7 @@ func TestGuardedByGolden(t *testing.T)  { runGolden(t, GuardedBy, "guardedby") }
 func TestGoLeakGolden(t *testing.T)     { runGolden(t, GoLeak, "goleak") }
 func TestErrWrapGolden(t *testing.T)    { runGolden(t, ErrWrap, "errwrap") }
 func TestExhaustiveGolden(t *testing.T) { runGolden(t, OpcodeExhaustive, "opcode") }
+func TestSpanPairGolden(t *testing.T)   { runGolden(t, SpanPair, "spanpair") }
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, determinismAnalyzer([]string{"testdata/src/determinism"}), "determinism")
 }

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanPair enforces the telemetry tracer's Begin/End discipline: a span
+// returned by a method named Begin (result type named Span) must be ended
+// on every path out of the statement list that created it. The phase
+// tracer's ring buffer only records a span at End — a Begin whose End is
+// skipped on an early return silently drops the phase from the Fig. 6
+// timeline, which is exactly the failure the tracer exists to expose.
+//
+// Accepted shapes, in the spirit of the code the instrumentation uses:
+//
+//	sp := tel.Begin(tid, phase)
+//	defer sp.End()                       // deferred anywhere after Begin
+//
+//	sp := tel.Begin(tid, phase)
+//	err := op()
+//	sp.End()                             // End before the error return
+//	if err != nil { return err }
+//
+//	sp := tel.Begin(tid, phase)
+//	if err := op(); err != nil {
+//		sp.End()                         // End on the early-return path...
+//		return err
+//	}
+//	sp.End()                             // ...and on the fall-through
+//
+// A span value that escapes (returned, passed along, stored) transfers the
+// obligation to the new owner and is not reported. A discarded Begin result
+// can never End and is always reported.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "telemetry spans must End on every path out of the block that Begins them",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkSpanList(pass, n.List)
+			case *ast.CaseClause:
+				checkSpanList(pass, n.Body)
+			case *ast.CommClause:
+				checkSpanList(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpanList scans one statement list for Begin calls and verifies each
+// resulting span against the remainder of the list.
+func checkSpanList(pass *Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isSpanBegin(pass, call) {
+				pass.Reportf(call.Pos(), "result of Begin discarded; the span can never End")
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				continue
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanBegin(pass, call) {
+				continue
+			}
+			ident, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if ident.Name == "_" {
+				pass.Reportf(call.Pos(), "result of Begin discarded; the span can never End")
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(ident)
+			if obj == nil {
+				continue
+			}
+			checkSpanEnds(pass, call.Pos(), ident.Name, obj, list[i+1:])
+		}
+	}
+}
+
+// checkSpanEnds walks the statements after a Begin and reports the first
+// path that can leave the list without ending the span.
+func checkSpanEnds(pass *Pass, beginPos token.Pos, name string, obj types.Object, rest []ast.Stmt) {
+	for _, s := range rest {
+		switch st := s.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(pass, st.Call, obj) {
+				return // deferred End covers every later path
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isEndCall(pass, call, obj) {
+				return // ended; later statements own nothing
+			}
+		}
+		if spanEscapes(pass, s, obj) {
+			return // the obligation moved with the value
+		}
+		if r := returnWithoutEnd(pass, s, obj); r != nil {
+			pass.Reportf(beginPos, "span %s may return without End (return at line %d)",
+				name, pass.Fset.Position(r.Pos()).Line)
+			return
+		}
+	}
+	pass.Reportf(beginPos, "span %s is not ended before the end of this block", name)
+}
+
+// isSpanBegin reports whether call is a method call named Begin whose
+// result is a named type called Span.
+func isSpanBegin(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return false
+	}
+	named, ok := pass.TypesInfo.TypeOf(call).(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// isEndCall reports whether call is obj.End().
+func isEndCall(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(recv) == obj
+}
+
+// spanEscapes reports whether stmt uses the span value other than as the
+// receiver of End — returned, passed to a call, reassigned — which hands
+// the End obligation to someone this analyzer cannot see.
+func spanEscapes(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	escaped := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		// Skip the receiver position of End calls.
+		if call, ok := n.(*ast.CallExpr); ok && isEndCall(pass, call, obj) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// returnWithoutEnd finds the first ReturnStmt nested in stmt that is not
+// preceded (positionally, within stmt) by an obj.End() call.
+func returnWithoutEnd(pass *Pass, stmt ast.Stmt, obj types.Object) *ast.ReturnStmt {
+	var ends []ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isEndCall(pass, call, obj) {
+			ends = append(ends, n)
+		}
+		return true
+	})
+	var bad *ast.ReturnStmt
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ends {
+			if e.Pos() < r.Pos() {
+				return true // an End precedes this return
+			}
+		}
+		bad = r
+		return false
+	})
+	return bad
+}

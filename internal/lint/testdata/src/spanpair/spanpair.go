@@ -1,0 +1,128 @@
+// Package spanpair is golden-file input for the spanpair analyzer. It
+// models the telemetry tracer structurally: a method named Begin returning
+// a type named Span with an End method.
+package spanpair
+
+// Span stands in for telemetry.Span.
+type Span struct{ id int }
+
+// End records the span.
+func (s Span) End() {}
+
+// Tracer stands in for telemetry.Trainer.
+type Tracer struct{}
+
+// Begin opens a span.
+func (Tracer) Begin(phase int) Span { return Span{} }
+
+func work()          {}
+func failing() error { return nil }
+func cond() bool     { return false }
+
+// --- accepted shapes ---
+
+func okImmediate(t Tracer) {
+	sp := t.Begin(1)
+	work()
+	sp.End()
+}
+
+func okDefer(t Tracer) error {
+	sp := t.Begin(1)
+	defer sp.End()
+	if err := failing(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func okEndBeforeErrorCheck(t Tracer) error {
+	sp := t.Begin(1)
+	err := failing()
+	sp.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func okEndOnBothPaths(t Tracer) error {
+	sp := t.Begin(1)
+	if err := failing(); err != nil {
+		sp.End()
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+// okEscapeReturn hands the span to the caller, who owns the End.
+func okEscapeReturn(t Tracer) Span {
+	sp := t.Begin(1)
+	return sp
+}
+
+// okEscapeCall hands the span to another function.
+func okEscapeCall(t Tracer) {
+	sp := t.Begin(1)
+	finish(sp)
+}
+
+func finish(sp Span) { sp.End() }
+
+// okSwitchCase: spans opened in case bodies are checked there.
+func okSwitchCase(t Tracer, k int) {
+	switch k {
+	case 0:
+		sp := t.Begin(0)
+		work()
+		sp.End()
+	}
+}
+
+// --- violations ---
+
+func badDiscard(t Tracer) {
+	t.Begin(1) // want `result of Begin discarded`
+	work()
+}
+
+func badBlank(t Tracer) {
+	_ = t.Begin(1) // want `result of Begin discarded`
+	work()
+}
+
+func badReturnBeforeEnd(t Tracer) error {
+	sp := t.Begin(1) // want `span sp may return without End`
+	if err := failing(); err != nil {
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+func badFallThrough(t Tracer) {
+	sp := t.Begin(1) // want `span sp is not ended`
+	if cond() {
+		sp.End()
+	}
+}
+
+func badCase(t Tracer, k int) {
+	switch k {
+	case 0:
+		sp := t.Begin(0) // want `span sp is not ended`
+		if cond() {
+			sp.End()
+		}
+	}
+}
+
+// suppressed shows the standard escape hatch.
+func suppressed(t Tracer) {
+	//lint:ignore spanpair the span is ended by a helper the analyzer cannot model
+	sp := t.Begin(1)
+	if cond() {
+		sp.End()
+	}
+}

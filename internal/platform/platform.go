@@ -25,6 +25,7 @@ import (
 	"shmcaffe/internal/core"
 	"shmcaffe/internal/dataset"
 	"shmcaffe/internal/nn"
+	"shmcaffe/internal/telemetry"
 )
 
 // ErrConfig reports an unusable training configuration.
@@ -74,6 +75,14 @@ type Config struct {
 	// Job names the SMB segment family; required when several runs share
 	// one external server. Defaults to the platform's short name.
 	Job string
+	// Telemetry, when non-nil, receives SEASGD phase spans, staleness
+	// observations and push counters from the ShmCaffe platforms (the
+	// synchronous baselines ignore it). Nil disables instrumentation.
+	Telemetry *telemetry.Trainer
+	// Metrics, when non-nil, additionally receives the SMB data-path
+	// instruments: the in-process store's op/latency families, or — when
+	// SMBAddr dials out — one representative client's RTT histograms.
+	Metrics *telemetry.Registry
 }
 
 // Validate checks the configuration.

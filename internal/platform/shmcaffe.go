@@ -10,6 +10,7 @@ import (
 	"shmcaffe/internal/mpi"
 	"shmcaffe/internal/rds"
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 	"shmcaffe/internal/tensor"
 )
 
@@ -80,6 +81,7 @@ func (ShmCaffeA) Train(cfg Config) (*Result, error) {
 				Termination:   core.StopOnMaster,
 				MaxIterations: set.iters,
 				Loader:        set.loaders[r],
+				Telemetry:     cfg.Telemetry,
 			}
 			if r == 0 {
 				wcfg.Hook = hook
@@ -171,6 +173,7 @@ func (ShmCaffeH) Train(cfg Config) (*Result, error) {
 			Elastic:       cfg.Elastic,
 			Termination:   core.StopOnMaster,
 			MaxIterations: iters,
+			Telemetry:     cfg.Telemetry,
 		}
 		if gi == 0 {
 			gcfg.Hook = hook
@@ -229,6 +232,9 @@ func smbClients(cfg *Config, n int) (clients []smb.Client, closeAll func(), err 
 	clients = make([]smb.Client, n)
 	if cfg.SMBAddr == "" {
 		store := smb.NewStore()
+		if cfg.Metrics != nil {
+			store.Instrument(cfg.Metrics)
+		}
 		for i := range clients {
 			clients[i] = smb.NewLocalClient(store)
 		}
@@ -266,6 +272,14 @@ func smbClients(cfg *Config, n int) (clients []smb.Client, closeAll func(), err 
 			clients[i] = smb.NewStreamClient(conn)
 		default:
 			return fail(i, fmt.Errorf("unknown SMB transport %q: %w", cfg.SMBTransport, ErrConfig))
+		}
+	}
+	if cfg.Metrics != nil {
+		// Instrument one representative connection: every client registering
+		// the same RTT family would collide in the registry, and one
+		// worker's round trips characterize the wire.
+		if ic, ok := clients[0].(interface{ Instrument(*telemetry.Registry) }); ok {
+			ic.Instrument(cfg.Metrics)
 		}
 	}
 	return clients, func() {

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // ErrSize is returned when a worker's vector does not match the server's.
@@ -32,6 +35,33 @@ type Server struct {
 	weights []float32 // guarded by mu
 	pushes  int64     // guarded by mu
 	pulls   int64     // guarded by mu
+
+	// Optional latency instrumentation; set once by Instrument before
+	// traffic. Nil histograms record nothing (telemetry nil-receiver
+	// contract), so the hot paths observe unconditionally.
+	pullLatency *telemetry.Histogram
+	pushLatency *telemetry.Histogram
+}
+
+// Instrument registers the parameter-server baseline's metrics on reg: op
+// counters (scrape-time views of the mutex-guarded totals) and per-verb
+// latency histograms. The PS baseline is the contention structure SEASGD
+// removes, so seeing ps_push_seconds grow with worker count while
+// smb_accumulate_stripe_wait_seconds stays flat is the paper's Sec. III-B
+// argument in two scrapes. Call before serving traffic.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("ps_pushes_total", "gradient/elastic pushes applied under the global lock", func() int64 {
+		p, _ := s.Stats()
+		return p
+	})
+	reg.CounterFunc("ps_pulls_total", "weight pulls served under the global lock", func() int64 {
+		_, p := s.Stats()
+		return p
+	})
+	s.pullLatency = reg.Histogram("ps_pull_seconds",
+		"Pull latency including lock wait", telemetry.DefLatencyBuckets)
+	s.pushLatency = reg.Histogram("ps_push_seconds",
+		"PushGradient/ElasticExchange latency including lock wait", telemetry.DefLatencyBuckets)
 }
 
 // NewServer returns a server initialized with a copy of init.
@@ -50,6 +80,10 @@ func (s *Server) Len() int {
 
 // Pull copies the current global weights into dst.
 func (s *Server) Pull(dst []float32) error {
+	var t0 time.Time
+	if s.pullLatency != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(dst) != len(s.weights) {
@@ -57,11 +91,18 @@ func (s *Server) Pull(dst []float32) error {
 	}
 	copy(dst, s.weights)
 	s.pulls++
+	if s.pullLatency != nil {
+		s.pullLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
 // PushGradient applies an ASGD update: w ← w − lr·g, atomically.
 func (s *Server) PushGradient(grad []float32, lr float64) error {
+	var t0 time.Time
+	if s.pushLatency != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(grad) != len(s.weights) {
@@ -72,6 +113,9 @@ func (s *Server) PushGradient(grad []float32, lr float64) error {
 		s.weights[i] -= l * g
 	}
 	s.pushes++
+	if s.pushLatency != nil {
+		s.pushLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -80,6 +124,10 @@ func (s *Server) PushGradient(grad []float32, lr float64) error {
 // local ← local − e (mutating the caller's slice: Eq. 3) and
 // global ← global + e (Eq. 4), atomically.
 func (s *Server) ElasticExchange(local []float32, alpha float64) error {
+	var t0 time.Time
+	if s.pushLatency != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(local) != len(s.weights) {
@@ -92,6 +140,9 @@ func (s *Server) ElasticExchange(local []float32, alpha float64) error {
 		s.weights[i] += e
 	}
 	s.pushes++
+	if s.pushLatency != nil {
+		s.pushLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package smb
 import (
 	"testing"
 
+	"shmcaffe/internal/telemetry"
 	"shmcaffe/internal/tensor"
 )
 
@@ -18,6 +19,9 @@ const allocVals = 4096 // spans a fraction of one chunk; large enough to be real
 func setupAllocStore(t testing.TB) (*Store, Handle, Handle) {
 	t.Helper()
 	store := NewStore()
+	// The guards run with telemetry enabled: latency histograms and
+	// stripe-wait timing must stay inside the zero-alloc budget too.
+	store.Instrument(telemetry.NewRegistry())
 	gKey, err := store.Create("alloc/wg", allocVals*4)
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +94,7 @@ func TestSteadyStateZeroAllocStreamClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+	client.Instrument(telemetry.NewRegistry())
 	gKey, err := client.Lookup("alloc/wg")
 	if err != nil {
 		t.Fatal(err)
@@ -181,5 +186,17 @@ func TestReadInt64SlotsSingleAllocation(t *testing.T) {
 	})
 	if n > 1 {
 		t.Errorf("ReadInt64Slots allocates %.1f per call, want ≤1 (the result slice)", n)
+	}
+
+	// The Into variant reuses the caller's slice: zero allocations. This is
+	// the staleness probe's per-T1 path, so it is pinned exactly.
+	out := make([]int64, 16)
+	n = testing.AllocsPerRun(100, func() {
+		if err := ReadInt64SlotsInto(c, h, out); err != nil || out[7] != 7 {
+			t.Fatalf("out=%v err=%v", out, err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("ReadInt64SlotsInto allocates %.1f per call, want 0", n)
 	}
 }

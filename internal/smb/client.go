@@ -117,6 +117,22 @@ func ReadInt64Slots(c Client, h Handle, n int) ([]int64, error) {
 	return out, nil
 }
 
+// ReadInt64SlotsInto loads len(out) consecutive int64 slots starting at
+// slot 0 into out. Unlike ReadInt64Slots it allocates nothing on the steady
+// state — the telemetry staleness probe calls it once per T1 read with a
+// preallocated slice.
+func ReadInt64SlotsInto(c Client, h Handle, out []int64) error {
+	buf, bp := getScratch(8 * len(out))
+	defer putScratch(bp)
+	if err := c.Read(h, 0, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
 // SegmentNames builds the conventional segment names used by ShmCaffe's
 // buffer layout (Fig. 5): one global weight buffer, one per-worker weight
 // increment buffer, and one control segment.

@@ -1,0 +1,104 @@
+package smb
+
+import (
+	"sync"
+	"time"
+
+	"shmcaffe/internal/telemetry"
+)
+
+// Instrumentation for the SMB data path. The store and both client
+// transports are observable on demand: call Instrument with a telemetry
+// registry before traffic starts and every Read/Write/Accumulate feeds
+// latency histograms in addition to the always-on atomic counters. The
+// instruments are designed to hold the PR 2 zero-alloc contract with
+// telemetry enabled — histograms record with atomics into preallocated
+// storage and the timing uses time.Now/Since, which do not allocate
+// (alloc_test.go runs its steady-state guards against an instrumented
+// store and client).
+
+// storeInstruments is the store's optional latency instrumentation,
+// installed atomically by Instrument.
+type storeInstruments struct {
+	readLatency  *telemetry.Histogram
+	writeLatency *telemetry.Histogram
+	accLatency   *telemetry.Histogram
+	stripeWait   *telemetry.Histogram
+}
+
+// Instrument registers the store's observable state on reg and enables
+// per-operation latency timing. Counters are exported as scrape-time views
+// of the existing atomic stats, so instrumenting adds no hot-path cost
+// beyond the histogram observes. Call once, before serving traffic;
+// duplicate metric names panic (Registry semantics).
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("smb_creates_total", "segments created", s.stats.creates.Load)
+	reg.CounterFunc("smb_attaches_total", "handles attached", s.stats.attaches.Load)
+	reg.CounterFunc("smb_reads_total", "Read verbs served", s.stats.reads.Load)
+	reg.CounterFunc("smb_writes_total", "Write verbs served", s.stats.writes.Load)
+	reg.CounterFunc("smb_accumulates_total", "Accumulate verbs served (Eq. 7)", s.stats.accumulates.Load)
+	reg.CounterFunc("smb_bytes_read_total", "payload bytes served to Read", s.stats.bytesRead.Load)
+	reg.CounterFunc("smb_bytes_written_total", "payload bytes stored by Write/Accumulate", s.stats.bytesWrite.Load)
+	reg.CounterFunc("smb_notify_wakeups_total", "blocked WaitUpdate calls released by a version bump", s.stats.notifyWakeups.Load)
+	reg.GaugeFunc("smb_segments", "live segments in the store", func() float64 {
+		return float64(s.SegmentCount())
+	})
+	s.inst.Store(&storeInstruments{
+		readLatency: reg.Histogram("smb_read_seconds",
+			"server-side Read latency", telemetry.DefLatencyBuckets),
+		writeLatency: reg.Histogram("smb_write_seconds",
+			"server-side Write latency", telemetry.DefLatencyBuckets),
+		accLatency: reg.Histogram("smb_accumulate_seconds",
+			"server-side Accumulate latency (the T.A3 cost)", telemetry.DefLatencyBuckets),
+		stripeWait: reg.Histogram("smb_accumulate_stripe_wait_seconds",
+			"total time one Accumulate spent blocked on stripe locks — contention between workers colliding on the same 64 KiB of Wg",
+			telemetry.DefLatencyBuckets),
+	})
+}
+
+// lockWait acquires mu exclusively, returning nanoseconds spent blocked when
+// timed; the untimed path is exactly mu.Lock().
+func lockWait(mu *sync.RWMutex, timed bool) int64 {
+	if !timed {
+		mu.Lock()
+		return 0
+	}
+	t0 := time.Now()
+	mu.Lock()
+	return time.Since(t0).Nanoseconds()
+}
+
+// clientInstruments is the per-transport RTT instrumentation shared by
+// StreamClient and ShardedClient.
+type clientInstruments struct {
+	read  *telemetry.Histogram
+	write *telemetry.Histogram
+	acc   *telemetry.Histogram
+}
+
+func newClientInstruments(reg *telemetry.Registry, family, help string) *clientInstruments {
+	return &clientInstruments{
+		read:  reg.Histogram(family+`{op="read"}`, help, telemetry.DefLatencyBuckets),
+		write: reg.Histogram(family+`{op="write"}`, help, telemetry.DefLatencyBuckets),
+		acc:   reg.Histogram(family+`{op="accumulate"}`, help, telemetry.DefLatencyBuckets),
+	}
+}
+
+// Instrument enables round-trip timing on the wire client, exporting
+// smb_client_rtt_seconds{op=...}. Call before issuing traffic.
+func (c *StreamClient) Instrument(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inst = newClientInstruments(reg, "smb_client_rtt_seconds",
+		"wire-client round-trip latency per verb")
+}
+
+// Instrument enables fan-out timing on the sharded client, exporting
+// smb_sharded_seconds{op=...} (the full fan-out/join time across shards).
+// Call before issuing traffic.
+func (s *ShardedClient) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inst = newClientInstruments(reg, "smb_sharded_seconds",
+		"sharded-client fan-out latency per verb across all shards")
+}

@@ -52,13 +52,16 @@ func (t *versionTable) get(seg *segment) uint64 {
 	return t.v[seg]
 }
 
-func (t *versionTable) wait(seg *segment, since uint64) uint64 {
+// wait blocks until seg's version exceeds since; blocked reports whether the
+// caller actually slept (vs. the version already being ahead).
+func (t *versionTable) wait(seg *segment, since uint64) (v uint64, blocked bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for t.v[seg] <= since {
+		blocked = true
 		t.cond.Wait()
 	}
-	return t.v[seg]
+	return t.v[seg], blocked
 }
 
 // Version implements Notifier for the Store (and through it LocalClient).
@@ -76,7 +79,11 @@ func (s *Store) WaitUpdate(h Handle, since uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.versions.wait(seg, since), nil
+	v, blocked := s.versions.wait(seg, since)
+	if blocked {
+		s.stats.notifyWakeups.Add(1)
+	}
+	return v, nil
 }
 
 // Version implements Notifier.

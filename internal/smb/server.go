@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server exposes a Store over TCP — the process playing the role of the
@@ -244,9 +245,10 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 type StreamClient struct {
 	mu   sync.Mutex
 	conn io.ReadWriteCloser
-	req  frameWriter // request payload builder, guarded by mu
-	in   []byte      // response frame scratch, guarded by mu
-	wire []byte      // request frame staging, guarded by mu
+	req  frameWriter        // request payload builder, guarded by mu
+	in   []byte             // response frame scratch, guarded by mu
+	wire []byte             // request frame staging, guarded by mu
+	inst *clientInstruments // optional RTT timing, guarded by mu
 }
 
 var _ Client = (*StreamClient)(nil)
@@ -381,6 +383,10 @@ func (c *StreamClient) Free(key SHMKey) error {
 func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var t0 time.Time
+	if c.inst != nil {
+		t0 = time.Now()
+	}
 	c.beginLocked().u64(uint64(h)).u64(uint64(off)).u64(uint64(len(dst)))
 	resp, err := c.roundTripLocked(opRead)
 	if err != nil {
@@ -390,6 +396,9 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 		return fmt.Errorf("smb read returned %d bytes, want %d", len(resp), len(dst))
 	}
 	copy(dst, resp)
+	if c.inst != nil {
+		c.inst.read.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -397,8 +406,15 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var t0 time.Time
+	if c.inst != nil {
+		t0 = time.Now()
+	}
 	c.beginLocked().u64(uint64(h)).u64(uint64(off)).bytes(src)
 	_, err := c.roundTripLocked(opWrite)
+	if err == nil && c.inst != nil {
+		c.inst.write.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return err
 }
 
@@ -406,7 +422,14 @@ func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 func (c *StreamClient) Accumulate(dst, src Handle) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var t0 time.Time
+	if c.inst != nil {
+		t0 = time.Now()
+	}
 	c.beginLocked().u64(uint64(dst)).u64(uint64(src))
 	_, err := c.roundTripLocked(opAccumulate)
+	if err == nil && c.inst != nil {
+		c.inst.acc.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return err
 }

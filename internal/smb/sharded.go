@@ -3,6 +3,7 @@ package smb
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ShardedClient stripes every segment across several SMB servers — the
@@ -23,6 +24,7 @@ type ShardedClient struct {
 	mu         sync.Mutex
 	nextHandle Handle                    // guarded by mu
 	handles    map[Handle]*shardedHandle // guarded by mu
+	inst       *clientInstruments        // optional fan-out timing, guarded by mu
 }
 
 type shardedHandle struct {
@@ -224,6 +226,13 @@ func (s *ShardedClient) attachByName(name string) (Handle, error) {
 	return h, nil
 }
 
+// instruments snapshots the optional timing instruments under mu.
+func (s *ShardedClient) instruments() *clientInstruments {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inst
+}
+
 func (s *ShardedClient) handle(h Handle) (*shardedHandle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -312,9 +321,18 @@ func (s *ShardedClient) Read(h Handle, off int, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.parallelRange(sh, off, dst, func(i, shardOff int, part []byte) error {
+	ins := s.instruments()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
+	err = s.parallelRange(sh, off, dst, func(i, shardOff int, part []byte) error {
 		return s.clients[i].Read(sh.subs[i], shardOff, part)
 	})
+	if err == nil && ins != nil {
+		ins.read.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
+	return err
 }
 
 // Write implements Client: fan-out writes, concurrently across servers.
@@ -323,9 +341,18 @@ func (s *ShardedClient) Write(h Handle, off int, src []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.parallelRange(sh, off, src, func(i, shardOff int, part []byte) error {
+	ins := s.instruments()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
+	err = s.parallelRange(sh, off, src, func(i, shardOff int, part []byte) error {
 		return s.clients[i].Write(sh.subs[i], shardOff, part)
 	})
+	if err == nil && ins != nil {
+		ins.write.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
+	return err
 }
 
 // parallelRange runs the per-shard operation concurrently and joins errors.
@@ -380,6 +407,11 @@ func (s *ShardedClient) Accumulate(dst, src Handle) error {
 	if dsh.total != ssh.total {
 		return fmt.Errorf("sharded accumulate %d vs %d bytes: %w", dsh.total, ssh.total, ErrSizeMismatch)
 	}
+	ins := s.instruments()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
 	errs := make([]error, len(s.clients))
 	var wg sync.WaitGroup
 	for i, c := range s.clients {
@@ -395,6 +427,9 @@ func (s *ShardedClient) Accumulate(dst, src Handle) error {
 		if err != nil {
 			return err
 		}
+	}
+	if ins != nil {
+		ins.acc.ObserveSeconds(time.Since(t0).Nanoseconds())
 	}
 	return nil
 }

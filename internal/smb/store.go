@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shmcaffe/internal/tensor"
 )
@@ -42,13 +43,14 @@ type Handle uint64
 // Stats counts server-side traffic; the Fig. 7 bandwidth experiment and the
 // comm-volume assertions read these.
 type Stats struct {
-	Creates     int64
-	Attaches    int64
-	Reads       int64
-	Writes      int64
-	Accumulates int64
-	BytesRead   int64
-	BytesWrite  int64
+	Creates       int64
+	Attaches      int64
+	Reads         int64
+	Writes        int64
+	Accumulates   int64
+	BytesRead     int64
+	BytesWrite    int64
+	NotifyWakeups int64
 }
 
 // statCounters is the lock-free internal form of Stats: plain atomic adds
@@ -56,13 +58,14 @@ type Stats struct {
 // allocated a closure and serialized every Read/Write/Accumulate behind one
 // statMu.
 type statCounters struct {
-	creates     atomic.Int64
-	attaches    atomic.Int64
-	reads       atomic.Int64
-	writes      atomic.Int64
-	accumulates atomic.Int64
-	bytesRead   atomic.Int64
-	bytesWrite  atomic.Int64
+	creates       atomic.Int64
+	attaches      atomic.Int64
+	reads         atomic.Int64
+	writes        atomic.Int64
+	accumulates   atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWrite    atomic.Int64
+	notifyWakeups atomic.Int64
 }
 
 // chunkBytes is the lock-striping granularity of a segment: each chunk has
@@ -111,6 +114,11 @@ type Store struct {
 	handles    map[Handle]*segment // guarded by mu
 
 	stats statCounters
+
+	// inst holds the optional latency instrumentation (instrument.go);
+	// nil until Instrument is called. Atomic so a scrape endpoint can
+	// install it while traffic is in flight.
+	inst atomic.Pointer[storeInstruments]
 
 	// versions backs the update-notification API (notify.go).
 	versions *versionTable
@@ -241,6 +249,11 @@ func (s *Store) Read(h Handle, off int, dst []byte) error {
 		return fmt.Errorf("read [%d,%d) of %d-byte segment %q: %w",
 			off, off+len(dst), len(seg.data), seg.name, ErrOutOfRange)
 	}
+	ins := s.inst.Load()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
 	for covered := 0; covered < len(dst); {
 		start := off + covered
 		ci := start / chunkBytes
@@ -255,6 +268,9 @@ func (s *Store) Read(h Handle, off int, dst []byte) error {
 	}
 	s.stats.reads.Add(1)
 	s.stats.bytesRead.Add(int64(len(dst)))
+	if ins != nil {
+		ins.readLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -268,6 +284,11 @@ func (s *Store) Write(h Handle, off int, src []byte) error {
 	if off < 0 || off+len(src) > len(seg.data) {
 		return fmt.Errorf("write [%d,%d) of %d-byte segment %q: %w",
 			off, off+len(src), len(seg.data), seg.name, ErrOutOfRange)
+	}
+	ins := s.inst.Load()
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
 	}
 	for covered := 0; covered < len(src); {
 		start := off + covered
@@ -284,6 +305,9 @@ func (s *Store) Write(h Handle, off int, src []byte) error {
 	s.versions.bump(seg)
 	s.stats.writes.Add(1)
 	s.stats.bytesWrite.Add(int64(len(src)))
+	if ins != nil {
+		ins.writeLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+	}
 	return nil
 }
 
@@ -329,12 +353,19 @@ func (s *Store) Accumulate(dst, src Handle) error {
 	if len(dseg.data)%4 != 0 {
 		return fmt.Errorf("accumulate %q: %w", dseg.name, ErrNotFloatAligned)
 	}
+	ins := s.inst.Load()
+	timed := ins != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	var waitNs int64
 
 	for ci := range dseg.locks {
 		lo, hi := dseg.chunkRange(ci)
 		if dseg == sseg {
 			// Self-accumulate: one lock, double in place.
-			dseg.locks[ci].Lock()
+			waitNs += lockWait(&dseg.locks[ci], timed)
 			if err := accumulateChunk(dseg.data[lo:hi], dseg.data[lo:hi]); err != nil {
 				dseg.locks[ci].Unlock()
 				return err
@@ -343,11 +374,11 @@ func (s *Store) Accumulate(dst, src Handle) error {
 			continue
 		}
 		if dseg.key < sseg.key {
-			dseg.locks[ci].Lock()
+			waitNs += lockWait(&dseg.locks[ci], timed)
 			sseg.locks[ci].RLock()
 		} else {
 			sseg.locks[ci].RLock()
-			dseg.locks[ci].Lock()
+			waitNs += lockWait(&dseg.locks[ci], timed)
 		}
 		err := accumulateChunk(dseg.data[lo:hi], sseg.data[lo:hi])
 		sseg.locks[ci].RUnlock()
@@ -359,6 +390,10 @@ func (s *Store) Accumulate(dst, src Handle) error {
 	s.versions.bump(dseg)
 	s.stats.accumulates.Add(1)
 	s.stats.bytesWrite.Add(int64(len(dseg.data)))
+	if timed {
+		ins.accLatency.ObserveSeconds(time.Since(t0).Nanoseconds())
+		ins.stripeWait.ObserveSeconds(waitNs)
+	}
 	return nil
 }
 
@@ -400,13 +435,14 @@ func accumulateChunk(dst, src []byte) error {
 // torn multi-counter view is possible mid-traffic, exact once quiescent).
 func (s *Store) Stats() Stats {
 	return Stats{
-		Creates:     s.stats.creates.Load(),
-		Attaches:    s.stats.attaches.Load(),
-		Reads:       s.stats.reads.Load(),
-		Writes:      s.stats.writes.Load(),
-		Accumulates: s.stats.accumulates.Load(),
-		BytesRead:   s.stats.bytesRead.Load(),
-		BytesWrite:  s.stats.bytesWrite.Load(),
+		Creates:       s.stats.creates.Load(),
+		Attaches:      s.stats.attaches.Load(),
+		Reads:         s.stats.reads.Load(),
+		Writes:        s.stats.writes.Load(),
+		Accumulates:   s.stats.accumulates.Load(),
+		BytesRead:     s.stats.bytesRead.Load(),
+		BytesWrite:    s.stats.bytesWrite.Load(),
+		NotifyWakeups: s.stats.notifyWakeups.Load(),
 	}
 }
 
@@ -419,4 +455,13 @@ func (s *Store) ResetStats() {
 	s.stats.accumulates.Store(0)
 	s.stats.bytesRead.Store(0)
 	s.stats.bytesWrite.Store(0)
+	s.stats.notifyWakeups.Store(0)
+}
+
+// SegmentCount returns the number of live segments (the /healthz liveness
+// signal and the smb_segments gauge).
+func (s *Store) SegmentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segments)
 }

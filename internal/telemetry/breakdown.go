@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates the spans of one phase across a trace.
+type PhaseStat struct {
+	Phase Phase
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the mean span duration.
+func (s PhaseStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Breakdown is the per-phase time decomposition of a trace — the Fig. 6
+// quantity in tabular form.
+type Breakdown struct {
+	Phases []PhaseStat // present phases, in Phase order
+
+	// HiddenTime is ΣT.A1–T.A4: the update-thread work the design hides
+	// behind compute.
+	HiddenTime time.Duration
+	// ComputeTime is ΣT4+T5.
+	ComputeTime time.Duration
+	// ExposedTime is Σ(T1+T2): the communication deliberately left on the
+	// critical path.
+	ExposedTime time.Duration
+	// BlockedTime is ΣT.A5: main-thread stalls from push back-pressure.
+	BlockedTime time.Duration
+	// Workers is the number of distinct main-thread tracks seen.
+	Workers int
+	// Unknown counts events whose name is not a Fig. 6 phase (skipped).
+	Unknown int
+}
+
+// OverlapRatio is hidden T.A time / compute time — >0 means the update
+// thread did real work during compute; a value near the exposed-comm share
+// of an unoverlapped run quantifies how much latency the design hides.
+func (b *Breakdown) OverlapRatio() float64 {
+	if b.ComputeTime <= 0 {
+		return 0
+	}
+	return b.HiddenTime.Seconds() / b.ComputeTime.Seconds()
+}
+
+// ComputeBreakdown aggregates complete ("X") span events per phase.
+func ComputeBreakdown(events []TraceEvent) *Breakdown {
+	var stats [NumPhases]PhaseStat
+	mains := make(map[int]bool)
+	b := &Breakdown{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		p, ok := PhaseFromName(ev.Name)
+		if !ok {
+			b.Unknown++
+			continue
+		}
+		d := time.Duration(ev.Dur * float64(time.Microsecond))
+		st := &stats[p]
+		if st.Count == 0 || d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		st.Count++
+		st.Total += d
+
+		switch {
+		case HiddenPhase(p):
+			b.HiddenTime += d
+		case p == PhaseT45:
+			b.ComputeTime += d
+			mains[ev.TID] = true
+		case p == PhaseT1 || p == PhaseT2:
+			b.ExposedTime += d
+		case p == PhaseTA5:
+			b.BlockedTime += d
+		}
+	}
+	for p := 0; p < NumPhases; p++ {
+		if stats[p].Count > 0 {
+			stats[p].Phase = Phase(p)
+			b.Phases = append(b.Phases, stats[p])
+		}
+	}
+	sort.Slice(b.Phases, func(i, j int) bool { return b.Phases[i].Phase < b.Phases[j].Phase })
+	b.Workers = len(mains)
+	return b
+}

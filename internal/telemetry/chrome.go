@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace_event export: the tracer's ring renders as the paper's
+// Fig. 6 timeline when loaded into chrome://tracing or https://ui.perfetto.dev.
+// Each worker occupies two adjacent tracks (main and update thread), so the
+// overlap of T.A1–T.A4 with T4+T5 — the paper's communication hiding — is
+// directly visible.
+
+// TraceEvent is one trace_event record (the subset this package emits and
+// the breakdown loader consumes). Times are microseconds, per the format.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the object form of the trace format.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// Events converts the recorded spans into complete ("ph":"X") trace events
+// plus thread-name metadata, sorted by start time.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	spans := t.snapshot()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+
+	t.mu.Lock()
+	tids := make([]int32, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	events := make([]TraceEvent, 0, len(spans)+len(tids))
+	for _, tid := range tids {
+		events = append(events, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: int(tid),
+			Args: map[string]string{"name": t.threads[tid]},
+		})
+	}
+	t.mu.Unlock()
+
+	for _, s := range spans {
+		events = append(events, TraceEvent{
+			Name: s.phase.String(),
+			Cat:  "seasgd",
+			Ph:   "X",
+			TS:   float64(s.start) / 1e3,
+			Dur:  float64(s.dur) / 1e3,
+			PID:  0,
+			TID:  int(s.tid),
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace writes the trace_event JSON object form. Call it only
+// after recording has quiesced (e.g. after training returns).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the trace to path (0644).
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create trace file: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseChromeTrace decodes trace_event JSON in either the bare-array or the
+// {"traceEvents": [...]} object form.
+func ParseChromeTrace(data []byte) ([]TraceEvent, error) {
+	var obj traceFile
+	if err := json.Unmarshal(data, &obj); err == nil && obj.TraceEvents != nil {
+		return obj.TraceEvents, nil
+	}
+	var arr []TraceEvent
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return nil, fmt.Errorf("telemetry: not a Chrome trace: %w", err)
+	}
+	return arr, nil
+}
+
+// LoadTraceFile reads and parses a trace file emitted by WriteChromeTrace.
+func LoadTraceFile(path string) ([]TraceEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseChromeTrace(data)
+}

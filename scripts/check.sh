@@ -28,8 +28,8 @@ tier2() {
 	go vet ./...
 	echo "== tier 2: shmlint =="
 	go run ./cmd/shmlint ./...
-	echo "== tier 2: race stress (smb, ps, core, rds) =="
-	go test -race ./internal/smb ./internal/ps ./internal/core ./internal/rds
+	echo "== tier 2: race stress (smb, ps, core, rds, telemetry) =="
+	go test -race ./internal/smb ./internal/ps ./internal/core ./internal/rds ./internal/telemetry
 	echo "== tier 2: fuzz smoke (100 execs per target) =="
 	# go test accepts exactly one -fuzz pattern per invocation.
 	for target in FuzzDispatch FuzzFrameRoundTrip FuzzReadFrame; do
@@ -45,6 +45,60 @@ tier2() {
 	# Pins the zero-alloc contract of the SMB hot path (Store and
 	# StreamClient Read/Write/Accumulate, pooled wire scratch).
 	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
+	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc' -count=1 ./internal/telemetry
+	echo "== tier 2: telemetry smoke (2-worker -telemetry run) =="
+	telemetry_smoke
+}
+
+# telemetry_smoke runs a short 2-worker shmtrain with the telemetry surface
+# enabled, scrapes /metrics during the linger window, and validates the
+# emitted Chrome trace through benchtables -trace.
+telemetry_smoke() {
+	tmpdir="$(mktemp -d)"
+	trap 'rm -rf "$tmpdir"' EXIT
+	go build -o "$tmpdir/shmtrain" ./cmd/shmtrain
+	go build -o "$tmpdir/benchtables" ./cmd/benchtables
+	"$tmpdir/shmtrain" -platform shmcaffe-a -workers 2 -epochs 2 -per-class 40 \
+		-telemetry 127.0.0.1:0 -trace-out "$tmpdir/trace.json" \
+		-telemetry-linger 8s >"$tmpdir/train.log" 2>&1 &
+	train_pid=$!
+
+	# Wait for the telemetry URL to appear in the log.
+	url=""
+	for _ in $(seq 1 100); do
+		url="$(sed -n 's#.*telemetry listening on http://\([^ ]*\).*#\1#p' "$tmpdir/train.log" | head -1)"
+		[ -n "$url" ] && break
+		sleep 0.1
+	done
+	if [ -z "$url" ]; then
+		echo "telemetry smoke: no listening URL in shmtrain output" >&2
+		cat "$tmpdir/train.log" >&2
+		kill "$train_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	# Scrape until the run has recorded both acceptance families.
+	ok=""
+	for _ in $(seq 1 100); do
+		if curl -fsS "http://$url/metrics" >"$tmpdir/metrics.txt" 2>/dev/null &&
+			grep -q 'smb_accumulate_seconds_bucket' "$tmpdir/metrics.txt" &&
+			grep -q 'seasgd_t1_staleness_iterations_count' "$tmpdir/metrics.txt"; then
+			ok=1
+			break
+		fi
+		sleep 0.1
+	done
+	if [ -z "$ok" ]; then
+		echo "telemetry smoke: /metrics never carried the acceptance series" >&2
+		cat "$tmpdir/metrics.txt" >&2 || true
+		kill "$train_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	wait "$train_pid"
+	# The trace must parse and contain compute spans.
+	"$tmpdir/benchtables" -trace "$tmpdir/trace.json" | grep -q 'T4+T5'
+	echo "telemetry smoke: OK"
 }
 
 case "$tier" in
