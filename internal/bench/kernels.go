@@ -77,6 +77,23 @@ func benchResult(name string, logicalBytes int64, r testing.BenchmarkResult) Ker
 	return kr
 }
 
+// benchMin runs fn through testing.Benchmark k times and returns the run
+// with the lowest ns/op. The comparison pairs (fused vs unfused, chunked vs
+// split) are decided by sub-10% margins that scheduler steal time on a
+// shared host can invert between back-to-back runs; the minimum is the
+// least-disturbed measurement of each side.
+func benchMin(k int, fn func(bb *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	bestNs := float64(best.T.Nanoseconds()) / float64(best.N)
+	for i := 1; i < k; i++ {
+		r := testing.Benchmark(fn)
+		if ns := float64(r.T.Nanoseconds()) / float64(r.N); ns < bestNs {
+			best, bestNs = r, ns
+		}
+	}
+	return best
+}
+
 // benchGemmKernel benchmarks one raw gemm implementation at size s³.
 func benchGemmKernel(fn func(m, n, k int, a, b, c []float32), s int) testing.BenchmarkResult {
 	a := make([]float32, s*s)
@@ -151,6 +168,94 @@ func KernelBench(quick bool) (*KernelReport, error) {
 			}
 		})
 		rep.Results = append(rep.Results, benchResult("col2im/c64_32x32_k3", logical, r))
+	}
+
+	// Fused SEASGD elastic step (T2): the seed worker swept the weight
+	// vector three times per exchange — delta = α·(local − global), then
+	// local −= delta, then the handoff copy into pendingDelta. The fused
+	// kernel does all of it in one width-8 unrolled pass. Rows pin both so
+	// the speedup is the real critical-path saving.
+	elasticSizes := []int{1 << 16, 1 << 20}
+	if quick {
+		elasticSizes = []int{1 << 16}
+	}
+	for _, n := range elasticSizes {
+		local := make([]float32, n)
+		global := make([]float32, n)
+		delta := make([]float32, n)
+		pending := make([]float32, n)
+		kernelFill(local, 6)
+		// global == local keeps the iterated update stationary: repeated
+		// local −= α·(local−global) otherwise contracts local onto global
+		// and the shrinking differences fall into subnormals, where FP
+		// assists dominate and the benchmark measures denormal handling
+		// instead of the kernels. With zero differences every intermediate
+		// is an exact zero — full-speed FP, same instruction stream.
+		copy(global, local)
+		logical := int64(n) * 4
+		unf := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			const a = float32(0.3)
+			for i := 0; i < bb.N; i++ {
+				for j := range delta {
+					delta[j] = a * (local[j] - global[j])
+				}
+				for j := range local {
+					local[j] -= delta[j]
+				}
+				copy(pending, delta)
+			}
+		})
+		fus := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				tensor.FusedElasticStep(0.3, pending, local, global)
+			}
+		})
+		rep.Results = append(rep.Results,
+			benchResult(fmt.Sprintf("elastic_step/unfused/%d", n), logical, unf),
+			benchResult(fmt.Sprintf("elastic_step/fused/%d", n), logical, fus))
+		unfNs := float64(unf.T.Nanoseconds()) / float64(unf.N)
+		fusNs := float64(fus.T.Nanoseconds()) / float64(fus.N)
+		if fusNs > 0 {
+			rep.Speedups[fmt.Sprintf("elastic_step/%d", n)] = unfNs / fusNs
+		}
+	}
+
+	// Axpy (the Eq. 7 accumulate inner loop): scalar reference vs the
+	// width-8 bounds-check-eliminated kernel the store now dispatches. The
+	// small size is L1-resident (where the unroll shows); the large one is
+	// bandwidth-bound.
+	axpySizes := []int{1 << 12, 1 << 16}
+	if quick {
+		axpySizes = []int{1 << 12}
+	}
+	for _, n := range axpySizes {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		kernelFill(x, 8)
+		kernelFill(y, 9)
+		logical := int64(n) * 4
+		sc := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				tensor.AxpySliceScalar(1, x, y)
+			}
+		})
+		un := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				tensor.AxpySlice(1, x, y)
+			}
+		})
+		rep.Results = append(rep.Results,
+			benchResult(fmt.Sprintf("axpy/scalar/%d", n), logical, sc),
+			benchResult(fmt.Sprintf("axpy/unrolled/%d", n), logical, un))
+		scNs := float64(sc.T.Nanoseconds()) / float64(sc.N)
+		unNs := float64(un.T.Nanoseconds()) / float64(un.N)
+		if unNs > 0 {
+			rep.Speedups[fmt.Sprintf("axpy/%d", n)] = scNs / unNs
+		}
 	}
 
 	// SMB store Accumulate: one shared multi-stripe global, concurrent
@@ -244,6 +349,73 @@ func KernelBench(quick bool) (*KernelReport, error) {
 			}
 		})
 		rep.Results = append(rep.Results, benchResult("smb/tcp_write/16KiB", 4096*4, r))
+	}
+
+	// End-to-end TCP push of a 1 MiB increment: the split Write then
+	// Accumulate pair (two round trips, server idle while the second
+	// request is in flight) against the chunk-pipelined WRITE+ACCUMULATE
+	// (16 streamed chunks, one ack; the server folds chunk k while chunk
+	// k+1 is on the wire).
+	{
+		const vals = 1 << 18 // 1 MiB
+		store := smb.NewStore()
+		srv, err := smb.NewServer(store, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		go srv.Serve() //lint:ignore goleak joined by srv.Close via the server's WaitGroup
+		client, err := smb.Dial(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		gKey, err := client.Create("kern/push_wg", vals*4)
+		if err != nil {
+			return nil, err
+		}
+		hg, err := client.Attach(gKey)
+		if err != nil {
+			return nil, err
+		}
+		dKey, err := client.Create("kern/push_dw", vals*4)
+		if err != nil {
+			return nil, err
+		}
+		hd, err := client.Attach(dKey)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]float32, vals)
+		kernelFill(buf, 10)
+		raw := tensor.Float32Bytes(buf)
+		split := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if err := client.Write(hd, 0, raw); err != nil {
+					bb.Fatal(err)
+				}
+				if err := client.Accumulate(hg, hd); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		chunked := benchMin(3, func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if err := client.WriteAccumulate(hg, hd, raw); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results,
+			benchResult("smb/tcp_push_split/1MiB", vals*4, split),
+			benchResult("smb/tcp_push_chunked/1MiB", vals*4, chunked))
+		spNs := float64(split.T.Nanoseconds()) / float64(split.N)
+		chNs := float64(chunked.T.Nanoseconds()) / float64(chunked.N)
+		if chNs > 0 {
+			rep.Speedups["smb/tcp_push/1MiB"] = spNs / chNs
+		}
 	}
 
 	return rep, nil

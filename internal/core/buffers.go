@@ -15,9 +15,13 @@ import (
 // plus a stop flag (Sec. III-E).
 type JobBuffers struct {
 	client smb.Client
-	rank   int
-	n      int
-	elems  int
+	// wacc is non-nil when client supports the chunk-pipelined
+	// WRITE+ACCUMULATE sequence (all in-repo clients do; test doubles that
+	// wrap the interface fall back to the split Write+Accumulate pair).
+	wacc  smb.WriteAccumulator
+	rank  int
+	n     int
+	elems int
 
 	globalKey smb.SHMKey
 	global    smb.Handle // Wg (shared)
@@ -110,8 +114,10 @@ func SetupBuffers(comm *mpi.Comm, client smb.Client, job string, elems int, init
 	// All ranks attached before anyone starts writing.
 	comm.Barrier()
 
+	wacc, _ := client.(smb.WriteAccumulator)
 	return &JobBuffers{
 		client:    client,
+		wacc:      wacc,
 		rank:      rank,
 		n:         n,
 		elems:     elems,
@@ -163,11 +169,55 @@ func (b *JobBuffers) AccumulateIncrement() error {
 
 // PushIncrement writes delta into the worker's ΔWx segment and asks the
 // server to accumulate it into Wg — the full T.A2–T.A3 push, Eq. (7).
+// When the client supports it, the push streams as a chunk-pipelined
+// WRITE+ACCUMULATE sequence.
 func (b *JobBuffers) PushIncrement(delta []float32) error {
+	if b.CanStreamPush() {
+		return b.StreamIncrement(delta)
+	}
 	if err := b.WriteIncrement(delta); err != nil {
 		return err
 	}
 	return b.AccumulateIncrement()
+}
+
+// CanStreamPush reports whether the client supports the chunk-pipelined
+// WRITE+ACCUMULATE sequence, making StreamIncrement available.
+func (b *JobBuffers) CanStreamPush() bool { return b.wacc != nil }
+
+// StreamIncrement pushes delta as one chunked WRITE+ACCUMULATE sequence:
+// the server folds chunk k into Wg while chunk k+1 is still on the wire,
+// overlapping the ΔWx store with the accumulate instead of running them
+// back-to-back. Observable effects match WriteIncrement followed by
+// AccumulateIncrement exactly — ΔWx holds delta afterwards, Wg += ΔWx once,
+// and the server counts one Write and one Accumulate. Callers must check
+// CanStreamPush first.
+func (b *JobBuffers) StreamIncrement(delta []float32) error {
+	if err := b.StageIncrement(delta); err != nil {
+		return err
+	}
+	return b.StreamStaged()
+}
+
+// StageIncrement encodes delta into the wire staging buffer — the local
+// half of a streamed push. Split from StreamStaged so the phase tracer can
+// put the span boundary between preparing ΔWx (T.A2) and the pipelined
+// store+fold (T.A3).
+func (b *JobBuffers) StageIncrement(delta []float32) error {
+	if len(delta) != b.elems {
+		return fmt.Errorf("push %d elements, want %d: %w", len(delta), b.elems, ErrConfig)
+	}
+	_, err := tensor.EncodeFloat32(delta, b.dwBytes)
+	return err
+}
+
+// StreamStaged issues the chunked WRITE+ACCUMULATE sequence for the staged
+// increment. StageIncrement must have been called first.
+func (b *JobBuffers) StreamStaged() error {
+	if err := b.wacc.WriteAccumulate(b.global, b.incr, b.dwBytes); err != nil {
+		return fmt.Errorf("stream increment: %w", err)
+	}
+	return nil
 }
 
 // ReportProgress publishes this worker's completed iteration count to its

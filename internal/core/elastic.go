@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"shmcaffe/internal/tensor"
+)
 
 // Pure elastic-averaging update algebra, Eqs. (2)–(7) of the paper. All
 // functions operate on flat float32 weight vectors (the representation SMB
@@ -33,6 +37,23 @@ func ApplyIncrementLocal(local, delta []float32) error {
 	return nil
 }
 
+// FusedWeightStep computes Eqs. (5)+(6) in one fused sweep:
+// delta[i] = α·(local[i] − global[i]) followed by local[i] −= delta[i],
+// per element. It is bitwise-identical to WeightIncrement followed by
+// ApplyIncrementLocal (the tensor package pins the fused kernel against
+// that two-pass reference), but reads local and global once instead of
+// twice — this is the T2 critical-path update, so the saved sweep is
+// exposed time on every exchange. delta may be the worker's pendingDelta
+// directly, eliminating the former T.A1 handoff copy.
+func FusedWeightStep(delta, local, global []float32, alpha float64) error {
+	if len(delta) != len(local) || len(local) != len(global) {
+		return fmt.Errorf("fused weight step lengths %d/%d/%d: %w",
+			len(delta), len(local), len(global), ErrConfig)
+	}
+	tensor.FusedElasticStep(float32(alpha), delta, local, global)
+	return nil
+}
+
 // ApplyIncrementGlobal computes Eq. (7): global[i] += delta[i]. In ShmCaffe
 // this runs on the SMB server as an Accumulate; the function exists for the
 // in-memory parameter-server baselines and for property tests asserting
@@ -53,13 +74,14 @@ func ApplyIncrementGlobal(global, delta []float32) error {
 // used by the classic EASGD baseline (where the parameter server applies
 // Eq. 4 directly) and by tests that compare against the SMB-mediated path.
 func ElasticExchange(local, global, scratch []float32, alpha float64) error {
-	if err := WeightIncrement(scratch, local, global, alpha); err != nil {
-		return err
+	if len(scratch) != len(local) || len(local) != len(global) {
+		return fmt.Errorf("elastic exchange lengths %d/%d/%d: %w",
+			len(scratch), len(local), len(global), ErrConfig)
 	}
-	if err := ApplyIncrementLocal(local, scratch); err != nil {
-		return err
-	}
-	return ApplyIncrementGlobal(global, scratch)
+	// One fused sweep over all three vectors; bitwise-identical to the
+	// WeightIncrement → ApplyIncrementLocal → ApplyIncrementGlobal chain.
+	tensor.FusedElasticExchange(float32(alpha), scratch, local, global)
+	return nil
 }
 
 // CenterDistance returns the squared L2 distance between a replica and the

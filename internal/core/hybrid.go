@@ -258,7 +258,6 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 	grads := make([]float32, elems)
 	local := make([]float32, elems)
 	global := make([]float32, elems)
-	delta := make([]float32, elems)
 	flag := make([]float32, 1)
 
 	for iter := 0; iter < hardCap; iter++ {
@@ -299,12 +298,11 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 				g.mu.Unlock()
 				return err
 			}
+			// Fused Eqs. (5)+(6): one sweep writing the increment directly
+			// into pendingDelta (we hold mu), same as Worker.Run.
 			spT2 := tel.Begin(mainTID, telemetry.PhaseT2)
 			net.FlatWeights(local)
-			err = WeightIncrement(delta, local, global, cfg.Elastic.MovingRate)
-			if err == nil {
-				err = ApplyIncrementLocal(local, delta)
-			}
+			err = FusedWeightStep(g.pendingDelta, local, global, cfg.Elastic.MovingRate)
 			if err == nil {
 				err = net.SetFlatWeights(local)
 			}
@@ -313,7 +311,6 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 				g.mu.Unlock()
 				return err
 			}
-			copy(g.pendingDelta, delta)
 			g.mu.Unlock()
 			wake <- struct{}{}
 		}
@@ -415,17 +412,34 @@ func (g *HybridGroup) pushPending() error {
 	g.mu.Lock()
 	spA1.End()
 	defer g.mu.Unlock()
-	spA2 := tel.Begin(tid, telemetry.PhaseTA2)
-	err := g.buffers.WriteIncrement(g.pendingDelta)
-	spA2.End()
-	if err != nil {
-		return err
-	}
-	spA3 := tel.Begin(tid, telemetry.PhaseTA3)
-	err = g.buffers.AccumulateIncrement()
-	spA3.End()
-	if err != nil {
-		return err
+	if g.buffers.CanStreamPush() {
+		// Chunk-pipelined WRITE+ACCUMULATE; see Worker.pushPending for the
+		// span convention (T.A2 = staging, T.A3 = streamed store+fold).
+		spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+		err := g.buffers.StageIncrement(g.pendingDelta)
+		spA2.End()
+		if err != nil {
+			return err
+		}
+		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		err = g.buffers.StreamStaged()
+		spA3.End()
+		if err != nil {
+			return err
+		}
+	} else {
+		spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+		err := g.buffers.WriteIncrement(g.pendingDelta)
+		spA2.End()
+		if err != nil {
+			return err
+		}
+		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		err = g.buffers.AccumulateIncrement()
+		spA3.End()
+		if err != nil {
+			return err
+		}
 	}
 	spA4 := tel.Begin(tid, telemetry.PhaseTA4)
 	g.pushes++

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation guards skip under it because race instrumentation
+// allocates.
+const raceEnabled = true

@@ -181,7 +181,6 @@ func (w *Worker) Run() (*RunStats, error) {
 
 	local := make([]float32, elems)
 	global := make([]float32, elems)
-	delta := make([]float32, elems)
 
 	// Start from the shared initial weights so every replica of the job
 	// begins at Wg (the master seeded it).
@@ -224,11 +223,14 @@ loop:
 			w.mu.Lock()
 			spA5.End()
 			tLocked := cfg.Now()
-			// T1: obtain the global weight.
+			// T1: obtain the global weight. Hidden-read mode serves T2
+			// straight from cachedGlobal (we hold mu; the fused step only
+			// reads it), so even the staging copy is gone.
 			spT1 := tel.Begin(mainTID, telemetry.PhaseT1)
 			var readErr error
+			wg := global
 			if cfg.HideGlobalRead {
-				copy(global, w.cachedGlobal)
+				wg = w.cachedGlobal
 				tel.HiddenHit()
 			} else {
 				readErr = w.buffers.ReadGlobal(global)
@@ -239,13 +241,13 @@ loop:
 				w.mu.Unlock()
 				return nil, fmt.Errorf("rank %d iter %d: %w", rank, iter, readErr)
 			}
-			// T2: elastic update of the local weight, Eqs. (5)+(6).
+			// T2: elastic update of the local weight, Eqs. (5)+(6), fused
+			// into one sweep that writes the increment directly into
+			// pendingDelta — the former per-exchange handoff copy to the
+			// update thread is gone.
 			spT2 := tel.Begin(mainTID, telemetry.PhaseT2)
 			cfg.Net.FlatWeights(local)
-			t2err := WeightIncrement(delta, local, global, cfg.Elastic.MovingRate)
-			if t2err == nil {
-				t2err = ApplyIncrementLocal(local, delta)
-			}
+			t2err := FusedWeightStep(w.pendingDelta, local, wg, cfg.Elastic.MovingRate)
 			if t2err == nil {
 				t2err = cfg.Net.SetFlatWeights(local)
 			}
@@ -254,7 +256,6 @@ loop:
 				w.mu.Unlock()
 				return nil, t2err
 			}
-			copy(w.pendingDelta, delta)
 			w.mu.Unlock()
 			t1 := cfg.Now()
 			stats.BlockedTime += tLocked.Sub(t0)
@@ -407,19 +408,39 @@ func (w *Worker) pushPending(tid int32) error {
 	w.mu.Lock()
 	spA1.End()
 	defer w.mu.Unlock()
-	// T.A2: store ΔWx into the worker's increment segment.
-	spA2 := tel.Begin(tid, telemetry.PhaseTA2)
-	err := w.buffers.WriteIncrement(w.pendingDelta)
-	spA2.End()
-	if err != nil {
-		return err
-	}
-	// T.A3: server-side accumulate Wg += ΔWx (Eq. 7).
-	spA3 := tel.Begin(tid, telemetry.PhaseTA3)
-	err = w.buffers.AccumulateIncrement()
-	spA3.End()
-	if err != nil {
-		return err
+	if w.buffers.CanStreamPush() {
+		// Chunk-pipelined push: the server folds chunk k into Wg while
+		// chunk k+1 is on the wire, so the segment store rides inside the
+		// accumulate. The T.A2 span now covers staging ΔWx and T.A3 the
+		// streamed store+fold — the phase boundary the pipeline blurs by
+		// design; the trace shows T.A2 shrinking to the encode cost.
+		spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+		err := w.buffers.StageIncrement(w.pendingDelta)
+		spA2.End()
+		if err != nil {
+			return err
+		}
+		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		err = w.buffers.StreamStaged()
+		spA3.End()
+		if err != nil {
+			return err
+		}
+	} else {
+		// T.A2: store ΔWx into the worker's increment segment.
+		spA2 := tel.Begin(tid, telemetry.PhaseTA2)
+		err := w.buffers.WriteIncrement(w.pendingDelta)
+		spA2.End()
+		if err != nil {
+			return err
+		}
+		// T.A3: server-side accumulate Wg += ΔWx (Eq. 7).
+		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		err = w.buffers.AccumulateIncrement()
+		spA3.End()
+		if err != nil {
+			return err
+		}
 	}
 	// T.A4: bookkeeping tail (and the cached-Wg refresh in hidden-read
 	// mode — done here precisely because this phase is off the critical
@@ -427,6 +448,7 @@ func (w *Worker) pushPending(tid int32) error {
 	spA4 := tel.Begin(tid, telemetry.PhaseTA4)
 	w.pushes++
 	tel.IncPush()
+	var err error
 	if w.cfg.HideGlobalRead {
 		err = w.buffers.ReadGlobal(w.cachedGlobal)
 		tel.HiddenRefresh()

@@ -197,8 +197,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 	if fx.Len() != x.Len() {
 		return nil, fmt.Errorf("nn: residual %q inner changed volume: %w", r.name, ErrBadShape)
 	}
-	y := fx.Clone()
-	tensor.AxpySlice(1, x.Data(), y.Data())
+	// One fused pass y = F(x) + x instead of clone-then-add.
+	y := tensor.New(fx.Shape()...)
+	tensor.FusedAxpyCopy(1, x.Data(), fx.Data(), y.Data())
 	return y, nil
 }
 
@@ -208,8 +209,9 @@ func (r *Residual) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("residual %q backward: %w", r.name, err)
 	}
-	dx := dInner.Clone()
-	tensor.AxpySlice(1, grad.Data(), dx.Data())
+	// Shortcut gradient: dx = dF + grad in one fused pass.
+	dx := tensor.New(dInner.Shape()...)
+	tensor.FusedAxpyCopy(1, grad.Data(), dInner.Data(), dx.Data())
 	return dx, nil
 }
 

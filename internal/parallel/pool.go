@@ -19,12 +19,39 @@ import (
 	"sync"
 )
 
-// task is one contiguous index range handed to a worker.
+// Ranger is the allocation-free dispatch target: a kernel packages its
+// operands in a (typically pooled) struct and implements Range(lo, hi).
+// Storing a pointer in the interface does not allocate, unlike a closure
+// that captures its operands, so ForRanger keeps the steady-state dispatch
+// path at zero allocations per call end to end.
+type Ranger interface {
+	Range(lo, hi int)
+}
+
+// task is one contiguous index range handed to a worker. Exactly one of fn
+// and r is set.
 type task struct {
 	fn     func(lo, hi int)
+	r      Ranger
 	lo, hi int
 	done   *sync.WaitGroup
 }
+
+// run executes the task's range and signals completion.
+func (t task) run() {
+	if t.fn != nil {
+		t.fn(t.lo, t.hi)
+	} else {
+		t.r.Range(t.lo, t.hi)
+	}
+	t.done.Done()
+}
+
+// joinPool recycles the per-For join state. A WaitGroup is reusable once
+// Wait has returned, so pooling it removes the one heap allocation a
+// dispatching For call used to pay (the WaitGroup escaped through the task
+// channel).
+var joinPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
 // Pool is a fixed-width worker pool. The zero value is not usable; call
 // NewPool. A Pool of width w runs at most w ranges concurrently: w-1
@@ -55,8 +82,7 @@ func NewPool(width int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range p.jobs {
-				t.fn(t.lo, t.hi)
-				t.done.Done()
+				t.run()
 			}
 		}()
 	}
@@ -109,21 +135,52 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var done sync.WaitGroup
+	p.dispatch(n, chunk, fn, nil)
+}
+
+// ForRanger is For with a Ranger target instead of a closure: it runs
+// r.Range(lo, hi) once per partition range with the identical deterministic
+// partition. Kernels on zero-alloc paths hand in a pooled operand struct so
+// the whole dispatch — partition, queueing, join — allocates nothing.
+func (p *Pool) ForRanger(n, grain int, r Ranger) {
+	if n <= 0 {
+		return
+	}
+	chunk := chunkSize(n, grain, p.width)
+	if chunk >= n || p.width == 1 {
+		r.Range(0, n)
+		return
+	}
+	p.dispatch(n, chunk, nil, r)
+}
+
+// runRange invokes whichever dispatch target is set on [lo, hi).
+func runRange(fn func(lo, hi int), r Ranger, lo, hi int) {
+	if fn != nil {
+		fn(lo, hi)
+	} else {
+		r.Range(lo, hi)
+	}
+}
+
+// dispatch fans ranges of [0, n) out across the pool and joins them. The
+// join state comes from joinPool so a dispatching call allocates nothing.
+func (p *Pool) dispatch(n, chunk int, fn func(lo, hi int), r Ranger) {
+	done := joinPool.Get().(*sync.WaitGroup)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi >= n {
 			// Caller runs the final range itself — it would otherwise idle.
-			fn(lo, n)
+			runRange(fn, r, lo, n)
 			continue
 		}
 		done.Add(1)
 		select {
-		case p.jobs <- task{fn, lo, hi, &done}:
+		case p.jobs <- task{fn, r, lo, hi, done}:
 		default:
 			// Queue full (deep nesting or a saturated pool): run inline so
 			// progress never depends on a free worker.
-			fn(lo, hi)
+			runRange(fn, r, lo, hi)
 			done.Done()
 		}
 	}
@@ -133,14 +190,14 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 	for {
 		select {
 		case t := <-p.jobs:
-			t.fn(t.lo, t.hi)
-			t.done.Done()
+			t.run()
 			continue
 		default:
 		}
 		break
 	}
 	done.Wait()
+	joinPool.Put(done)
 }
 
 var (
@@ -161,6 +218,11 @@ func Default() *Pool {
 // For runs fn over [0, n) on the default pool; see Pool.For.
 func For(n, grain int, fn func(lo, hi int)) {
 	Default().For(n, grain, fn)
+}
+
+// ForRanger runs r over [0, n) on the default pool; see Pool.ForRanger.
+func ForRanger(n, grain int, r Ranger) {
+	Default().ForRanger(n, grain, r)
 }
 
 // DefaultWidth returns the default pool's width. Kernel dispatchers use it

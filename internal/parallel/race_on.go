@@ -1,0 +1,7 @@
+//go:build race
+
+package parallel
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-alloc guards skip under -race because instrumentation allocates.
+const raceEnabled = true

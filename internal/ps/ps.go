@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"shmcaffe/internal/telemetry"
+	"shmcaffe/internal/tensor"
 )
 
 // ErrSize is returned when a worker's vector does not match the server's.
@@ -41,6 +42,10 @@ type Server struct {
 	// contract), so the hot paths observe unconditionally.
 	pullLatency *telemetry.Histogram
 	pushLatency *telemetry.Histogram
+
+	// scratch holds the ElasticExchange increment between the fused
+	// kernel's two destinations; grow-only, guarded by mu.
+	scratch []float32
 }
 
 // Instrument registers the parameter-server baseline's metrics on reg: op
@@ -133,12 +138,12 @@ func (s *Server) ElasticExchange(local []float32, alpha float64) error {
 	if len(local) != len(s.weights) {
 		return fmt.Errorf("exchange %d of %d: %w", len(local), len(s.weights), ErrSize)
 	}
-	a := float32(alpha)
-	for i := range local {
-		e := a * (local[i] - s.weights[i])
-		local[i] -= e
-		s.weights[i] += e
+	if cap(s.scratch) < len(local) {
+		s.scratch = make([]float32, len(local))
 	}
+	// Fused Eqs. 3+4 sweep; bitwise-identical to the per-element
+	// e = α·(local−global); local −= e; global += e loop it replaces.
+	tensor.FusedElasticExchange(float32(alpha), s.scratch[:len(local)], local, s.weights)
 	s.pushes++
 	if s.pushLatency != nil {
 		s.pushLatency.ObserveSeconds(time.Since(t0).Nanoseconds())

@@ -153,6 +153,95 @@ func TestSteadyStateZeroAllocStreamClient(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAllocWriteAccumulate pins the chunked WRITE+ACCUMULATE
+// path: the store-side chunk apply is exactly allocation-free, and the
+// StreamClient's multi-chunk pipelined push stays within the socket epsilon
+// (the protocol layer itself adds no per-op garbage).
+func TestSteadyStateZeroAllocWriteAccumulate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if _, ok := tensor.Float32View(tensor.Float32Bytes(make([]float32, 16))); !ok {
+		t.Skip("no zero-copy fast path on this platform")
+	}
+	// Three full stripes: the push pipelines as three chunks.
+	const vals = 3 * chunkBytes / 4
+	store := NewStore()
+	store.Instrument(telemetry.NewRegistry())
+	gKey, err := store.Create("wa/wg", vals*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKey, err := store.Create("wa/dw", vals*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := store.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := store.Attach(dKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := tensor.Float32Bytes(onesVec(vals))
+	lc := NewLocalClient(store)
+	for i := 0; i < 4; i++ { // warm pools
+		if err := lc.WriteAccumulate(hg, hd, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := lc.WriteAccumulate(hg, hd, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("LocalClient.WriteAccumulate allocates %.1f per op, want 0", n)
+	}
+
+	server, err := NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	go server.Serve() //lint:ignore goleak joined by server.Close via the server's WaitGroup
+	client, err := Dial(server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Instrument(telemetry.NewRegistry())
+	wgKey, err := client.Lookup("wa/wg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	whg, err := client.Attach(wgKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwKey, err := client.Lookup("wa/dw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	whd, err := client.Attach(dwKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // warm the wire scratch to steady-state size
+		if err := client.WriteAccumulate(whg, whd, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const eps = 0.5 // see TestSteadyStateZeroAllocStreamClient
+	if n := testing.AllocsPerRun(50, func() {
+		if err := client.WriteAccumulate(whg, whd, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n > eps {
+		t.Errorf("StreamClient.WriteAccumulate allocates %.1f per op, want ~0", n)
+	}
+}
+
 // TestReadInt64SlotsSingleAllocation pins the satellite fix: only the
 // returned []int64 may allocate; the byte staging buffer is pooled.
 func TestReadInt64SlotsSingleAllocation(t *testing.T) {

@@ -1,0 +1,264 @@
+package smb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Chunk-pipelined WRITE+ACCUMULATE streaming.
+//
+// The classic worker push (Fig. 6 T.A2/T.A3) is two sequential round trips:
+// Write the full ΔWx segment, wait for the ack, then Accumulate it into Wg
+// and wait again — the server sits idle while the multi-MB frame is on the
+// wire, and the wire sits idle while the server adds. The chunked protocol
+// turns the push into a pipeline: the client splits the payload into
+// stripe-aligned chunks and streams one opWriteAccChunk frame per chunk
+// with no per-chunk reply; the server applies chunk k (copy into the src
+// segment, add into the dst segment, under the same 64 KiB stripe locks
+// every other verb honours) while chunk k+1 is still in flight. A final
+// opWriteAccEnd frame collects a single ack carrying the sequence's first
+// error, so the failure surface matches the unfused Write+Accumulate pair.
+//
+// Per-stripe atomicity is unchanged: each chunk covers whole stripes (the
+// chunk size equals the stripe size and offsets are stripe-aligned), every
+// stripe is copied and accumulated under its exclusive lock, and version
+// notification still fires once per logical operation (on the End frame),
+// exactly as one Write plus one Accumulate would. See DESIGN.md §11.
+
+const (
+	// opWriteAccChunk carries one chunk of a WriteAccumulate sequence. The
+	// server applies it immediately and sends no reply.
+	opWriteAccChunk opcode = 11
+	// opWriteAccEnd closes the sequence. The server replies once, with the
+	// sequence's first error or OK — the single ack of the whole pipeline.
+	opWriteAccEnd opcode = 12
+)
+
+// writeAccPad pads the 24-byte chunk header so the float32 data starts at
+// body offset 28. Frame bodies live at the 8-aligned base of the scratch
+// buffer and the opcode occupies body offset 0, so with 3 pad bytes the
+// data lands 4-byte aligned and the server-side accumulate can take the
+// zero-copy tensor.Float32View fast path instead of the pooled decode.
+const writeAccPad = 3
+
+// errNoReply is the dispatch sentinel for streamed frames that must not
+// generate a response (the pipelined chunk frames).
+var errNoReply = errors.New("smb: no reply for streamed frame")
+
+// WriteAccumulator is the optional fused-transfer capability of a Client:
+// write data into the src segment starting at offset 0 and accumulate the
+// written range into dst, as one pipelined operation. Callers feature-test
+// with a type assertion and fall back to Write + Accumulate.
+type WriteAccumulator interface {
+	WriteAccumulate(dst, src Handle, data []byte) error
+}
+
+// WriteAccumulateAt applies one chunk of a chunked WRITE+ACCUMULATE: data
+// is copied into the src segment at off, and the same byte range of dst
+// gets the freshly written values added in (float32-wise). Both segments
+// must have equal size; off and len(data) must be float32-aligned. Each
+// overlapped stripe is processed under the exclusive locks of both
+// segments (taken in segment-key order, so chunk streams crossing in
+// opposite directions cannot deadlock), which preserves the exact
+// no-lost-increments guarantee of Accumulate.
+//
+// Version bumps and the per-operation counters are deferred to
+// FinishWriteAccumulate so an N-chunk sequence counts as exactly one Write
+// plus one Accumulate; only the byte counters advance per chunk.
+func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
+	dseg, err := s.lookupHandle(dst)
+	if err != nil {
+		return err
+	}
+	sseg, err := s.lookupHandle(src)
+	if err != nil {
+		return err
+	}
+	if len(dseg.data) != len(sseg.data) {
+		return fmt.Errorf("write-accumulate %q (%d B) += %q (%d B): %w",
+			dseg.name, len(dseg.data), sseg.name, len(sseg.data), ErrSizeMismatch)
+	}
+	if off < 0 || off+len(data) > len(sseg.data) {
+		return fmt.Errorf("write-accumulate [%d,%d) of %d-byte segment %q: %w",
+			off, off+len(data), len(sseg.data), sseg.name, ErrOutOfRange)
+	}
+	if off%4 != 0 || len(data)%4 != 0 {
+		return fmt.Errorf("write-accumulate chunk [%d,%d) of %q: %w",
+			off, off+len(data), sseg.name, ErrNotFloatAligned)
+	}
+	ins := s.inst.Load()
+	timed := ins != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	var waitNs int64
+
+	for covered := 0; covered < len(data); {
+		start := off + covered
+		ci := start / chunkBytes
+		_, hi := sseg.chunkRange(ci)
+		if end := off + len(data); hi > end {
+			hi = end
+		}
+		part := data[covered : covered+(hi-start)]
+		if dseg == sseg {
+			// Self-target: one lock; the write lands and is doubled in place.
+			waitNs += lockWait(&dseg.locks[ci], timed)
+			copy(sseg.data[start:hi], part)
+			err = accumulateChunk(dseg.data[start:hi], dseg.data[start:hi])
+			dseg.locks[ci].Unlock()
+		} else {
+			// Both stripes exclusively — the copy mutates src, the add
+			// mutates dst — in segment-key order (same discipline as
+			// Accumulate, so mixed chunked/unfused traffic cannot deadlock).
+			if dseg.key < sseg.key {
+				waitNs += lockWait(&dseg.locks[ci], timed)
+				waitNs += lockWait(&sseg.locks[ci], timed)
+			} else {
+				waitNs += lockWait(&sseg.locks[ci], timed)
+				waitNs += lockWait(&dseg.locks[ci], timed)
+			}
+			copy(sseg.data[start:hi], part)
+			err = accumulateChunk(dseg.data[start:hi], sseg.data[start:hi])
+			sseg.locks[ci].Unlock()
+			dseg.locks[ci].Unlock()
+		}
+		if err != nil {
+			return err
+		}
+		covered += hi - start
+	}
+	// One chunk moves len(data) bytes into src and len(data) accumulated
+	// bytes into dst — the same accounting the unfused Write + Accumulate
+	// pair reports over the whole segment.
+	s.stats.bytesWrite.Add(int64(2 * len(data)))
+	if timed {
+		ins.chunkApply.ObserveSeconds(time.Since(t0).Nanoseconds())
+		ins.stripeWait.ObserveSeconds(waitNs)
+	}
+	return nil
+}
+
+// FinishWriteAccumulate closes a chunked WRITE+ACCUMULATE sequence: it
+// bumps the version of both segments (src was written, dst accumulated —
+// the same notifications one Write plus one Accumulate would emit) and
+// advances the per-operation counters once for the whole sequence.
+func (s *Store) FinishWriteAccumulate(dst, src Handle) error {
+	dseg, err := s.lookupHandle(dst)
+	if err != nil {
+		return err
+	}
+	sseg, err := s.lookupHandle(src)
+	if err != nil {
+		return err
+	}
+	s.versions.bump(sseg)
+	if dseg != sseg {
+		s.versions.bump(dseg)
+	}
+	s.stats.writes.Add(1)
+	s.stats.accumulates.Add(1)
+	return nil
+}
+
+// WriteAccumulate implements WriteAccumulator for the in-process transport:
+// one direct store call (the store already walks stripe by stripe).
+func (c *LocalClient) WriteAccumulate(dst, src Handle, data []byte) error {
+	if err := c.store.WriteAccumulateAt(dst, src, 0, data); err != nil {
+		return err
+	}
+	return c.store.FinishWriteAccumulate(dst, src)
+}
+
+var _ WriteAccumulator = (*LocalClient)(nil)
+
+// writeAccChunkBytes is the client-side chunk size: a whole multiple of the
+// lock stripe, so every streamed chunk maps to whole stripes on the server
+// and stripe-level contention granularity is unchanged. Four stripes per
+// wire chunk amortizes the per-frame syscall and header-staging cost (one
+// conn.Write per chunk) while keeping the chunk small enough that the
+// server's copy+fold of chunk k stays cache-resident and overlaps the wire
+// transfer of chunk k+1.
+const writeAccChunkBytes = 4 * chunkBytes
+
+// writeAccPadding is the zero padding appended after the chunk header.
+var writeAccPadding [writeAccPad]byte
+
+// WriteAccumulate implements WriteAccumulator over the wire: data is split
+// into stripe-aligned chunks streamed back-to-back with no per-chunk reply
+// — the server accumulates chunk k while chunk k+1 is on the wire — and one
+// final End round trip collects the sequence's status. Request staging uses
+// the client's grow-only scratch, so the steady-state path allocates
+// nothing.
+func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chunks := 0
+	for off := 0; off < len(data); off += writeAccChunkBytes {
+		end := off + writeAccChunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		var t0 time.Time
+		if c.chunkInst != nil {
+			t0 = time.Now()
+		}
+		c.beginLocked().u64(uint64(dst)).u64(uint64(src)).u64(uint64(off)).
+			bytes(writeAccPadding[:]).bytes(data[off:end])
+		if err := writeFrameInto(c.conn, byte(opWriteAccChunk), c.req.buf, &c.wire); err != nil {
+			return fmt.Errorf("smb chunk stream: %w", err)
+		}
+		if c.chunkInst != nil {
+			// Time to push one chunk into the transport: under backpressure
+			// this is where the pipeline stalls, so the histogram exposes
+			// whether the server keeps up with the wire.
+			c.chunkInst.chunkWrite.ObserveSeconds(time.Since(t0).Nanoseconds())
+		}
+		chunks++
+	}
+	c.beginLocked().u64(uint64(dst)).u64(uint64(src))
+	_, err := c.roundTripLocked(opWriteAccEnd)
+	if err == nil && c.chunkInst != nil {
+		// Every chunk of the sequence is unacknowledged until the End reply:
+		// the pipeline depth reached equals the chunk count.
+		c.chunkInst.depth.Observe(float64(chunks))
+	}
+	return err
+}
+
+var _ WriteAccumulator = (*StreamClient)(nil)
+
+// WriteAccumulate implements WriteAccumulator for the sharded client:
+// len(data) must equal the logical segment size; each server receives its
+// shard's slice as a chunked push when the backing client supports it and
+// as an unfused Write + Accumulate otherwise. Shards run concurrently.
+func (s *ShardedClient) WriteAccumulate(dst, src Handle, data []byte) error {
+	dsh, err := s.handle(dst)
+	if err != nil {
+		return err
+	}
+	ssh, err := s.handle(src)
+	if err != nil {
+		return err
+	}
+	if dsh.total != ssh.total {
+		return fmt.Errorf("sharded write-accumulate %d vs %d bytes: %w", dsh.total, ssh.total, ErrSizeMismatch)
+	}
+	if len(data) != ssh.total {
+		return fmt.Errorf("sharded write-accumulate %d bytes into %d-byte segment: %w",
+			len(data), ssh.total, ErrSizeMismatch)
+	}
+	return s.parallelRange(ssh, 0, data, func(i, shardOff int, part []byte) error {
+		if wa, ok := s.clients[i].(WriteAccumulator); ok {
+			return wa.WriteAccumulate(dsh.subs[i], ssh.subs[i], part)
+		}
+		if err := s.clients[i].Write(ssh.subs[i], shardOff, part); err != nil {
+			return err
+		}
+		return s.clients[i].Accumulate(dsh.subs[i], ssh.subs[i])
+	})
+}
+
+var _ WriteAccumulator = (*ShardedClient)(nil)

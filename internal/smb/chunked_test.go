@@ -1,0 +1,515 @@
+package smb
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"shmcaffe/internal/tensor"
+)
+
+// chunkTestVals spans 2.5 lock stripes (chunkBytes/4 float32 per stripe)
+// plus an odd tail, so chunked pushes exercise multi-chunk sequences with a
+// short final chunk.
+const chunkTestVals = 2*(chunkBytes/4) + chunkBytes/8 + 7
+
+// patternVec fills a float32 vector with a mix of signs and magnitudes.
+func patternVec(n, seed int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		switch (i + seed) % 4 {
+		case 0:
+			v[i] = float32(i%17) * 0.375
+		case 1:
+			v[i] = -float32(i%13) * 1.25
+		case 2:
+			v[i] = float32(seed) + float32(i%7)/8
+		default:
+			v[i] = 0.0625 * float32((i*seed)%29)
+		}
+	}
+	return v
+}
+
+// bytesBitsEqual compares two byte slices exactly.
+func bytesBitsEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// setupPair creates a dst/src segment pair of n floats on store and returns
+// their handles.
+func setupPair(t *testing.T, store *Store, job string, n int) (dst, src Handle) {
+	t.Helper()
+	gKey, err := store.Create(job+"/wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKey, err := store.Create(job+"/dw", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst, err = store.Attach(gKey); err != nil {
+		t.Fatal(err)
+	}
+	if src, err = store.Attach(dKey); err != nil {
+		t.Fatal(err)
+	}
+	return dst, src
+}
+
+// TestWriteAccumulateMatchesUnfused pins the fused path against the
+// unfused Write + Accumulate pair, bitwise, on the in-process transport.
+func TestWriteAccumulateMatchesUnfused(t *testing.T) {
+	for _, n := range []int{1, 255, chunkBytes / 4, chunkTestVals} {
+		refStore := NewStore()
+		refDst, refSrc := setupPair(t, refStore, "ref", n)
+		fusedStore := NewStore()
+		fDst, fSrc := setupPair(t, fusedStore, "fused", n)
+
+		init := tensor.Float32Bytes(patternVec(n, 3))
+		if err := refStore.Write(refDst, 0, init); err != nil {
+			t.Fatal(err)
+		}
+		if err := fusedStore.Write(fDst, 0, init); err != nil {
+			t.Fatal(err)
+		}
+
+		data := tensor.Float32Bytes(patternVec(n, 11))
+		if err := refStore.Write(refSrc, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := refStore.Accumulate(refDst, refSrc); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewLocalClient(fusedStore).WriteAccumulate(fDst, fSrc, data); err != nil {
+			t.Fatal(err)
+		}
+
+		want := make([]byte, n*4)
+		got := make([]byte, n*4)
+		if err := refStore.Read(refDst, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := fusedStore.Read(fDst, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytesBitsEqual(got, want) {
+			t.Fatalf("n=%d: fused WriteAccumulate dst diverges from Write+Accumulate", n)
+		}
+		// The src segment must hold the written payload, as after a Write.
+		if err := fusedStore.Read(fSrc, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytesBitsEqual(got, data) {
+			t.Fatalf("n=%d: fused WriteAccumulate src does not hold the pushed data", n)
+		}
+	}
+}
+
+// TestWriteAccumulateTCP pins the chunk-pipelined wire path: a multi-chunk
+// push over TCP must produce the same bytes as the unfused pair and count
+// as exactly one Write plus one Accumulate.
+func TestWriteAccumulateTCP(t *testing.T) {
+	srv := startServer(t)
+	c := dialT(t, srv)
+
+	n := chunkTestVals
+	gKey, err := c.Create("job/wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKey, err := c.Create("job/dw", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := c.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := c.Attach(dKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	init := tensor.Float32Bytes(patternVec(n, 5))
+	if err := c.Write(hg, 0, init); err != nil {
+		t.Fatal(err)
+	}
+	srv.Store().ResetStats()
+
+	data := tensor.Float32Bytes(patternVec(n, 23))
+	if err := c.WriteAccumulate(hg, hd, data); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.Store().Stats()
+	if st.Writes != 1 || st.Accumulates != 1 {
+		t.Fatalf("chunked push counted %d writes / %d accumulates, want 1/1", st.Writes, st.Accumulates)
+	}
+	if want := int64(2 * n * 4); st.BytesWrite != want {
+		t.Fatalf("chunked push counted %d bytes written, want %d", st.BytesWrite, want)
+	}
+
+	// Reference on a fresh store.
+	refStore := NewStore()
+	refDst, refSrc := setupPair(t, refStore, "ref", n)
+	if err := refStore.Write(refDst, 0, init); err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Write(refSrc, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Accumulate(refDst, refSrc); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, n*4)
+	got := make([]byte, n*4)
+	if err := refStore.Read(refDst, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(hg, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytesBitsEqual(got, want) {
+		t.Fatal("TCP chunked WriteAccumulate diverges from unfused reference")
+	}
+}
+
+// TestWriteAccumulateVersionBump checks notify semantics: one chunked push
+// bumps each segment's version exactly once, like one Write + one
+// Accumulate.
+func TestWriteAccumulateVersionBump(t *testing.T) {
+	store := NewStore()
+	dst, src := setupPair(t, store, "job", chunkTestVals)
+	c := NewLocalClient(store)
+
+	d0, _ := c.Version(dst)
+	s0, _ := c.Version(src)
+	data := tensor.Float32Bytes(patternVec(chunkTestVals, 1))
+	if err := c.WriteAccumulate(dst, src, data); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := c.Version(dst)
+	s1, _ := c.Version(src)
+	if d1 != d0+1 {
+		t.Fatalf("dst version bumped %d times per push, want 1", d1-d0)
+	}
+	if s1 != s0+1 {
+		t.Fatalf("src version bumped %d times per push, want 1", s1-s0)
+	}
+}
+
+// TestWriteAccumulateErrors exercises the failure surface: bad handles,
+// size mismatch, misaligned and oversized payloads — and checks a TCP
+// connection recovers after a poisoned chunk sequence.
+func TestWriteAccumulateErrors(t *testing.T) {
+	store := NewStore()
+	dst, src := setupPair(t, store, "job", 256)
+	lc := NewLocalClient(store)
+
+	if err := lc.WriteAccumulate(dst, 9999, make([]byte, 64)); !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("unknown src handle: got %v", err)
+	}
+	if err := lc.WriteAccumulate(dst, src, make([]byte, 257*4)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("oversized payload: got %v", err)
+	}
+	if err := lc.WriteAccumulate(dst, src, make([]byte, 10)); !errors.Is(err, ErrNotFloatAligned) {
+		t.Fatalf("misaligned payload: got %v", err)
+	}
+	if err := store.WriteAccumulateAt(dst, src, 2, make([]byte, 8)); !errors.Is(err, ErrNotFloatAligned) {
+		t.Fatalf("misaligned offset: got %v", err)
+	}
+
+	// Mismatched segment sizes.
+	oKey, err := store.Create("job/other", 128*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := store.Attach(oKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.WriteAccumulate(dst, other, make([]byte, 128*4)); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("size mismatch: got %v", err)
+	}
+
+	// Over the wire: a failing sequence reports on the End ack and must not
+	// wedge the connection for subsequent traffic.
+	srv := startServer(t)
+	c := dialT(t, srv)
+	gKey, err := c.Create("w/wg", 256*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := c.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKey, err := c.Create("w/dw", 256*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := c.Attach(dKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAccumulate(hg, 424242, make([]byte, 256*4)); !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("wire unknown handle: got %v", err)
+	}
+	good := tensor.Float32Bytes(onesVec(256))
+	if err := c.WriteAccumulate(hg, hd, good); err != nil {
+		t.Fatalf("connection unusable after failed sequence: %v", err)
+	}
+	got := make([]byte, 256*4)
+	if err := c.Read(hg, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	gv, ok := tensor.Float32View(got)
+	if ok && gv[0] != 1 {
+		t.Fatalf("post-recovery accumulate wrote %v, want 1", gv[0])
+	}
+}
+
+// TestChunkedInterleavedClients is the -race satellite test: two TCP
+// clients stream chunked pushes into the same destination segment
+// concurrently. Chunks interleave stripe by stripe on the server; the
+// per-stripe exclusive locks must preserve every increment exactly.
+func TestChunkedInterleavedClients(t *testing.T) {
+	srv := startServer(t)
+	setup := dialT(t, srv)
+
+	const n = chunkTestVals
+	const rounds = 8
+	gKey, err := setup.Create("race/wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		c := dialT(t, srv)
+		dKey, err := c.Create(SegmentNames{Job: "race"}.Increment(w), n*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hd, err := c.Attach(dKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hg, err := c.Attach(gKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := tensor.Float32Bytes(onesVec(n))
+			if w == 1 {
+				for i := range data {
+					data[i] = 0
+				}
+				v, _ := tensor.Float32View(data)
+				if v == nil {
+					// Big-endian fallback: encode twos explicitly.
+					two := make([]float32, n)
+					for i := range two {
+						two[i] = 2
+					}
+					data = tensor.Float32Bytes(two)
+				} else {
+					for i := range v {
+						v[i] = 2
+					}
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				if err := c.WriteAccumulate(hg, hd, data); err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every element received rounds×1 from worker 0 and rounds×2 from
+	// worker 1 — small integers, so float32 addition is exact.
+	hg, err := setup.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n*4)
+	if err := setup.Read(hg, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	want := float32(rounds * (1 + 2))
+	vals := make([]float32, n)
+	if err := tensor.DecodeFloat32(got, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != want {
+			t.Fatalf("element %d = %v after interleaved pushes, want %v", i, v, want)
+		}
+	}
+
+	st := srv.Store().Stats()
+	if st.Accumulates != 2*rounds {
+		t.Fatalf("interleaved pushes counted %d accumulates, want %d", st.Accumulates, 2*rounds)
+	}
+}
+
+// TestChunkedCrossedPushes streams two chunked sequences whose dst/src
+// roles are swapped (A: X ⇐ Y-data, B: Y ⇐ X-data) — the crossed pattern
+// that would deadlock without segment-key lock ordering.
+func TestChunkedCrossedPushes(t *testing.T) {
+	srv := startServer(t)
+	setup := dialT(t, srv)
+	const n = chunkTestVals
+	xKey, err := setup.Create("cross/x", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yKey, err := setup.Create("cross/y", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		c := dialT(t, srv)
+		hx, err := c.Attach(xKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := c.Attach(yKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := tensor.Float32Bytes(onesVec(n))
+			for r := 0; r < 6; r++ {
+				var err error
+				if w == 0 {
+					err = c.WriteAccumulate(hx, hy, data)
+				} else {
+					err = c.WriteAccumulate(hy, hx, data)
+				}
+				if err != nil {
+					t.Errorf("crossed worker %d round %d: %v", w, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait() // completing at all is the assertion (no deadlock)
+}
+
+// TestShardedWriteAccumulate checks the fan-out path splits a push across
+// shards and matches the unfused result, including the fallback for
+// backends without the WriteAccumulator capability.
+func TestShardedWriteAccumulate(t *testing.T) {
+	const n = 3000 // odd split across 2 shards
+	s1, s2 := NewStore(), NewStore()
+	sc, err := NewShardedClient(NewLocalClient(s1), NewLocalClient(s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gKey, err := sc.Create("sh/wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKey, err := sc.Create("sh/dw", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := sc.Attach(gKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := sc.Attach(dKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := tensor.Float32Bytes(patternVec(n, 2))
+	if err := sc.Write(hg, 0, init); err != nil {
+		t.Fatal(err)
+	}
+	data := tensor.Float32Bytes(patternVec(n, 9))
+	if err := sc.WriteAccumulate(hg, hd, data); err != nil {
+		t.Fatal(err)
+	}
+
+	refStore := NewStore()
+	refDst, refSrc := setupPair(t, refStore, "ref", n)
+	if err := refStore.Write(refDst, 0, init); err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Write(refSrc, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := refStore.Accumulate(refDst, refSrc); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, n*4)
+	got := make([]byte, n*4)
+	if err := refStore.Read(refDst, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Read(hg, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytesBitsEqual(got, want) {
+		t.Fatal("sharded WriteAccumulate diverges from unfused reference")
+	}
+
+	// Size-mismatch surface.
+	if err := sc.WriteAccumulate(hg, hd, make([]byte, 8)); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("sharded short payload: got %v", err)
+	}
+}
+
+// TestWriteAccumulateSelf pins the degenerate dst==src push: the payload
+// lands and is immediately doubled, under a single stripe lock.
+func TestWriteAccumulateSelf(t *testing.T) {
+	store := NewStore()
+	key, err := store.Create("self", 64*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := store.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := patternVec(64, 7)
+	if err := NewLocalClient(store).WriteAccumulate(h, h, tensor.Float32Bytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64*4)
+	if err := store.Read(h, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	decoded := make([]float32, 64)
+	if err := tensor.DecodeFloat32(got, decoded); err != nil {
+		t.Fatal(err)
+	}
+	for i := range decoded {
+		want := vals[i] + vals[i]
+		if math.Float32bits(decoded[i]) != math.Float32bits(want) {
+			t.Fatalf("self push element %d = %v, want %v", i, decoded[i], want)
+		}
+	}
+}

@@ -15,6 +15,10 @@ func FuzzDispatch(f *testing.F) {
 	f.Add(byte(opRead), []byte{1, 2, 3})
 	f.Add(byte(opWrite), bytes.Repeat([]byte{0xff}, 40))
 	f.Add(byte(opAccumulate), []byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2})
+	f.Add(byte(opWriteAccChunk), []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4}) // hdr+pad+one float
+	f.Add(byte(opWriteAccChunk), []byte{7})                 // truncated header
+	f.Add(byte(opWriteAccEnd), bytes.Repeat([]byte{0}, 16)) // end without chunks
 	f.Add(byte(99), []byte{1})
 	f.Fuzz(func(t *testing.T, op byte, payload []byte) {
 		srv := &Server{store: NewStore()}

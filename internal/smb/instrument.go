@@ -24,6 +24,7 @@ type storeInstruments struct {
 	writeLatency *telemetry.Histogram
 	accLatency   *telemetry.Histogram
 	stripeWait   *telemetry.Histogram
+	chunkApply   *telemetry.Histogram
 }
 
 // Instrument registers the store's observable state on reg and enables
@@ -52,6 +53,9 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 			"server-side Accumulate latency (the T.A3 cost)", telemetry.DefLatencyBuckets),
 		stripeWait: reg.Histogram("smb_accumulate_stripe_wait_seconds",
 			"total time one Accumulate spent blocked on stripe locks — contention between workers colliding on the same 64 KiB of Wg",
+			telemetry.DefLatencyBuckets),
+		chunkApply: reg.Histogram("smb_chunk_apply_seconds",
+			"server-side latency of one chunked WRITE+ACCUMULATE chunk (copy into src + add into dst under the stripe locks)",
 			telemetry.DefLatencyBuckets),
 	})
 }
@@ -84,13 +88,31 @@ func newClientInstruments(reg *telemetry.Registry, family, help string) *clientI
 	}
 }
 
+// chunkInstruments is the StreamClient's pipelined-transfer telemetry:
+// per-chunk wire-write latency (where backpressure from a lagging server
+// shows up) and the pipeline depth each WriteAccumulate sequence reached.
+type chunkInstruments struct {
+	chunkWrite *telemetry.Histogram
+	depth      *telemetry.Histogram
+}
+
 // Instrument enables round-trip timing on the wire client, exporting
-// smb_client_rtt_seconds{op=...}. Call before issuing traffic.
+// smb_client_rtt_seconds{op=...} plus the chunked-transfer histograms
+// smb_client_chunk_write_seconds and smb_client_chunk_pipeline_depth.
+// Call before issuing traffic.
 func (c *StreamClient) Instrument(reg *telemetry.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.inst = newClientInstruments(reg, "smb_client_rtt_seconds",
 		"wire-client round-trip latency per verb")
+	c.chunkInst = &chunkInstruments{
+		chunkWrite: reg.Histogram("smb_client_chunk_write_seconds",
+			"time to push one WriteAccumulate chunk into the transport; grows when the server cannot drain the pipeline",
+			telemetry.DefLatencyBuckets),
+		depth: reg.Histogram("smb_client_chunk_pipeline_depth",
+			"chunks streamed per WriteAccumulate before the single End ack (the pipeline depth reached)",
+			telemetry.LinearBuckets(1, 2, 32)),
+	}
 }
 
 // Instrument enables fan-out timing on the sharded client, exporting

@@ -130,7 +130,11 @@ const (
 	opWaitUpdate opcode = 10
 )
 
-func (s *Server) dispatchNotify(op opcode, payload []byte) ([]byte, error) {
+// dispatchNotify serves the notification opcodes. Responses build into the
+// connection's reusable frame builder (already reset by dispatch) — a local
+// frameWriter here used to allocate its backing array on every Version and
+// WaitUpdate reply.
+func (s *Server) dispatchNotify(op opcode, payload []byte, cs *connState) ([]byte, error) {
 	fr := frameReader{buf: payload}
 	switch op {
 	case opVersion:
@@ -142,8 +146,7 @@ func (s *Server) dispatchNotify(op opcode, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fw frameWriter
-		return fw.u64(v).buf, nil
+		return cs.fw.u64(v).buf, nil
 	case opWaitUpdate:
 		h := fr.u64()
 		since := fr.u64()
@@ -154,8 +157,7 @@ func (s *Server) dispatchNotify(op opcode, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fw frameWriter
-		return fw.u64(v).buf, nil
+		return cs.fw.u64(v).buf, nil
 	default:
 		return nil, fmt.Errorf("smb: unknown opcode %d", op)
 	}

@@ -184,6 +184,18 @@ func (r *frameReader) str() string {
 	return s
 }
 
+// skip advances past n bytes of padding.
+func (r *frameReader) skip(n int) {
+	if r.err != nil {
+		return
+	}
+	if len(r.buf) < n {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	r.buf = r.buf[n:]
+}
+
 func (r *frameReader) rest() []byte {
 	if r.err != nil {
 		return nil

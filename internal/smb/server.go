@@ -119,6 +119,11 @@ type connState struct {
 	out  []byte      // opRead response scratch, grow-only
 	fw   frameWriter // outbound payload builder, reset per frame
 	wire []byte      // outbound frame staging (writeFrameInto)
+
+	// chunkErr poisons the current chunked WRITE+ACCUMULATE sequence: the
+	// first chunk failure is recorded here (later chunks are skipped) and
+	// reported once on the End frame. Single handler goroutine; no lock.
+	chunkErr error
 }
 
 var connStatePool = sync.Pool{New: func() any { return new(connState) }}
@@ -126,6 +131,7 @@ var connStatePool = sync.Pool{New: func() any { return new(connState) }}
 func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
 	cs := connStatePool.Get().(*connState)
+	cs.chunkErr = nil // a pooled state may carry a dead connection's sequence
 	defer connStatePool.Put(cs)
 	for {
 		op, payload, err := readFrameInto(conn, &cs.in)
@@ -134,6 +140,9 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 		}
 		resp, err := s.dispatch(opcode(op), payload, cs)
 		if err != nil {
+			if errors.Is(err, errNoReply) {
+				continue // streamed chunk frame: the End frame carries the ack
+			}
 			cs.fw.buf = cs.fw.buf[:0]
 			cs.fw.str(err.Error())
 			if werr := writeFrameInto(conn, statusErr, cs.fw.buf, &cs.wire); werr != nil {
@@ -230,8 +239,38 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			return nil, fr.err
 		}
 		return nil, s.store.Accumulate(Handle(dst), Handle(src))
+	case opWriteAccChunk:
+		// Streamed chunk: apply immediately, never reply — the client is
+		// already sending the next chunk (the T.A2/T.A3 pipeline).
+		if cs.chunkErr != nil {
+			return nil, errNoReply // sequence poisoned: skip to the End frame
+		}
+		dst := fr.u64()
+		src := fr.u64()
+		off := fr.u64()
+		fr.skip(writeAccPad)
+		data := fr.rest()
+		if fr.err != nil {
+			cs.chunkErr = fr.err
+			return nil, errNoReply
+		}
+		if err := s.store.WriteAccumulateAt(Handle(dst), Handle(src), int(off), data); err != nil {
+			cs.chunkErr = err
+		}
+		return nil, errNoReply
+	case opWriteAccEnd:
+		dst := fr.u64()
+		src := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if err := cs.chunkErr; err != nil {
+			cs.chunkErr = nil
+			return nil, err
+		}
+		return nil, s.store.FinishWriteAccumulate(Handle(dst), Handle(src))
 	default:
-		return s.dispatchNotify(op, payload)
+		return s.dispatchNotify(op, payload, cs)
 	}
 }
 
@@ -243,12 +282,13 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 // connection lock against per-client grow-only scratch buffers, so
 // steady-state verbs allocate nothing.
 type StreamClient struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	req  frameWriter        // request payload builder, guarded by mu
-	in   []byte             // response frame scratch, guarded by mu
-	wire []byte             // request frame staging, guarded by mu
-	inst *clientInstruments // optional RTT timing, guarded by mu
+	mu        sync.Mutex
+	conn      io.ReadWriteCloser
+	req       frameWriter        // request payload builder, guarded by mu
+	in        []byte             // response frame scratch, guarded by mu
+	wire      []byte             // request frame staging, guarded by mu
+	inst      *clientInstruments // optional RTT timing, guarded by mu
+	chunkInst *chunkInstruments  // optional pipelined-transfer timing, guarded by mu
 }
 
 var _ Client = (*StreamClient)(nil)

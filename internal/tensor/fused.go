@@ -1,0 +1,207 @@
+package tensor
+
+// Fused SEASGD sweeps. The worker-side elastic update (Eqs. 5–6) and the
+// residual-merge pattern in the nets are pure streaming float math; running
+// them as separate passes costs one full traversal of the parameter vector
+// per equation. The kernels here fuse the passes and unroll the body eight
+// lanes wide, following the pure-Go lane idiom from go-highway: the head of
+// each block is reinterpreted as a *[fusedLanes]float32, so the compiler
+// proves every lane access in range and drops the per-element bounds checks,
+// while the element-by-element order inside the block stays identical to the
+// scalar reference. That ordering guarantee is what makes the kernels
+// bitwise-equal to the scalar loops, including when dst aliases one of the
+// sources (see fused_test.go).
+//
+// All kernels tolerate mismatched lengths by iterating over the shortest
+// operand; callers that want length errors validate first (core.FusedWeightStep).
+
+// fusedLanes is the manual unroll width. Eight float32 lanes are one
+// 32-byte block — half a cache line — which is wide enough to hide the
+// loop overhead and narrow enough that the tail loop stays cheap.
+const fusedLanes = 8
+
+// lanes8 is the block view the unrolled bodies operate on.
+type lanes8 = [fusedLanes]float32
+
+// minLen3 returns the shortest of three slice lengths.
+func minLen3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// FusedElasticStep performs the worker half of the elastic exchange in one
+// sweep (Eqs. 5 and 6 fused):
+//
+//	delta[i] = alpha * (local[i] - global[i])
+//	local[i] -= delta[i]
+//
+// delta must not alias local or global; local and global must not alias
+// each other. Each element is fully computed and stored before the next, so
+// the result is bitwise-identical to running WeightIncrement followed by
+// ApplyIncrementLocal on disjoint operands.
+func FusedElasticStep(alpha float32, delta, local, global []float32) {
+	n := minLen3(len(delta), len(local), len(global))
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		d := (*lanes8)(delta[i:])
+		l := (*lanes8)(local[i:])
+		g := (*lanes8)(global[i:])
+		// Per element: update l while its value is still in a register,
+		// then store d. Storing d first would force the compiler to
+		// reload l (it cannot prove delta does not alias local), adding a
+		// load and a store-forward stall per element.
+		d0 := alpha * (l[0] - g[0])
+		l[0] -= d0
+		d[0] = d0
+		d1 := alpha * (l[1] - g[1])
+		l[1] -= d1
+		d[1] = d1
+		d2 := alpha * (l[2] - g[2])
+		l[2] -= d2
+		d[2] = d2
+		d3 := alpha * (l[3] - g[3])
+		l[3] -= d3
+		d[3] = d3
+		d4 := alpha * (l[4] - g[4])
+		l[4] -= d4
+		d[4] = d4
+		d5 := alpha * (l[5] - g[5])
+		l[5] -= d5
+		d[5] = d5
+		d6 := alpha * (l[6] - g[6])
+		l[6] -= d6
+		d[6] = d6
+		d7 := alpha * (l[7] - g[7])
+		l[7] -= d7
+		d[7] = d7
+	}
+	for ; i < n; i++ {
+		dv := alpha * (local[i] - global[i])
+		local[i] -= dv
+		delta[i] = dv
+	}
+}
+
+// fusedElasticStepScalar is the scalar reference for FusedElasticStep; the
+// equivalence tests and benchmarks pin the unrolled body against it. The
+// per-element store order (local, then delta) matches the unrolled body so
+// the two agree bit for bit even on aliased operands.
+func fusedElasticStepScalar(alpha float32, delta, local, global []float32) {
+	n := minLen3(len(delta), len(local), len(global))
+	for i := 0; i < n; i++ {
+		dv := alpha * (local[i] - global[i])
+		local[i] -= dv
+		delta[i] = dv
+	}
+}
+
+// FusedElasticExchange performs the complete Eq. 5–7 exchange against
+// in-memory buffers in one sweep:
+//
+//	delta = alpha * (local - global);  local -= delta;  global += delta
+//
+// delta, local and global must be pairwise non-aliasing. This is the fused
+// form of core.ElasticExchange, used by the in-process parameter server
+// where the global vector lives in the same address space.
+func FusedElasticExchange(alpha float32, delta, local, global []float32) {
+	n := minLen3(len(delta), len(local), len(global))
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		d := (*lanes8)(delta[i:])
+		l := (*lanes8)(local[i:])
+		g := (*lanes8)(global[i:])
+		// Same store order as FusedElasticStep: both l and g are updated
+		// from register-resident values before the d store, which the
+		// compiler would otherwise have to assume clobbers them.
+		d0 := alpha * (l[0] - g[0])
+		l[0] -= d0
+		g[0] += d0
+		d[0] = d0
+		d1 := alpha * (l[1] - g[1])
+		l[1] -= d1
+		g[1] += d1
+		d[1] = d1
+		d2 := alpha * (l[2] - g[2])
+		l[2] -= d2
+		g[2] += d2
+		d[2] = d2
+		d3 := alpha * (l[3] - g[3])
+		l[3] -= d3
+		g[3] += d3
+		d[3] = d3
+		d4 := alpha * (l[4] - g[4])
+		l[4] -= d4
+		g[4] += d4
+		d[4] = d4
+		d5 := alpha * (l[5] - g[5])
+		l[5] -= d5
+		g[5] += d5
+		d[5] = d5
+		d6 := alpha * (l[6] - g[6])
+		l[6] -= d6
+		g[6] += d6
+		d[6] = d6
+		d7 := alpha * (l[7] - g[7])
+		l[7] -= d7
+		g[7] += d7
+		d[7] = d7
+	}
+	for ; i < n; i++ {
+		dv := alpha * (local[i] - global[i])
+		local[i] -= dv
+		global[i] += dv
+		delta[i] = dv
+	}
+}
+
+// fusedElasticExchangeScalar is the scalar reference for FusedElasticExchange,
+// with the same per-element store order as the unrolled body.
+func fusedElasticExchangeScalar(alpha float32, delta, local, global []float32) {
+	n := minLen3(len(delta), len(local), len(global))
+	for i := 0; i < n; i++ {
+		dv := alpha * (local[i] - global[i])
+		local[i] -= dv
+		global[i] += dv
+		delta[i] = dv
+	}
+}
+
+// FusedAxpyCopy computes dst[i] = y[i] + alpha*x[i] in one sweep, fusing the
+// clone-then-axpy pattern (dst := y.Clone(); Axpy(alpha, x, dst)) into a
+// single traversal with no intermediate copy. dst may alias y or x exactly
+// (same backing array and offset): each element is read and written before
+// the next, matching the scalar loop bit for bit. Partially overlapping
+// views are not supported.
+func FusedAxpyCopy(alpha float32, x, y, dst []float32) {
+	n := minLen3(len(x), len(y), len(dst))
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		xv := (*lanes8)(x[i:])
+		yv := (*lanes8)(y[i:])
+		dv := (*lanes8)(dst[i:])
+		dv[0] = yv[0] + alpha*xv[0]
+		dv[1] = yv[1] + alpha*xv[1]
+		dv[2] = yv[2] + alpha*xv[2]
+		dv[3] = yv[3] + alpha*xv[3]
+		dv[4] = yv[4] + alpha*xv[4]
+		dv[5] = yv[5] + alpha*xv[5]
+		dv[6] = yv[6] + alpha*xv[6]
+		dv[7] = yv[7] + alpha*xv[7]
+	}
+	for ; i < n; i++ {
+		dst[i] = y[i] + alpha*x[i]
+	}
+}
+
+// fusedAxpyCopyScalar is the scalar reference for FusedAxpyCopy.
+func fusedAxpyCopyScalar(alpha float32, x, y, dst []float32) {
+	n := minLen3(len(x), len(y), len(dst))
+	for i := 0; i < n; i++ {
+		dst[i] = y[i] + alpha*x[i]
+	}
+}

@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// fusedSizes exercises the unrolled kernels around the lane-width
+// boundaries: empty, sub-lane, exactly one block, block+tail, many blocks
+// with odd tails, and a large size representative of real weight vectors.
+var fusedSizes = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 100, 1000, 4097}
+
+// fusedAlphas includes the common SEASGD moving rates plus awkward values
+// (negative, subnormal-producing, exactly one).
+var fusedAlphas = []float32{0, 1, -1, 0.5, 0.9, 0.001, -0.25, 1.5}
+
+// cloneSlice copies a float32 slice.
+func cloneSlice(s []float32) []float32 {
+	c := make([]float32, len(s))
+	copy(c, s)
+	return c
+}
+
+// bitsEqual reports whether two slices are bit-for-bit identical (NaNs with
+// equal payloads compare equal; +0 and -0 do not).
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// unaligned returns a view of data starting at an offset that is not a
+// multiple of the lane width, so the unrolled body runs over blocks whose
+// base address is not 32-byte aligned.
+func unaligned(data []float32, off, n int) []float32 {
+	return data[off : off+n]
+}
+
+func TestFusedElasticStepMatchesScalar(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, alpha := range fusedAlphas {
+			for _, off := range []int{0, 1, 3, 5} {
+				local := make([]float32, off+n)
+				global := make([]float32, off+n)
+				delta := make([]float32, off+n)
+				fillPattern(local, 1)
+				fillPattern(global, 2)
+				fillPattern(delta, 3)
+				wantLocal := cloneSlice(local)
+				wantDelta := cloneSlice(delta)
+
+				FusedElasticStep(alpha, unaligned(delta, off, n), unaligned(local, off, n), unaligned(global, off, n))
+				fusedElasticStepScalar(alpha, unaligned(wantDelta, off, n), unaligned(wantLocal, off, n), unaligned(global, off, n))
+
+				if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) {
+					t.Fatalf("FusedElasticStep n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedElasticStepMatchesTwoPass pins the fused sweep against the
+// unfused algebra (Eq. 5 then Eq. 6 as separate passes) on disjoint
+// operands — the exact sequence Worker.Run used to execute.
+func TestFusedElasticStepMatchesTwoPass(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, alpha := range fusedAlphas {
+			local := make([]float32, n)
+			global := make([]float32, n)
+			delta := make([]float32, n)
+			fillPattern(local, 4)
+			fillPattern(global, 5)
+			wantLocal := cloneSlice(local)
+			wantDelta := make([]float32, n)
+
+			FusedElasticStep(alpha, delta, local, global)
+
+			for i := 0; i < n; i++ { // Eq. 5
+				wantDelta[i] = alpha * (wantLocal[i] - global[i])
+			}
+			for i := 0; i < n; i++ { // Eq. 6
+				wantLocal[i] -= wantDelta[i]
+			}
+			if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) {
+				t.Fatalf("FusedElasticStep n=%d alpha=%v diverges from two-pass reference", n, alpha)
+			}
+		}
+	}
+}
+
+func TestFusedElasticExchangeMatchesScalar(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, alpha := range fusedAlphas {
+			for _, off := range []int{0, 2} {
+				local := make([]float32, off+n)
+				global := make([]float32, off+n)
+				delta := make([]float32, off+n)
+				fillPattern(local, 6)
+				fillPattern(global, 7)
+				wantLocal := cloneSlice(local)
+				wantGlobal := cloneSlice(global)
+				wantDelta := cloneSlice(delta)
+
+				FusedElasticExchange(alpha, unaligned(delta, off, n), unaligned(local, off, n), unaligned(global, off, n))
+				fusedElasticExchangeScalar(alpha, unaligned(wantDelta, off, n), unaligned(wantLocal, off, n), unaligned(wantGlobal, off, n))
+
+				if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) || !bitsEqual(global, wantGlobal) {
+					t.Fatalf("FusedElasticExchange n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
+				}
+			}
+		}
+	}
+}
+
+func TestFusedAxpyCopyMatchesScalar(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, alpha := range fusedAlphas {
+			for _, off := range []int{0, 1, 7} {
+				x := make([]float32, off+n)
+				y := make([]float32, off+n)
+				dst := make([]float32, off+n)
+				fillPattern(x, 8)
+				fillPattern(y, 9)
+				want := make([]float32, off+n)
+				copy(want, dst)
+
+				FusedAxpyCopy(alpha, unaligned(x, off, n), unaligned(y, off, n), unaligned(dst, off, n))
+				fusedAxpyCopyScalar(alpha, unaligned(x, off, n), unaligned(y, off, n), unaligned(want, off, n))
+
+				if !bitsEqual(dst, want) {
+					t.Fatalf("FusedAxpyCopy n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedAxpyCopyAliased exercises dst aliasing each source exactly — the
+// in-place forms the Residual layers use (y += alpha*x written as
+// FusedAxpyCopy(alpha, x, y, y)).
+func TestFusedAxpyCopyAliased(t *testing.T) {
+	for _, n := range fusedSizes {
+		alpha := float32(0.75)
+
+		// dst aliases y: dst = y + alpha*x in place.
+		x := make([]float32, n)
+		y := make([]float32, n)
+		fillPattern(x, 10)
+		fillPattern(y, 11)
+		want := cloneSlice(y)
+		fusedAxpyCopyScalar(alpha, x, want, want)
+		FusedAxpyCopy(alpha, x, y, y)
+		if !bitsEqual(y, want) {
+			t.Fatalf("FusedAxpyCopy dst==y n=%d diverges from scalar", n)
+		}
+
+		// dst aliases x: dst = y + alpha*dst in place.
+		x2 := make([]float32, n)
+		y2 := make([]float32, n)
+		fillPattern(x2, 12)
+		fillPattern(y2, 13)
+		want2 := cloneSlice(x2)
+		fusedAxpyCopyScalar(alpha, want2, y2, want2)
+		FusedAxpyCopy(alpha, x2, y2, x2)
+		if !bitsEqual(x2, want2) {
+			t.Fatalf("FusedAxpyCopy dst==x n=%d diverges from scalar", n)
+		}
+	}
+}
+
+func TestAxpySliceMatchesScalar(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, alpha := range fusedAlphas {
+			for _, off := range []int{0, 3} {
+				x := make([]float32, off+n)
+				y := make([]float32, off+n)
+				fillPattern(x, 14)
+				fillPattern(y, 15)
+				want := cloneSlice(y)
+
+				AxpySlice(alpha, unaligned(x, off, n), unaligned(y, off, n))
+				AxpySliceScalar(alpha, unaligned(x, off, n), unaligned(want, off, n))
+
+				if !bitsEqual(y, want) {
+					t.Fatalf("AxpySlice n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
+				}
+			}
+		}
+	}
+}
+
+// TestAxpySliceAliased pins y aliasing x exactly (y += alpha*y).
+func TestAxpySliceAliased(t *testing.T) {
+	for _, n := range fusedSizes {
+		x := make([]float32, n)
+		fillPattern(x, 16)
+		want := cloneSlice(x)
+		AxpySliceScalar(0.5, want, want)
+		AxpySlice(0.5, x, x)
+		if !bitsEqual(x, want) {
+			t.Fatalf("AxpySlice y==x n=%d diverges from scalar", n)
+		}
+	}
+}
+
+// TestFusedKernelsSpecialValues runs the fused kernels over NaN, ±Inf,
+// subnormals and signed zeros to confirm the unrolled bodies propagate IEEE
+// special values exactly as the scalar loops do.
+func TestFusedKernelsSpecialValues(t *testing.T) {
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)), math.SmallestNonzeroFloat32,
+		-math.SmallestNonzeroFloat32, math.MaxFloat32, -math.MaxFloat32, 1, -1,
+	}
+	n := 3 * fusedLanes
+	local := make([]float32, n)
+	global := make([]float32, n)
+	for i := range local {
+		local[i] = specials[i%len(specials)]
+		global[i] = specials[(i+3)%len(specials)]
+	}
+	delta := make([]float32, n)
+	wantLocal := cloneSlice(local)
+	wantDelta := make([]float32, n)
+	FusedElasticStep(0.9, delta, local, global)
+	fusedElasticStepScalar(0.9, wantDelta, wantLocal, global)
+	if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) {
+		t.Fatal("FusedElasticStep diverges from scalar on IEEE special values")
+	}
+}
+
+// FuzzFusedKernels drives every fused/unrolled kernel against its scalar
+// reference with fuzz-chosen lengths, offsets and bit patterns.
+func FuzzFusedKernels(f *testing.F) {
+	f.Add(uint16(8), uint8(0), uint32(0x3f000000), int64(1))
+	f.Add(uint16(17), uint8(3), uint32(0x3f800000), int64(42))
+	f.Add(uint16(0), uint8(1), uint32(0xbf800000), int64(7))
+	f.Add(uint16(255), uint8(5), uint32(0x7fc00000), int64(99)) // NaN alpha
+	f.Fuzz(func(t *testing.T, rawN uint16, rawOff uint8, alphaBits uint32, seed int64) {
+		n := int(rawN) % 300
+		off := int(rawOff) % 8
+		alpha := math.Float32frombits(alphaBits)
+
+		local := make([]float32, off+n)
+		global := make([]float32, off+n)
+		delta := make([]float32, off+n)
+		fillPattern(local, int(seed))
+		fillPattern(global, int(seed)+1)
+		wantLocal := cloneSlice(local)
+		wantGlobal := cloneSlice(global)
+		wantDelta := cloneSlice(delta)
+
+		FusedElasticStep(alpha, delta[off:], local[off:], global[off:])
+		fusedElasticStepScalar(alpha, wantDelta[off:], wantLocal[off:], wantGlobal[off:])
+		if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) {
+			t.Fatalf("FusedElasticStep n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+
+		FusedElasticExchange(alpha, delta[off:], local[off:], global[off:])
+		fusedElasticExchangeScalar(alpha, wantDelta[off:], wantLocal[off:], wantGlobal[off:])
+		if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) || !bitsEqual(global, wantGlobal) {
+			t.Fatalf("FusedElasticExchange n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+
+		FusedAxpyCopy(alpha, local[off:], global[off:], delta[off:])
+		fusedAxpyCopyScalar(alpha, wantLocal[off:], wantGlobal[off:], wantDelta[off:])
+		if !bitsEqual(delta, wantDelta) {
+			t.Fatalf("FusedAxpyCopy n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+
+		AxpySlice(alpha, delta[off:], local[off:])
+		AxpySliceScalar(alpha, wantDelta[off:], wantLocal[off:])
+		if !bitsEqual(local, wantLocal) {
+			t.Fatalf("AxpySlice n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+	})
+}

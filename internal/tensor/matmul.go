@@ -20,8 +20,14 @@ import (
 
 const (
 	// gemmParallelFlops is the m·n·k threshold below which the scalar
-	// kernel wins (dispatch + partition overhead dominates under ~64³).
-	gemmParallelFlops = 1 << 18
+	// kernel wins. Re-measured after the zero-alloc Ranger dispatch: even
+	// with allocation-free fan-out, partition + join overhead and the loss
+	// of the single-panel cache residency only pay for themselves from
+	// ~128³ (1<<21) flops upward on 2-4 lanes; 1<<20 keeps a safety margin
+	// for wider pools while never selecting parallel where the scalar
+	// kernel wins (the 64³ BENCH_kernels.json row that regressed under the
+	// old 1<<18 threshold now stays scalar).
+	gemmParallelFlops = 1 << 20
 	// gemmBlockK/gemmBlockJ are the cache-block edge lengths: a K-panel of
 	// B (gemmBlockK rows × gemmBlockJ columns ≈ 256 KiB at float32) stays
 	// resident while a range of C rows streams over it.
@@ -79,11 +85,15 @@ func gemm(m, n, k int, a, b, c []float32) {
 }
 
 // gemmParallel always takes the blocked parallel path (exported to the
-// equivalence tests through the package boundary of a _test file).
+// equivalence tests through the package boundary of a _test file). The
+// operands travel in a pooled Ranger struct so the dispatch allocates
+// nothing (see rangers.go).
 func gemmParallel(m, n, k int, a, b, c []float32) {
-	parallel.For(m, gemmRowGrain, func(lo, hi int) {
-		gemmRows(a[lo*k:hi*k], b, c[lo*n:hi*n], hi-lo, k, n)
-	})
+	g := gemmRangerPool.Get().(*gemmRanger)
+	*g = gemmRanger{a: a, b: b, c: c, k: k, n: n}
+	parallel.ForRanger(m, gemmRowGrain, g)
+	*g = gemmRanger{}
+	gemmRangerPool.Put(g)
 }
 
 // gemmScalar is the seed's original kernel: k-outer with a row-broadcast
@@ -188,18 +198,11 @@ func MatMulTransA(a, b, dst *Tensor) error {
 // (rows lo..hi of the logical m×k matrix, read column-wise from a) into a
 // contiguous pooled panel so the row kernel streams it like plain gemm.
 func gemmTransAParallel(m, n, k int, a, b, c []float32) {
-	parallel.For(m, gemmRowGrain, func(lo, hi int) {
-		rows := hi - lo
-		pack, ph := getPack(rows * k)
-		for l := 0; l < k; l++ {
-			src := a[l*m+lo : l*m+hi]
-			for i, v := range src {
-				pack[i*k+l] = v
-			}
-		}
-		gemmRows(pack, b, c[lo*n:hi*n], rows, k, n)
-		putPack(ph)
-	})
+	g := transARangerPool.Get().(*transARanger)
+	*g = transARanger{a: a, b: b, c: c, m: m, k: k, n: n}
+	parallel.ForRanger(m, gemmRowGrain, g)
+	*g = transARanger{}
+	transARangerPool.Put(g)
 }
 
 // gemmTransAScalar is the seed's original aᵀ×b kernel (reference).
@@ -243,9 +246,11 @@ func MatMulTransB(a, b, dst *Tensor) error {
 // gemmTransBParallel partitions C rows; both operands already stream
 // row-contiguously, so the scalar kernel doubles as the range kernel.
 func gemmTransBParallel(m, n, k int, a, b, c []float32) {
-	parallel.For(m, gemmRowGrain, func(lo, hi int) {
-		gemmTransBScalar(hi-lo, n, k, a[lo*k:hi*k], b, c[lo*n:hi*n])
-	})
+	g := transBRangerPool.Get().(*transBRanger)
+	*g = transBRanger{a: a, b: b, c: c, k: k, n: n}
+	parallel.ForRanger(m, gemmRowGrain, g)
+	*g = transBRanger{}
+	transBRangerPool.Put(g)
 }
 
 // gemmTransBScalar is the seed's original a×bᵀ kernel (reference). Both

@@ -18,11 +18,41 @@ func Axpy(alpha float32, x, y *Tensor) error {
 
 // AxpySlice computes y += alpha*x elementwise over raw slices.
 // It is exported because the SMB accumulate path operates on byte-decoded
-// float32 slices, not tensors.
+// float32 slices, not tensors. The body is unrolled fusedLanes wide (see
+// fused.go); element order matches AxpySliceScalar exactly, so y may alias
+// x (same backing array and offset) with identical results.
 func AxpySlice(alpha float32, x, y []float32) {
-	_ = y[len(x)-1] // bounds-check hint
-	for i, v := range x {
-		y[i] += alpha * v
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		xv := (*lanes8)(x[i:])
+		yv := (*lanes8)(y[i:])
+		yv[0] += alpha * xv[0]
+		yv[1] += alpha * xv[1]
+		yv[2] += alpha * xv[2]
+		yv[3] += alpha * xv[3]
+		yv[4] += alpha * xv[4]
+		yv[5] += alpha * xv[5]
+		yv[6] += alpha * xv[6]
+		yv[7] += alpha * xv[7]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// AxpySliceScalar is the straight-line scalar reference for AxpySlice. The
+// equivalence tests and kernel benchmarks pin the unrolled body against it.
+func AxpySliceScalar(alpha float32, x, y []float32) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

@@ -38,14 +38,21 @@ tier2() {
 	for target in FuzzParseNetSpec FuzzLoadCheckpoint; do
 		go test -run='^$' -fuzz="^${target}\$" -fuzztime=100x ./internal/nn
 	done
+	go test -run='^$' -fuzz='^FuzzFusedKernels$' -fuzztime=100x ./internal/tensor
 	echo "== tier 2: bench smoke (1 iteration per benchmark) =="
 	go test -run='^$' -bench=. -benchtime=1x -benchmem \
 		./internal/parallel ./internal/tensor ./internal/smb
 	echo "== tier 2: allocation regression guard =="
 	# Pins the zero-alloc contract of the SMB hot path (Store and
-	# StreamClient Read/Write/Accumulate, pooled wire scratch).
+	# StreamClient Read/Write/Accumulate, the chunked WRITE+ACCUMULATE
+	# sequence, pooled wire scratch), the fused worker exchange step, and
+	# the pooled parallel.For/ForRanger dispatch.
 	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
 	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc' -count=1 ./internal/telemetry
+	go test -run='TestFusedStepAndStreamZeroAlloc' -count=1 ./internal/core
+	go test -run='TestForRangerZeroAlloc|TestForZeroAlloc' -count=1 ./internal/parallel
+	echo "== tier 2: pipelined-transfer smoke (chunked WRITE+ACCUMULATE over TCP) =="
+	go test -run='TestWriteAccumulateTCP|TestChunkedInterleavedClients' -count=1 ./internal/smb
 	echo "== tier 2: telemetry smoke (2-worker -telemetry run) =="
 	telemetry_smoke
 }
