@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"shmcaffe/internal/core"
 	"shmcaffe/internal/dataset"
@@ -48,6 +49,8 @@ func run(args []string, out io.Writer) (err error) {
 		seed         = fs.Uint64("seed", 42, "experiment seed")
 		smbAddr      = fs.String("smb", "", "external SMB server address (shmcaffe platforms)")
 		smbTransport = fs.String("smb-transport", "tcp", "SMB wire: tcp | rds")
+		smbTimeout   = fs.Duration("smb-timeout", 10*time.Second, "per-op SMB deadline for TCP clients (0 = no deadlines)")
+		liveness     = fs.Duration("liveness-timeout", 0, "exclude workers silent this long from termination alignment (0 = fault-free protocol)")
 		jobName      = fs.String("job", "", "SMB job name (needed when sharing an external server)")
 		savePath     = fs.String("save", "", "write the trained model as a checkpoint file")
 		dataPath     = fs.String("data", "", "train from a corpus database built by mkcorpus instead of generating data")
@@ -60,6 +63,13 @@ func run(args []string, out io.Writer) (err error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The flag speaks operator language (0 = off); platform.Config speaks
+	// library language (0 = default, negative = off).
+	opTimeout := *smbTimeout
+	if opTimeout == 0 {
+		opTimeout = -1
 	}
 
 	sink, err := startTelemetry(out, *telAddr, *traceOut, *telLinger)
@@ -90,6 +100,7 @@ func run(args []string, out io.Writer) (err error) {
 			job: job, epochs: *epochs, batch: *batch,
 			classes: *classes, perClass: *perClass, noise: *noise,
 			lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
+			opTimeout: opTimeout, liveness: *liveness,
 			tel: sink.trainer(), reg: sink.registry(),
 		})
 	}
@@ -155,6 +166,7 @@ func run(args []string, out io.Writer) (err error) {
 			workers: *workers, group: *group, epochs: *epochs, batch: *batch,
 			lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
 			smbAddr: *smbAddr, smbTransport: *smbTransport, jobName: *jobName, savePath: *savePath,
+			smbTimeout: opTimeout, liveness: *liveness,
 			tel: sink.trainer(), reg: sink.registry(),
 		})
 	}
@@ -198,6 +210,7 @@ func run(args []string, out io.Writer) (err error) {
 		workers: *workers, group: *group, epochs: *epochs, batch: *batch,
 		lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
 		smbAddr: *smbAddr, smbTransport: *smbTransport, jobName: *jobName, savePath: *savePath,
+		smbTimeout: opTimeout, liveness: *liveness,
 		tel: sink.trainer(), reg: sink.registry(),
 	})
 }
@@ -208,6 +221,7 @@ type trainOpts struct {
 	lr, movingRate                           float64
 	seed                                     uint64
 	smbAddr, smbTransport, jobName, savePath string
+	smbTimeout, liveness                     time.Duration
 	tel                                      *telemetry.Trainer
 	reg                                      *telemetry.Registry
 }
@@ -219,21 +233,23 @@ func train2(out io.Writer, trainer platform.Trainer, mdl platform.ModelBuilder,
 	solver := nn.DefaultSolverConfig()
 	solver.BaseLR = o.lr
 	cfg := platform.Config{
-		Workers:      o.workers,
-		GroupSize:    o.group,
-		Model:        mdl,
-		Train:        train,
-		Val:          val,
-		BatchSize:    o.batch,
-		Epochs:       o.epochs,
-		Solver:       solver,
-		Elastic:      core.ElasticConfig{MovingRate: o.movingRate, UpdateInterval: o.interval},
-		Seed:         o.seed,
-		SMBAddr:      o.smbAddr,
-		SMBTransport: o.smbTransport,
-		Job:          o.jobName,
-		Telemetry:    o.tel,
-		Metrics:      o.reg,
+		Workers:         o.workers,
+		GroupSize:       o.group,
+		Model:           mdl,
+		Train:           train,
+		Val:             val,
+		BatchSize:       o.batch,
+		Epochs:          o.epochs,
+		Solver:          solver,
+		Elastic:         core.ElasticConfig{MovingRate: o.movingRate, UpdateInterval: o.interval},
+		Seed:            o.seed,
+		SMBAddr:         o.smbAddr,
+		SMBTransport:    o.smbTransport,
+		Job:             o.jobName,
+		SMBOpTimeout:    o.smbTimeout,
+		LivenessTimeout: o.liveness,
+		Telemetry:       o.tel,
+		Metrics:         o.reg,
 	}
 
 	fmt.Fprintf(out, "training %s: %d workers, %d epochs, %d samples\n\n",

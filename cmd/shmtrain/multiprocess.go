@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"shmcaffe/internal/core"
 	"shmcaffe/internal/dataset"
@@ -25,6 +27,8 @@ type singleWorkerOpts struct {
 	noise              float64
 	lr, movingRate     float64
 	seed               uint64
+	opTimeout          time.Duration // per-op SMB deadline (negative = none)
+	liveness           time.Duration // crash-aware termination (0 = off)
 	tel                *telemetry.Trainer
 	reg                *telemetry.Registry
 }
@@ -33,7 +37,7 @@ type singleWorkerOpts struct {
 // Every participating process must use identical -seed/-classes/-per-class
 // so they regenerate the same corpus and shard it disjointly.
 func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
-	client, cleanup, err := dialSMB(o.smbAddr, o.transport)
+	client, cleanup, err := dialSMB(o.smbAddr, o.transport, o.rank, o.opTimeout)
 	if err != nil {
 		return err
 	}
@@ -76,15 +80,16 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 		itersPerEpoch = 1
 	}
 	cfg := core.WorkerConfig{
-		Job:           o.job,
-		Client:        client,
-		Net:           net,
-		Solver:        solver,
-		Elastic:       core.ElasticConfig{MovingRate: o.movingRate, UpdateInterval: o.interval},
-		Termination:   core.StopOnMaster,
-		MaxIterations: itersPerEpoch * o.epochs,
-		Loader:        loader,
-		Telemetry:     o.tel,
+		Job:             o.job,
+		Client:          client,
+		Net:             net,
+		Solver:          solver,
+		Elastic:         core.ElasticConfig{MovingRate: o.movingRate, UpdateInterval: o.interval},
+		Termination:     core.StopOnMaster,
+		MaxIterations:   itersPerEpoch * o.epochs,
+		Loader:          loader,
+		Telemetry:       o.tel,
+		LivenessTimeout: o.liveness,
 	}
 	fmt.Fprintf(out, "worker %d/%d joining job %q on %s (%s)\n",
 		o.rank, o.world, o.job, o.smbAddr, transportName(o.transport))
@@ -126,12 +131,24 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 	return nil
 }
 
-// dialSMB opens one SMB connection over the selected transport.
-func dialSMB(addr, transport string) (smb.Client, func(), error) {
+// dialSMB opens one SMB connection over the selected transport. The TCP
+// path gets the fault-tolerant supervised client: per-op deadlines plus
+// reconnect with sequence-stamped pushes, keyed by rank so the server-side
+// dedup table distinguishes processes. RDS stays a bare stream client —
+// its endpoint cannot be re-dialed without tearing down the local socket.
+func dialSMB(addr, transport string, rank int, opTimeout time.Duration) (smb.Client, func(), error) {
 	switch transport {
 	case "", "tcp":
-		c, err := smb.Dial(addr)
-		if err != nil {
+		c := smb.NewSupervisedClient(smb.SupervisedConfig{
+			Addr:      addr,
+			OpTimeout: opTimeout,
+			Seed:      uint64(rank)*7919 + 1,
+			ClientID:  uint64(rank + 1),
+		})
+		// The supervised client dials lazily; probe now so a bad address
+		// fails here instead of deep inside the bootstrap key exchange.
+		if _, err := c.Lookup("\x00reachability-probe"); err != nil && !errors.Is(err, smb.ErrUnknownSegment) {
+			c.Close()
 			return nil, nil, err
 		}
 		return c, func() { c.Close() }, nil

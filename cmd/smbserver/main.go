@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"shmcaffe/internal/faults"
 	"shmcaffe/internal/rds"
 	"shmcaffe/internal/smb"
 )
@@ -35,14 +36,31 @@ func run() error {
 		rdsAddr  = flag.String("rds", "", "additionally serve the RDS datagram transport on this UDP address")
 		httpAddr = flag.String("http", "", "serve Prometheus metrics on this HTTP address (GET /metrics; JSON at /metrics.json; liveness at /healthz)")
 		statsSec = flag.Int("stats", 10, "seconds between traffic stat lines (0 disables)")
+
+		chaosDrop    = flag.Float64("chaos-drop", 0, "chaos: per-op probability an accepted connection's read/write is killed")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos: fault-injection seed")
+		chaosRestart = flag.Duration("chaos-restart-after", 0, "chaos: crash and restart the serving plane once, this long after startup (0 = never)")
+		chaosDown    = flag.Duration("chaos-down", 500*time.Millisecond, "chaos: how long the server stays down during the restart")
 	)
 	flag.Parse()
 
 	store := smb.NewStore()
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+
+	if *chaosDrop > 0 || *chaosRestart > 0 {
+		return runChaos(store, *addr, *httpAddr, *rdsAddr, chaosOpts{
+			drop: *chaosDrop, seed: *chaosSeed,
+			restartAfter: *chaosRestart, down: *chaosDown,
+		}, logf)
+	}
+
 	srv, err := smb.NewServer(store, *addr)
 	if err != nil {
 		return err
 	}
+	srv.SetLogf(logf)
 	fmt.Printf("SMB server listening on tcp %s\n", srv.Addr())
 
 	serveErr := make(chan error, 1)
@@ -82,7 +100,7 @@ func run() error {
 	}
 
 	if *httpAddr != "" {
-		httpSrv, err := startMetricsHTTP(store, *httpAddr)
+		httpSrv, err := startMetricsHTTP(store, srv, *httpAddr)
 		if err != nil {
 			srv.Close()
 			return err
@@ -109,4 +127,77 @@ func run() error {
 				s.Creates, s.Attaches, s.Reads, s.Writes, s.Accumulates, s.BytesRead, s.BytesWrite)
 		}
 	}
+}
+
+// chaosOpts parameterizes the fault-injecting server mode.
+type chaosOpts struct {
+	drop         float64
+	seed         uint64
+	restartAfter time.Duration
+	down         time.Duration
+}
+
+// runChaos serves the store behind the fault-injection toolkit: accepted
+// connections get the seeded drop mix, and the whole serving plane can be
+// crashed and rebound once mid-run. The Store persists across the cycle —
+// this is the process-level drill for the supervised client's reconnect
+// path (scripts/check.sh "fault_smoke"). -rds is not supported here: the
+// datagram endpoint has no restartable listener seam.
+func runChaos(store *smb.Store, addr, httpAddr, rdsAddr string, o chaosOpts, logf func(string, ...any)) error {
+	if rdsAddr != "" {
+		return fmt.Errorf("chaos mode does not support -rds")
+	}
+	var inj *faults.Injector
+	if o.drop > 0 {
+		inj = faults.New(faults.Config{DropRate: o.drop, Seed: o.seed})
+	}
+	factory := func(a string) (faults.Frontend, error) {
+		ln, err := net.Listen("tcp", a)
+		if err != nil {
+			return nil, err
+		}
+		var accept net.Listener = ln
+		if inj != nil {
+			accept = inj.WrapListener(ln)
+		}
+		fe := smb.NewServerFromListener(store, accept)
+		fe.SetLogf(logf)
+		return fe, nil
+	}
+	rs, err := faults.NewRestartableServer(addr, factory)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SMB server (chaos: drop=%.2f restart-after=%s) listening on tcp %s\n",
+		o.drop, o.restartAfter, rs.Addr())
+
+	if httpAddr != "" {
+		// No Server handle: the frontend is recreated on restart, so only
+		// the store-level families stay truthful.
+		httpSrv, err := startMetricsHTTP(store, nil, httpAddr)
+		if err != nil {
+			rs.Close()
+			return err
+		}
+		defer httpSrv.Close()
+		fmt.Printf("SMB metrics on http://%s/metrics\n", httpSrv.Addr)
+	}
+
+	if o.restartAfter > 0 {
+		timer := time.AfterFunc(o.restartAfter, func() {
+			fmt.Printf("chaos: crashing serving plane for %s\n", o.down)
+			if err := rs.CrashFor(o.down); err != nil {
+				fmt.Println("chaos: restart failed:", err)
+				return
+			}
+			fmt.Println("chaos: serving plane restarted")
+		})
+		defer timer.Stop()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	return rs.Close()
 }

@@ -48,14 +48,20 @@ func wantsJSON(r *http.Request) bool {
 
 // startMetricsHTTP binds addr and serves the store's operational surface.
 // It installs the latency histograms on the store, so servers running with
-// -http also export smb_*_seconds distributions.
-func startMetricsHTTP(store *smb.Store, addr string) (*metricsServer, error) {
+// -http also export smb_*_seconds distributions. A non-nil srv additionally
+// exports the connection-health counters (handler errors, reaped sequences,
+// live connections); chaos mode passes nil because the frontend — and its
+// counters — is recreated on every restart.
+func startMetricsHTTP(store *smb.Store, srv *smb.Server, addr string) (*metricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	reg := telemetry.NewRegistry()
 	store.Instrument(reg)
+	if srv != nil {
+		srv.Instrument(reg)
+	}
 
 	writeJSON := func(w http.ResponseWriter) {
 		s := store.Stats()

@@ -32,7 +32,7 @@ func traffic(t *testing.T, store *smb.Store) {
 
 func TestMetricsPrometheus(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestMetricsPrometheus(t *testing.T) {
 // the dedicated path and via content negotiation on /metrics.
 func TestMetricsJSONCompat(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,9 +129,47 @@ func TestMetricsJSONCompat(t *testing.T) {
 	}
 }
 
+// TestMetricsServerCounters: a non-nil server adds the connection-health
+// families to the exposition.
+func TestMetricsServerCounters(t *testing.T) {
+	store := smb.NewStore()
+	srv, err := smb.NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	ms, err := startMetricsHTTP(store, srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"smb_server_conn_errors_total",
+		"smb_server_reaped_sequences_total",
+		"smb_server_connections",
+		"smb_seq_duplicates_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"shmcaffe/internal/nn"
 	"shmcaffe/internal/smb"
 	"shmcaffe/internal/tensor"
 )
@@ -152,8 +151,13 @@ func SetupBuffersPolling(client smb.Client, job string, rank, n, elems int, init
 		return nil, err
 	}
 
+	// Feature-test the chunk-pipelined push exactly like SetupBuffers does
+	// (the seed forgot this here, so polling-bootstrapped workers silently
+	// fell back to the unfused Write+Accumulate pair).
+	wacc, _ := client.(smb.WriteAccumulator)
 	return &JobBuffers{
 		client:    client,
+		wacc:      wacc,
 		rank:      rank,
 		n:         n,
 		elems:     elems,
@@ -195,12 +199,9 @@ func NewWorkerPolling(cfg WorkerConfig, rank, world int, opts BootstrapOptions) 
 	if err != nil {
 		return nil, fmt.Errorf("rank %d polling setup: %w", rank, err)
 	}
-	return &Worker{
-		cfg:          cfg,
-		rank:         rank,
-		buffers:      buffers,
-		solver:       nn.NewSGDSolver(cfg.Net, cfg.Solver),
-		pendingDelta: make([]float32, elems),
-		cachedGlobal: make([]float32, elems),
-	}, nil
+	// The shared constructor also allocates the staleness-probe scratch the
+	// seed's polling path skipped (which silently disabled the telemetry
+	// staleness probe for multi-process workers).
+	cfg.Telemetry.NameWorker(rank)
+	return newWorkerFromBuffers(cfg, rank, buffers), nil
 }

@@ -34,11 +34,19 @@ type JobBuffers struct {
 	wgFloats []float32
 }
 
-// Control segment layout: n int64 iteration counters, then one int64 stop
-// flag.
-func controlSize(n int) int { return (n + 1) * 8 }
+// Control segment layout: n int64 iteration counters, one int64 stop flag
+// (slot n), then n int64 heartbeat slots (slots n+1 .. 2n). A heartbeat slot
+// carries a monotonically increasing beat while its worker lives and the
+// tombstone value when the worker dies on purpose (MarkDead); a worker that
+// crashes without a tombstone is detected by its beat going stale (see
+// livenessTracker).
+func controlSize(n int) int { return (2*n + 1) * 8 }
 
 const stopFlagSlot = -1 // resolved to slot n at runtime
+
+// deadTombstone is the heartbeat value a worker writes on its way out of a
+// failed Run — an explicit obituary, faster to detect than staleness.
+const deadTombstone int64 = -1
 
 // SetupBuffers performs the Fig. 2 bootstrap. The master (rank 0) creates
 // the Wg and control segments and seeds Wg with initWeights; every rank
@@ -239,6 +247,29 @@ func (b *JobBuffers) ProgressInto(out []int64) error {
 		return fmt.Errorf("progress into %d slots, want %d: %w", len(out), b.n, ErrConfig)
 	}
 	return smb.ReadInt64SlotsInto(b.client, b.control, out)
+}
+
+// Beat publishes this worker's heartbeat — any value strictly greater than
+// the last one it published (the iteration count works). Written alongside
+// ReportProgress when liveness tracking is enabled.
+func (b *JobBuffers) Beat(v int64) error {
+	return smb.WriteInt64(b.client, b.control, b.n+1+b.rank, v)
+}
+
+// MarkDead writes this worker's tombstone. Called best-effort on the error
+// path out of Run so peers stop waiting for a worker that announced its own
+// death instead of burning a full liveness timeout detecting it.
+func (b *JobBuffers) MarkDead() error {
+	return smb.WriteInt64(b.client, b.control, b.n+1+b.rank, deadTombstone)
+}
+
+// HeartbeatsInto reads every worker's heartbeat slot into out (len
+// WorldSize) without allocating.
+func (b *JobBuffers) HeartbeatsInto(out []int64) error {
+	if len(out) != b.n {
+		return fmt.Errorf("heartbeats into %d slots, want %d: %w", len(out), b.n, ErrConfig)
+	}
+	return smb.ReadInt64SlotsAtInto(b.client, b.control, b.n+1, out)
 }
 
 // SignalStop raises the shared stop flag; every worker observes it at its

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,6 +50,12 @@ type HybridGroupConfig struct {
 	// Telemetry, if non-nil, records the root's Fig. 6 phase spans and
 	// counters (tracks are per group: the SMB world has one rank per group).
 	Telemetry *telemetry.Trainer
+	// LivenessTimeout, when positive, enables crash-aware termination for
+	// the inter-group protocol: the root publishes heartbeats alongside its
+	// progress counter and excludes group roots whose beats have gone stale
+	// (or that wrote a tombstone) from the termination criterion. Zero keeps
+	// the paper's fault-free protocol.
+	LivenessTimeout time.Duration
 }
 
 // Validate checks the configuration.
@@ -90,14 +95,23 @@ type GroupStats struct {
 	Pushes int
 	// StoppedBy records what ended training.
 	StoppedBy string
+	// FailedMembers lists intra-group member indices whose training loop
+	// failed mid-run; the group shrank past them and the survivors carried
+	// the group to completion.
+	FailedMembers []int
+	// DeadPeers lists the inter-group SMB ranks considered dead at exit
+	// (empty unless LivenessTimeout was set).
+	DeadPeers []int
 }
 
 // HybridGroup runs HSGD for one worker group. All groups of a job must be
 // constructed concurrently (the bootstrap is collective over Comm's world).
 type HybridGroup struct {
-	cfg     HybridGroupConfig
-	buffers *JobBuffers
-	group   *nccl.Group
+	cfg      HybridGroupConfig
+	buffers  *JobBuffers
+	group    *nccl.Group
+	liveness *livenessTracker // nil unless LivenessTimeout > 0
+	beats    []int64          // heartbeat read scratch (root only)
 
 	mu           sync.Mutex
 	pendingDelta []float32 // guarded by mu
@@ -137,23 +151,39 @@ func NewHybridGroup(cfg HybridGroupConfig) (*HybridGroup, error) {
 		return nil, fmt.Errorf("group %d setup: %w", cfg.Comm.Rank(), err)
 	}
 	cfg.Telemetry.NameWorker(cfg.Comm.Rank())
-	return &HybridGroup{
+	g := &HybridGroup{
 		cfg:          cfg,
 		buffers:      buffers,
 		group:        group,
 		pendingDelta: make([]float32, elems),
-	}, nil
+	}
+	if cfg.LivenessTimeout > 0 {
+		g.liveness = newLivenessTracker(cfg.Comm.Rank(), cfg.Comm.Size(), cfg.LivenessTimeout, cfg.Now)
+		g.beats = make([]int64, cfg.Comm.Size())
+	}
+	return g, nil
 }
 
 // Buffers exposes the group's SMB view (used by hooks and diagnostics).
 func (g *HybridGroup) Buffers() *JobBuffers { return g.buffers }
 
 // Run executes HSGD until the termination criterion fires, returning the
-// group's stats. Member goroutines are managed internally.
-func (g *HybridGroup) Run() (*GroupStats, error) {
+// group's stats. Member goroutines are managed internally. A failing
+// non-root member does not kill the group: the NCCL ring shrinks past it
+// and the survivors finish (the failure is recorded in FailedMembers). A
+// failing root is fatal — it owns the SMB exchange — and, when liveness is
+// enabled, leaves a tombstone so the other group roots stop waiting.
+func (g *HybridGroup) Run() (stats *GroupStats, err error) {
 	cfg := &g.cfg
 	n := len(cfg.Nets)
 	elems := g.buffers.Elems()
+	if g.liveness != nil {
+		defer func() {
+			if err != nil {
+				_ = g.buffers.MarkDead() // best-effort obituary
+			}
+		}()
+	}
 
 	// All replicas start from the shared initial weights.
 	initWeights := make([]float32, elems)
@@ -178,7 +208,7 @@ func (g *HybridGroup) Run() (*GroupStats, error) {
 	}
 	defer shutdown()
 
-	stats := &GroupStats{GroupRank: cfg.Comm.Rank()}
+	stats = &GroupStats{GroupRank: cfg.Comm.Rank()}
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	stopFlag := make([]float32, 1) // broadcast each check round: 1 = stop
@@ -195,31 +225,38 @@ func (g *HybridGroup) Run() (*GroupStats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := g.runMember(m, solverFor[m], hardCap, wake, stats, stopFlag, stoppedBy); err != nil {
-				// Abort the NCCL group so sibling members unwind from
-				// their barriers instead of deadlocking on the failed
-				// member.
-				g.group.Abort()
-				errs[m] = err
+			memberErr := g.runMember(m, solverFor[m], hardCap, wake, stats, stopFlag, stoppedBy)
+			if memberErr == nil {
+				return
 			}
+			errs[m] = memberErr
+			if m == 0 {
+				// The root owns the SMB exchange and the termination
+				// broadcast; without it the group is dead. Abort so
+				// siblings unwind from their barriers.
+				g.group.Abort()
+				return
+			}
+			// A non-root member is expendable: shrink the NCCL ring past
+			// it so in-flight collectives retry among the survivors
+			// instead of deadlocking at the barrier. Safe because the
+			// member goroutine has returned from any collective by the
+			// time we get here.
+			g.group.Leave(m)
 		}()
 	}
 	wg.Wait()
-	// Prefer the root cause over secondary ErrAborted unwinds.
-	var firstErr error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if !errors.Is(err, nccl.ErrAborted) {
-			return nil, err
-		}
-		if firstErr == nil {
-			firstErr = err
-		}
+	// The root's error is fatal whatever it is (including a secondary
+	// ErrAborted unwind — the abort means another failure already doomed
+	// the group's SMB side).
+	if errs[0] != nil {
+		return nil, errs[0]
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// Non-root failures were shrunk past; record them and carry on.
+	for m := 1; m < n; m++ {
+		if errs[m] != nil {
+			stats.FailedMembers = append(stats.FailedMembers, m)
+		}
 	}
 	// Finish the update thread (draining any queued push) before reading
 	// the counter.
@@ -235,6 +272,9 @@ func (g *HybridGroup) Run() (*GroupStats, error) {
 		stoppedBy[0] = "budget"
 	}
 	stats.StoppedBy = stoppedBy[0]
+	if g.liveness != nil {
+		stats.DeadPeers = g.liveness.deadRanks(nil)
+	}
 	return stats, nil
 }
 
@@ -349,6 +389,12 @@ func (g *HybridGroup) runMember(m int, solver *nn.SGDSolver, hardCap int,
 				if err := g.buffers.ReportProgress(int64(iter + 1)); err != nil {
 					return err
 				}
+				if g.liveness != nil {
+					// Best-effort: ReportProgress just proved the path
+					// works; a transient beat failure only delays peers'
+					// staleness clocks.
+					_ = g.buffers.Beat(int64(iter + 1))
+				}
 				stopNow, by, err := g.checkTermination(int64(iter + 1))
 				if err != nil {
 					return err
@@ -396,7 +442,17 @@ func (g *HybridGroup) checkTermination(completed int64) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	if cfg.Termination.ShouldStop(progress, int64(cfg.MaxIterations)) {
+	var alive []bool
+	if g.liveness != nil {
+		if err := g.buffers.HeartbeatsInto(g.beats); err == nil {
+			alive = g.liveness.observe(g.beats)
+		} else {
+			// Stale-but-safe: reuse the previous view (death is monotone,
+			// so a worker already declared dead stays excluded).
+			alive = g.liveness.alive
+		}
+	}
+	if cfg.Termination.ShouldStopAlive(progress, alive, int64(cfg.MaxIterations)) {
 		if err := g.buffers.SignalStop(); err != nil {
 			return false, "", err
 		}

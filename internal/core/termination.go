@@ -55,12 +55,35 @@ func (p TerminationPolicy) Validate() error {
 // coordinator thread is needed — exactly the simplification the shared
 // control segment buys (Sec. III-E).
 func (p TerminationPolicy) ShouldStop(progress []int64, target int64) bool {
+	return p.ShouldStopAlive(progress, nil, target)
+}
+
+// ShouldStopAlive is ShouldStop with a liveness view: alive[i] false means
+// worker i is known dead and must not hold the survivors hostage. A nil
+// alive treats everyone as alive (the fault-free fast path). Per policy:
+//
+//   - StopOnMaster with a dead master re-elects the lowest-ranked live
+//     worker as the progress reference — otherwise a master crash at
+//     iteration k freezes the job forever at "master not done".
+//   - StopOnFirst ignores liveness: progress counters are monotone, so a
+//     dead worker's last count still only triggers a stop it had earned.
+//   - StopOnAverage averages over the living only. A dead worker's frozen
+//     counter would otherwise drag the mean down and the survivors would
+//     grind out its unfinished share (or never terminate with target
+//     unreachable).
+func (p TerminationPolicy) ShouldStopAlive(progress []int64, alive []bool, target int64) bool {
 	if len(progress) == 0 {
 		return false
 	}
+	isAlive := func(i int) bool { return alive == nil || i >= len(alive) || alive[i] }
 	switch p {
 	case StopOnMaster:
-		return progress[0] >= target
+		for i, v := range progress {
+			if isAlive(i) {
+				return v >= target
+			}
+		}
+		return true // nobody alive: nothing left to wait for
 	case StopOnFirst:
 		for _, v := range progress {
 			if v >= target {
@@ -69,11 +92,18 @@ func (p TerminationPolicy) ShouldStop(progress []int64, target int64) bool {
 		}
 		return false
 	case StopOnAverage:
-		var sum int64
-		for _, v := range progress {
+		var sum, count int64
+		for i, v := range progress {
+			if !isAlive(i) {
+				continue
+			}
 			sum += v
+			count++
 		}
-		return sum >= target*int64(len(progress))
+		if count == 0 {
+			return true
+		}
+		return sum >= target*count
 	default:
 		return false
 	}

@@ -47,6 +47,12 @@ type WorkerConfig struct {
 	// ProgressEvery is the number of iterations between termination
 	// checks (default 1).
 	ProgressEvery int
+	// LivenessTimeout enables crash-aware termination alignment: each
+	// worker heartbeats through the control segment, and a peer whose beat
+	// has not advanced for longer than this is treated as dead by the
+	// termination predicate (see ShouldStopAlive). Zero disables liveness
+	// tracking — the paper's fault-free protocol, byte-for-byte.
+	LivenessTimeout time.Duration
 	// Now supplies time for the timing breakdown (defaults to time.Now).
 	Now func() time.Time
 	// Hook, if non-nil, runs after every completed iteration (0-based).
@@ -107,6 +113,9 @@ type RunStats struct {
 	Pushes int
 	// StoppedBy records which condition ended training.
 	StoppedBy string
+	// DeadPeers lists the ranks this worker considered dead when it
+	// stopped (liveness tracking enabled only).
+	DeadPeers []int
 }
 
 // Worker runs SEASGD training for one rank. Create with NewWorker, then
@@ -129,6 +138,11 @@ type Worker struct {
 	// the previous and current T1 read. Used by the main thread under mu.
 	lastProgress []int64
 	progressNow  []int64
+
+	// Liveness view (LivenessTimeout > 0 only); used by the main thread
+	// during termination checks.
+	liveness *livenessTracker
+	beats    []int64
 }
 
 // NewWorker validates cfg and performs the collective buffer bootstrap
@@ -154,16 +168,28 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, fmt.Errorf("rank %d setup: %w", cfg.Comm.Rank(), err)
 	}
 	cfg.Telemetry.NameWorker(cfg.Comm.Rank())
-	return &Worker{
+	return newWorkerFromBuffers(cfg, cfg.Comm.Rank(), buffers), nil
+}
+
+// newWorkerFromBuffers finishes construction once the buffer bootstrap
+// (MPI-collective or polling) has produced the JobBuffers.
+func newWorkerFromBuffers(cfg WorkerConfig, rank int, buffers *JobBuffers) *Worker {
+	elems := buffers.Elems()
+	w := &Worker{
 		cfg:          cfg,
-		rank:         cfg.Comm.Rank(),
+		rank:         rank,
 		buffers:      buffers,
 		solver:       nn.NewSGDSolver(cfg.Net, cfg.Solver),
 		pendingDelta: make([]float32, elems),
 		cachedGlobal: make([]float32, elems),
 		lastProgress: make([]int64, buffers.WorldSize()),
 		progressNow:  make([]int64, buffers.WorldSize()),
-	}, nil
+	}
+	if cfg.LivenessTimeout > 0 {
+		w.liveness = newLivenessTracker(rank, buffers.WorldSize(), cfg.LivenessTimeout, cfg.Now)
+		w.beats = make([]int64, buffers.WorldSize())
+	}
+	return w
 }
 
 // Buffers exposes the worker's SMB view (used by tests and diagnostics).
@@ -171,10 +197,21 @@ func (w *Worker) Buffers() *JobBuffers { return w.buffers }
 
 // Run executes the SEASGD training loop (Fig. 6) until the termination
 // criterion fires. It must be called exactly once.
-func (w *Worker) Run() (*RunStats, error) {
+func (w *Worker) Run() (stats *RunStats, err error) {
+	if w.liveness != nil {
+		// Obituary on the way out of a failed run: peers see the tombstone
+		// at their next check instead of burning a liveness timeout.
+		// Best-effort — a worker dying because the server is unreachable
+		// cannot write it, which is exactly the case staleness covers.
+		defer func() {
+			if err != nil {
+				w.buffers.MarkDead()
+			}
+		}()
+	}
 	cfg := &w.cfg
 	rank := w.rank
-	stats := &RunStats{Rank: rank}
+	stats = &RunStats{Rank: rank}
 	elems := w.buffers.Elems()
 	tel := cfg.Telemetry
 	mainTID := telemetry.MainTID(rank)
@@ -309,6 +346,12 @@ loop:
 		if err := w.buffers.ReportProgress(completed); err != nil {
 			return nil, err
 		}
+		if w.liveness != nil {
+			// Heartbeat rides the same cadence as progress. Best-effort:
+			// the ReportProgress just above already surfaced any genuine
+			// transport failure.
+			w.buffers.Beat(completed)
+		}
 		if (iter+1)%cfg.ProgressEvery == 0 || iter+1 >= cfg.MaxIterations {
 			stopNow, by, err := w.checkTermination(completed)
 			if err != nil {
@@ -330,6 +373,9 @@ loop:
 
 	stats.Iterations = iter
 	stats.StoppedBy = stoppedBy
+	if w.liveness != nil {
+		stats.DeadPeers = w.liveness.deadRanks(nil)
+	}
 	// Finish the update thread (including any queued final push) before
 	// reading the push counter, so the count is exact.
 	shutdown()
@@ -362,7 +408,19 @@ func (w *Worker) checkTermination(completed int64) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	if cfg.Termination.ShouldStop(progress, int64(cfg.MaxIterations)) {
+	// Liveness view: exclude dead peers from the predicate so a crashed
+	// worker's frozen counter cannot hold the survivors hostage. A failed
+	// heartbeat read keeps the previous view (stale but safe: death is
+	// monotone, so the view can only lag, never flap back to alive).
+	var alive []bool
+	if w.liveness != nil {
+		if err := w.buffers.HeartbeatsInto(w.beats); err == nil {
+			alive = w.liveness.observe(w.beats)
+		} else {
+			alive = w.liveness.alive
+		}
+	}
+	if cfg.Termination.ShouldStopAlive(progress, alive, int64(cfg.MaxIterations)) {
 		// Raise the flag so stragglers stop at their next check even if
 		// their own predicate evaluation lags.
 		if err := w.buffers.SignalStop(); err != nil {

@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/simnet"
+)
+
+// simnet integration: the same fault mix, in virtual time. A faulty
+// transfer draws from the injector's seeded stream exactly like a Conn op
+// does, so protocol models built on simnet (partition/crash experiments,
+// the SupervisedClient property tests) replay bit-identically from a seed.
+
+// Outage is a closed-open virtual-time window during which every faulty
+// transfer fails — the network-partition primitive.
+type Outage struct {
+	From, To time.Duration
+}
+
+// AddOutage schedules a virtual-time partition window on the injector.
+func (i *Injector) AddOutage(from, to time.Duration) {
+	i.outMu.Lock()
+	i.outages = append(i.outages, Outage{From: from, To: to})
+	i.outMu.Unlock()
+}
+
+// inOutage reports whether virtual time now falls in a partition window.
+func (i *Injector) inOutage(now time.Duration) bool {
+	i.outMu.Lock()
+	defer i.outMu.Unlock()
+	for _, o := range i.outages {
+		if o.From <= now && now < o.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Transfer is simnet.Proc.Transfer with the injector's fault mix applied:
+// injected delays become virtual-time sleeps, a partition window or a drawn
+// drop fails the transfer after a prefix of the bytes has crossed the links
+// (consuming the same virtual time a real half-finished transfer would).
+func (i *Injector) Transfer(p *simnet.Proc, bytes float64, links ...*simnet.Link) error {
+	if d := i.drawDelay(); d > 0 {
+		p.Sleep(d)
+	}
+	if i.inOutage(p.Now()) {
+		i.drops.Add(1)
+		return fmt.Errorf("faults: transfer at %v inside partition window: %w", p.Now(), ErrInjected)
+	}
+	if i.drawDrop() {
+		// The connection dies mid-flight: a deterministic half of the
+		// payload occupies the links before the failure surfaces.
+		if bytes > 1 {
+			p.Transfer(bytes*i.roll(), links...)
+		}
+		return fmt.Errorf("faults: transfer dropped: %w", ErrInjected)
+	}
+	p.Transfer(bytes, links...)
+	return nil
+}

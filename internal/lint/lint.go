@@ -49,6 +49,7 @@ var All = []*Analyzer{
 	OpcodeExhaustive,
 	Determinism,
 	SpanPair,
+	NetDeadline,
 }
 
 // Lookup returns the analyzer with the given name, or nil.

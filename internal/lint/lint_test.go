@@ -106,6 +106,9 @@ func TestGoLeakGolden(t *testing.T)     { runGolden(t, GoLeak, "goleak") }
 func TestErrWrapGolden(t *testing.T)    { runGolden(t, ErrWrap, "errwrap") }
 func TestExhaustiveGolden(t *testing.T) { runGolden(t, OpcodeExhaustive, "opcode") }
 func TestSpanPairGolden(t *testing.T)   { runGolden(t, SpanPair, "spanpair") }
+func TestNetDeadlineGolden(t *testing.T) {
+	runGolden(t, NetDeadline, "netdeadline")
+}
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, determinismAnalyzer([]string{"testdata/src/determinism"}), "determinism")
 }

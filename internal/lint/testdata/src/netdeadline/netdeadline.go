@@ -1,0 +1,64 @@
+package netdeadline
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// dialNoTimeout: package-level net.Dial is always flagged.
+func dialNoTimeout() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:7700") // want `net\.Dial blocks without a connect timeout`
+}
+
+// dialBounded: the timeout variants pass.
+func dialBounded() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:7700", time.Second)
+}
+
+// readNaked: conn I/O in a function with no Set*Deadline.
+func readNaked(c net.Conn, buf []byte) error {
+	if _, err := c.Read(buf); err != nil { // want `Read on a net connection without any Set\*Deadline`
+		return err
+	}
+	_, err := c.Write(buf) // want `Write on a net connection without any Set\*Deadline`
+	return err
+}
+
+// readFullNaked: io.ReadFull over a net connection is the same hazard.
+func readFullNaked(c *net.TCPConn, buf []byte) error {
+	_, err := io.ReadFull(c, buf) // want `io\.ReadFull on a net connection without any Set\*Deadline`
+	return err
+}
+
+// udpNaked: the datagram variants count too.
+func udpNaked(c *net.UDPConn, buf []byte) error {
+	_, _, err := c.ReadFromUDP(buf) // want `ReadFromUDP on a net connection without any Set\*Deadline`
+	return err
+}
+
+// readDeadlined: one Set*Deadline call blesses the function's I/O.
+func readDeadlined(c net.Conn, buf []byte) error {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(c, buf)
+	return err
+}
+
+// readFullNotNet: io.ReadFull over a non-net reader is out of scope.
+func readFullNotNet(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
+}
+
+// readerPump deliberately blocks until Close; the directive documents it.
+//
+//lint:ignore netdeadline lifetime bounded by Close from the owner
+func readerPump(c net.Conn, buf []byte) {
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // (reduce-scatter + allgather) executed by the participating goroutines
 // with per-step barriers, not a shortcut through a shared accumulator, so
 // its communication structure matches what the timing model charges for.
+//
+// The group is shrinkable: Leave(rank) removes a failed member, and
+// collectives in flight restart over the survivors instead of deadlocking
+// at the next barrier waiting for a rank that will never arrive (the
+// crash-aware half of the paper's Sec. III-E termination alignment, which
+// assumes workers only ever stop on purpose).
 package nccl
 
 import (
@@ -21,8 +27,14 @@ var ErrGroup = errors.New("nccl: invalid group argument")
 // waiting forever for a failed peer.
 var ErrAborted = errors.New("nccl: group aborted")
 
-// Group coordinates a fixed set of n devices (goroutines). All devices must
-// call the same collective with same-length buffers, like a NCCL communicator.
+// errShrunk is the internal signal that the membership changed under a
+// collective in flight. Collectives catch it and retry over the survivors;
+// it never escapes the public API.
+var errShrunk = errors.New("nccl: group shrunk mid-collective")
+
+// Group coordinates a set of up to n devices (goroutines). All active
+// devices must call the same collective with same-length buffers, like a
+// NCCL communicator.
 type Group struct {
 	n int
 
@@ -30,27 +42,54 @@ type Group struct {
 	cond    *sync.Cond
 	arrived int         // guarded by mu
 	gen     uint64      // guarded by mu
+	epoch   uint64      // guarded by mu; bumped by Leave, restarts in-flight collectives
 	bufs    [][]float32 // guarded by mu
 	length  int         // guarded by mu
 	aborted bool        // guarded by mu
+	active  []bool      // guarded by mu
+	live    int         // guarded by mu
+
+	// scratch[r] snapshots rank r's AllReduce contribution so a collective
+	// restarted by a shrink can restore the half-reduced buffer. Each rank
+	// touches only its own slot, so no lock is needed around the copies.
+	scratch [][]float32
 }
 
-// NewGroup returns a communicator for n devices.
+// NewGroup returns a communicator for n devices, all initially active.
+//
+//lint:ignore guardedby pre-publication initialisation: g has not escaped yet
 func NewGroup(n int) (*Group, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("nccl: group size %d: %w", n, ErrGroup)
 	}
-	g := &Group{n: n, bufs: make([][]float32, n)}
+	g := &Group{
+		n:       n,
+		bufs:    make([][]float32, n),
+		active:  make([]bool, n),
+		live:    n,
+		scratch: make([][]float32, n),
+	}
+	for i := range g.active {
+		g.active[i] = true
+	}
 	g.cond = sync.NewCond(&g.mu)
 	return g, nil
 }
 
-// Size returns the number of devices in the group.
+// Size returns the number of devices the group was created with.
 func (g *Group) Size() int { return g.n }
 
+// Live returns the number of devices still in the group.
+func (g *Group) Live() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.live
+}
+
 // Abort cancels the group: every device blocked in (or subsequently
-// entering) a collective returns ErrAborted. Call it when one member fails
-// so the others unwind instead of deadlocking at the next barrier.
+// entering) a collective returns ErrAborted. Call it when the group cannot
+// continue at all; for a single failed member, Leave keeps the survivors
+// going.
 func (g *Group) Abort() {
 	g.mu.Lock()
 	g.aborted = true
@@ -58,63 +97,142 @@ func (g *Group) Abort() {
 	g.mu.Unlock()
 }
 
-// barrier blocks until all n devices arrive or the group aborts.
-func (g *Group) barrier() error {
+// Leave removes rank from the group. Survivors blocked in a collective
+// restart it among themselves; future collectives simply exclude the rank.
+// Idempotent; unknown ranks are ignored. Leave must be called for a member
+// that is NOT inside a collective (a member's failure path runs in its own
+// goroutine after the collective returned — see HybridGroup.Run), which is
+// what makes clearing its buffer here race-free: survivors only read
+// neighbor buffers between two barriers the departed rank also passed,
+// so a rank with unreturned collective calls cannot be concurrently read.
+func (g *Group) Leave(rank int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rank < 0 || rank >= g.n || !g.active[rank] {
+		return
+	}
+	g.active[rank] = false
+	g.live--
+	g.bufs[rank] = nil
+	g.epoch++
+	// Restart the barrier accounting: survivors parked on the old epoch
+	// wake with errShrunk and re-enter; arrivals already counted belong to
+	// the dead epoch.
+	g.arrived = 0
+	if g.live == 0 {
+		g.length = 0
+	}
+	g.cond.Broadcast()
+}
+
+// barrierAt blocks until every live device arrives, the group aborts, or
+// the membership changes (errShrunk — the collective must restart).
+func (g *Group) barrierAt(epoch uint64) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.aborted {
 		return ErrAborted
 	}
+	if g.epoch != epoch {
+		return errShrunk
+	}
 	gen := g.gen
 	g.arrived++
-	if g.arrived == g.n {
+	if g.arrived == g.live {
 		g.arrived = 0
 		g.gen++
 		g.cond.Broadcast()
 		return nil
 	}
-	for g.gen == gen && !g.aborted {
+	for g.gen == gen && !g.aborted && g.epoch == epoch {
 		g.cond.Wait()
 	}
 	if g.aborted {
 		return ErrAborted
 	}
+	if g.epoch != epoch {
+		return errShrunk
+	}
 	return nil
 }
 
-// register publishes rank's buffer and waits until every rank has done so.
-func (g *Group) register(rank int, data []float32) error {
-	if rank < 0 || rank >= g.n {
-		return fmt.Errorf("nccl: rank %d of %d: %w", rank, g.n, ErrGroup)
-	}
+// ringView describes one attempt's membership snapshot: the epoch it is
+// valid for, the collective size, the caller's dense index among active
+// ranks, and its left neighbor's rank.
+type ringView struct {
+	epoch uint64
+	size  int
+	idx   int
+	left  int
+}
+
+// enter publishes rank's buffer, snapshots the ring view, and passes the
+// entry barrier. On errShrunk the caller restarts the whole collective.
+func (g *Group) enter(rank int, data []float32) (ringView, error) {
 	g.mu.Lock()
+	if g.aborted {
+		g.mu.Unlock()
+		return ringView{}, ErrAborted
+	}
+	if !g.active[rank] {
+		g.mu.Unlock()
+		return ringView{}, fmt.Errorf("nccl: rank %d has left the group: %w", rank, ErrGroup)
+	}
 	if g.length == 0 {
 		g.length = len(data)
 	}
 	lengthOK := g.length == len(data)
 	g.bufs[rank] = data
+	v := ringView{epoch: g.epoch, size: g.live, idx: 0, left: rank}
+	for r := 0; r < g.n; r++ {
+		if !g.active[r] {
+			continue
+		}
+		if r < rank {
+			v.idx++
+		}
+	}
+	// Left neighbor: the nearest active rank below, wrapping to the
+	// highest active rank.
+	for r := rank - 1; ; r-- {
+		if r < 0 {
+			r = g.n - 1
+		}
+		if g.active[r] {
+			v.left = r
+			break
+		}
+	}
 	g.mu.Unlock()
 	if !lengthOK {
 		// A mismatched buffer poisons the whole collective; abort so
 		// the peers unwind rather than deadlock.
 		g.Abort()
-		return fmt.Errorf("nccl: rank %d buffer length %d != %d: %w", rank, len(data), g.length, ErrGroup)
+		return ringView{}, fmt.Errorf("nccl: rank %d buffer length %d != %d: %w", rank, len(data), g.length, ErrGroup)
 	}
-	return g.barrier()
+	return v, g.barrierAt(v.epoch)
 }
 
-// release clears the published buffers after a collective completes.
-func (g *Group) release(rank int) error {
-	if err := g.barrier(); err != nil {
+// exit clears the published buffer after a collective completes. The lowest
+// active rank resets the shared length for the next collective.
+func (g *Group) exit(rank int, epoch uint64) error {
+	if err := g.barrierAt(epoch); err != nil {
 		return err
 	}
 	g.mu.Lock()
 	g.bufs[rank] = nil
-	if rank == 0 {
+	leader := true
+	for r := 0; r < rank; r++ {
+		if g.active[r] {
+			leader = false
+			break
+		}
+	}
+	if leader {
 		g.length = 0
 	}
 	g.mu.Unlock()
-	return g.barrier()
+	return g.barrierAt(epoch)
 }
 
 // chunkBounds splits length into n contiguous chunks.
@@ -129,57 +247,89 @@ func chunkBounds(length, n, idx int) (lo, hi int) {
 	return lo, lo + size
 }
 
-// AllReduce sums data elementwise across all devices in the group, leaving
-// the full sum in every device's buffer. It must be called by all n devices
-// concurrently. Single-device groups return immediately (matching NCCL).
+// AllReduce sums data elementwise across all live devices in the group,
+// leaving the full sum in every device's buffer. It must be called by every
+// live device concurrently. Single-device collectives return immediately
+// (matching NCCL).
 func (g *Group) AllReduce(rank int, data []float32) error {
-	if g.n == 1 {
-		if rank != 0 {
-			return fmt.Errorf("nccl: rank %d of 1: %w", rank, ErrGroup)
-		}
-		return nil
-	}
-	if err := g.register(rank, data); err != nil {
-		return err
-	}
-	n := g.n
-	left := (rank - 1 + n) % n
+	_, err := g.allReduce(rank, data)
+	return err
+}
 
-	// Phase 1 — reduce-scatter: after step s, chunk (r-s-1 mod n) of rank
-	// r holds the partial sum of s+2 contributions. Each step reads the
-	// left neighbor's chunk c and adds it into the local chunk c; the
-	// neighbor is concurrently writing a different chunk, and the
-	// barriers delimit the steps, so the reads are race-free.
-	for s := 0; s < n-1; s++ {
-		c := ((rank-s-1)%n + n) % n
-		lo, hi := chunkBounds(len(data), n, c)
-		src := g.bufs[left][lo:hi] //lint:ignore guardedby step barriers order this read after the neighbor's write
+// allReduce runs the retry loop and reports the size of the collective that
+// finally completed — the divisor AllReduceMean needs (dividing by the
+// static group size would deflate the mean once a member has left).
+func (g *Group) allReduce(rank int, data []float32) (int, error) {
+	if rank < 0 || rank >= g.n {
+		return 0, fmt.Errorf("nccl: rank %d of %d: %w", rank, g.n, ErrGroup)
+	}
+	if g.n == 1 {
+		return 1, nil
+	}
+	// Snapshot the contribution before the ring mutates it, so a shrink
+	// mid-collective can rewind and re-reduce over the survivors. The
+	// scratch slot is grow-only and per-rank.
+	if cap(g.scratch[rank]) < len(data) {
+		g.scratch[rank] = make([]float32, len(data))
+	}
+	snap := g.scratch[rank][:len(data)]
+	copy(snap, data)
+	for {
+		size, err := g.tryAllReduce(rank, data)
+		if !errors.Is(err, errShrunk) {
+			return size, err
+		}
+		copy(data, snap)
+	}
+}
+
+// tryAllReduce executes one ring attempt over the current membership.
+func (g *Group) tryAllReduce(rank int, data []float32) (int, error) {
+	v, err := g.enter(rank, data)
+	if err != nil {
+		return 0, err
+	}
+	if v.size == 1 {
+		// Last device standing: the sum is its own buffer.
+		return 1, g.exit(rank, v.epoch)
+	}
+
+	// Phase 1 — reduce-scatter: after step s, chunk (i-s-1 mod size) of
+	// index i holds the partial sum of s+2 contributions. Each step reads
+	// the left neighbor's chunk c and adds it into the local chunk c; the
+	// neighbor is concurrently writing a different chunk, and the barriers
+	// delimit the steps, so the reads are race-free.
+	for s := 0; s < v.size-1; s++ {
+		c := ((v.idx-s-1)%v.size + v.size) % v.size
+		lo, hi := chunkBounds(len(data), v.size, c)
+		src := g.bufs[v.left][lo:hi] //lint:ignore guardedby step barriers order this read after the neighbor's write
 		dst := data[lo:hi]
 		for i := range dst {
 			dst[i] += src[i]
 		}
-		if err := g.barrier(); err != nil {
-			return err
+		if err := g.barrierAt(v.epoch); err != nil {
+			return 0, err
 		}
 	}
 
-	// Phase 2 — allgather: rank r now owns the fully reduced chunk
-	// (r+1 mod n)... step s copies chunk (r-s mod n) from the left
+	// Phase 2 — allgather: index i now owns the fully reduced chunk
+	// (i+1 mod size)... step s copies chunk (i-s mod size) from the left
 	// neighbor, which completed it in the previous step.
-	for s := 0; s < n-1; s++ {
-		c := ((rank-s)%n + n) % n
-		lo, hi := chunkBounds(len(data), n, c)
-		copy(data[lo:hi], g.bufs[left][lo:hi]) //lint:ignore guardedby step barriers order this read after the neighbor's write
-		if err := g.barrier(); err != nil {
-			return err
+	for s := 0; s < v.size-1; s++ {
+		c := ((v.idx-s)%v.size + v.size) % v.size
+		lo, hi := chunkBounds(len(data), v.size, c)
+		copy(data[lo:hi], g.bufs[v.left][lo:hi]) //lint:ignore guardedby step barriers order this read after the neighbor's write
+		if err := g.barrierAt(v.epoch); err != nil {
+			return 0, err
 		}
 	}
 
-	return g.release(rank)
+	return v.size, g.exit(rank, v.epoch)
 }
 
-// Broadcast copies root's buffer into every device's buffer. Must be called
-// by all n devices concurrently.
+// Broadcast copies root's buffer into every live device's buffer. Must be
+// called by every live device concurrently. A root that has left the group
+// is a permanent error — there is nothing to copy from.
 func (g *Group) Broadcast(rank, root int, data []float32) error {
 	if root < 0 || root >= g.n {
 		return fmt.Errorf("nccl: root %d of %d: %w", root, g.n, ErrGroup)
@@ -190,22 +340,43 @@ func (g *Group) Broadcast(rank, root int, data []float32) error {
 		}
 		return nil
 	}
-	if err := g.register(rank, data); err != nil {
-		return err
+	for {
+		err := g.tryBroadcast(rank, root, data)
+		if !errors.Is(err, errShrunk) {
+			return err
+		}
 	}
-	if rank != root {
-		copy(data, g.bufs[root]) //lint:ignore guardedby register's barrier publishes root's buffer before this read
-	}
-	return g.release(rank)
 }
 
-// AllReduceMean is AllReduce followed by division by the group size — the
-// gradient averaging step of SSGD.
-func (g *Group) AllReduceMean(rank int, data []float32) error {
-	if err := g.AllReduce(rank, data); err != nil {
+func (g *Group) tryBroadcast(rank, root int, data []float32) error {
+	g.mu.Lock()
+	rootLive := root < len(g.active) && g.active[root]
+	g.mu.Unlock()
+	if !rootLive {
+		return fmt.Errorf("nccl: broadcast root %d has left the group: %w", root, ErrGroup)
+	}
+	v, err := g.enter(rank, data)
+	if err != nil {
 		return err
 	}
-	inv := 1 / float32(g.n)
+	if v.size > 1 && rank != root {
+		copy(data, g.bufs[root]) //lint:ignore guardedby enter's barrier publishes root's buffer before this read
+	}
+	return g.exit(rank, v.epoch)
+}
+
+// AllReduceMean is AllReduce followed by division by the size of the
+// collective that completed — the gradient averaging step of SSGD. After a
+// shrink the divisor is the survivor count, so the mean stays a mean.
+func (g *Group) AllReduceMean(rank int, data []float32) error {
+	size, err := g.allReduce(rank, data)
+	if err != nil {
+		return err
+	}
+	if size <= 1 {
+		return nil
+	}
+	inv := 1 / float32(size)
 	for i := range data {
 		data[i] *= inv
 	}

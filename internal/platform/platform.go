@@ -21,6 +21,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"shmcaffe/internal/core"
 	"shmcaffe/internal/dataset"
@@ -75,6 +76,18 @@ type Config struct {
 	// Job names the SMB segment family; required when several runs share
 	// one external server. Defaults to the platform's short name.
 	Job string
+	// SMBOpTimeout bounds each SMB round trip for dialed-out TCP clients
+	// (0 = the supervised client's 10s default; negative disables
+	// deadlines). Ignored for the in-process store and the RDS transport.
+	SMBOpTimeout time.Duration
+	// SMBWaitTimeout bounds WaitUpdate round trips (0 inherits
+	// SMBOpTimeout).
+	SMBWaitTimeout time.Duration
+	// LivenessTimeout enables crash-aware termination alignment in the
+	// ShmCaffe platforms: workers heartbeat through the control segment
+	// and exclude peers silent for longer than this from the termination
+	// criterion. 0 keeps the paper's fault-free protocol.
+	LivenessTimeout time.Duration
 	// Telemetry, when non-nil, receives SEASGD phase spans, staleness
 	// observations and push counters from the ShmCaffe platforms (the
 	// synchronous baselines ignore it). Nil disables instrumentation.

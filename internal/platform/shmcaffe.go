@@ -1,9 +1,11 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"shmcaffe/internal/core"
 	"shmcaffe/internal/dataset"
@@ -72,16 +74,17 @@ func (ShmCaffeA) Train(cfg Config) (*Result, error) {
 				return
 			}
 			wcfg := core.WorkerConfig{
-				Job:           job,
-				Comm:          comm,
-				Client:        clients[r],
-				Net:           set.nets[r],
-				Solver:        cfg.Solver,
-				Elastic:       cfg.Elastic,
-				Termination:   core.StopOnMaster,
-				MaxIterations: set.iters,
-				Loader:        set.loaders[r],
-				Telemetry:     cfg.Telemetry,
+				Job:             job,
+				Comm:            comm,
+				Client:          clients[r],
+				Net:             set.nets[r],
+				Solver:          cfg.Solver,
+				Elastic:         cfg.Elastic,
+				Termination:     core.StopOnMaster,
+				MaxIterations:   set.iters,
+				Loader:          set.loaders[r],
+				Telemetry:       cfg.Telemetry,
+				LivenessTimeout: cfg.LivenessTimeout,
 			}
 			if r == 0 {
 				wcfg.Hook = hook
@@ -166,14 +169,15 @@ func (ShmCaffeH) Train(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		gcfg := core.HybridGroupConfig{
-			Job:           job,
-			Comm:          comm,
-			Client:        clients[gi],
-			Solver:        cfg.Solver,
-			Elastic:       cfg.Elastic,
-			Termination:   core.StopOnMaster,
-			MaxIterations: iters,
-			Telemetry:     cfg.Telemetry,
+			Job:             job,
+			Comm:            comm,
+			Client:          clients[gi],
+			Solver:          cfg.Solver,
+			Elastic:         cfg.Elastic,
+			Termination:     core.StopOnMaster,
+			MaxIterations:   iters,
+			Telemetry:       cfg.Telemetry,
+			LivenessTimeout: cfg.LivenessTimeout,
 		}
 		if gi == 0 {
 			gcfg.Hook = hook
@@ -250,14 +254,37 @@ func smbClients(cfg *Config, n int) (clients []smb.Client, closeAll func(), err 
 		}
 		return nil, nil, err
 	}
+	if cfg.SMBTransport == "" || cfg.SMBTransport == "tcp" {
+		// One bounded probe verifies the server is reachable before any MPI
+		// collective starts. Supervised clients connect lazily, so without
+		// this a misconfigured address would fail inside rank 0's bootstrap
+		// and strand the other ranks in a broadcast it never joins.
+		probe := smb.NewSupervisedClient(smb.SupervisedConfig{
+			Addr:        cfg.SMBAddr,
+			OpTimeout:   cfg.SMBOpTimeout,
+			MaxAttempts: 3,
+			BackoffBase: 20 * time.Millisecond,
+			BackoffMax:  100 * time.Millisecond,
+		})
+		_, err := probe.Lookup("\x00reachability-probe")
+		probe.Close()
+		if err != nil && !errors.Is(err, smb.ErrUnknownSegment) {
+			return fail(0, fmt.Errorf("dial SMB server: %w", err))
+		}
+	}
 	for i := range clients {
 		switch cfg.SMBTransport {
 		case "", "tcp":
-			c, err := smb.Dial(cfg.SMBAddr)
-			if err != nil {
-				return fail(i, fmt.Errorf("dial SMB server: %w", err))
-			}
-			clients[i] = c
+			// The fault-tolerant data path: per-op deadlines, supervised
+			// reconnect, sequence-stamped pushes. ClientID is rank-derived
+			// so the server-side dedup keys stay distinct per worker.
+			clients[i] = smb.NewSupervisedClient(smb.SupervisedConfig{
+				Addr:        cfg.SMBAddr,
+				OpTimeout:   cfg.SMBOpTimeout,
+				WaitTimeout: cfg.SMBWaitTimeout,
+				Seed:        cfg.Seed + uint64(i)*7919,
+				ClientID:    uint64(i + 1),
+			})
 		case "rds":
 			ep, err := rds.ListenUDP("127.0.0.1:0")
 			if err != nil {

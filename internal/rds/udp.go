@@ -26,7 +26,11 @@ func ListenUDP(addr string) (*Endpoint, error) {
 	return NewEndpoint(&udpIO{conn: conn}), nil
 }
 
-// WriteTo implements PacketIO.
+// WriteTo implements PacketIO. A datagram write never parks on a peer:
+// it either enters the local socket buffer or drops, and the endpoint's
+// retransmission timers own loss recovery.
+//
+//lint:ignore netdeadline UDP sends don't block on the peer; loss is handled by RDS retransmission
 func (u *udpIO) WriteTo(b []byte, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -36,7 +40,11 @@ func (u *udpIO) WriteTo(b []byte, addr string) error {
 	return err
 }
 
-// ReadFrom implements PacketIO.
+// ReadFrom implements PacketIO. This is the endpoint's receive pump; it is
+// meant to block until a datagram arrives and is unblocked for good by
+// Close, which the owning Endpoint calls on shutdown.
+//
+//lint:ignore netdeadline receive-pump lifetime is bounded by Endpoint.Close closing the socket
 func (u *udpIO) ReadFrom(b []byte) (int, string, error) {
 	n, from, err := u.conn.ReadFromUDP(b)
 	if err != nil {

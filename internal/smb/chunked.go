@@ -195,6 +195,11 @@ var writeAccPadding [writeAccPad]byte
 func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return fmt.Errorf("smb: connection poisoned: %w", c.broken)
+	}
+	dc, deadlines := c.conn.(deadlineConn)
+	deadlines = deadlines && c.opTimeout > 0
 	chunks := 0
 	for off := 0; off < len(data); off += writeAccChunkBytes {
 		end := off + writeAccChunkBytes
@@ -207,8 +212,19 @@ func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
 		}
 		c.beginLocked().u64(uint64(dst)).u64(uint64(src)).u64(uint64(off)).
 			bytes(writeAccPadding[:]).bytes(data[off:end])
+		if deadlines {
+			dc.SetWriteDeadline(time.Now().Add(c.opTimeout))
+		}
 		if err := writeFrameInto(c.conn, byte(opWriteAccChunk), c.req.buf, &c.wire); err != nil {
-			return fmt.Errorf("smb chunk stream: %w", err)
+			// A mid-sequence failure leaves the stream desynchronized: the
+			// server saw some prefix of the chunks and is waiting for the
+			// rest. The seed returned the error but kept the connection,
+			// so the next verb's frame landed inside the half-finished
+			// sequence. Poison instead — the connection is done.
+			return c.poisonLocked(fmt.Errorf("smb chunk stream: %w: %w", ErrTransport, err))
+		}
+		if deadlines {
+			dc.SetWriteDeadline(time.Time{})
 		}
 		if c.chunkInst != nil {
 			// Time to push one chunk into the transport: under backpressure

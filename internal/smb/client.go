@@ -133,6 +133,21 @@ func ReadInt64SlotsInto(c Client, h Handle, out []int64) error {
 	return nil
 }
 
+// ReadInt64SlotsAtInto loads len(out) consecutive int64 slots starting at
+// startSlot into out, allocating nothing on the steady state — the liveness
+// tracker reads the heartbeat block of the control segment with it.
+func ReadInt64SlotsAtInto(c Client, h Handle, startSlot int, out []int64) error {
+	buf, bp := getScratch(8 * len(out))
+	defer putScratch(bp)
+	if err := c.Read(h, 8*startSlot, buf); err != nil {
+		return err
+	}
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
 // SegmentNames builds the conventional segment names used by ShmCaffe's
 // buffer layout (Fig. 5): one global weight buffer, one per-worker weight
 // increment buffer, and one control segment.

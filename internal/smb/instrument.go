@@ -115,6 +115,52 @@ func (c *StreamClient) Instrument(reg *telemetry.Registry) {
 	}
 }
 
+// Instrument registers the server's connection-health counters: handler
+// loops that exited on transport errors (satellite of the silent-drop fix
+// in connDone), chunked sequences reaped mid-stream, and the live
+// connection gauge. Call once, before serving traffic.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("smb_server_conn_errors_total",
+		"connection handlers that exited on a transport error (not a clean close)",
+		s.connErrors.Load)
+	reg.CounterFunc("smb_server_reaped_sequences_total",
+		"chunked WRITE+ACCUMULATE sequences abandoned mid-stream by a dying connection",
+		s.reapedSeqs.Load)
+	reg.GaugeFunc("smb_server_connections", "live connection handlers", func() float64 {
+		return float64(s.active.Load())
+	})
+	reg.CounterFunc("smb_seq_duplicates_total",
+		"sequence-stamped accumulates acknowledged as already-applied duplicates",
+		s.store.stats.seqDups.Load)
+}
+
+// supervisedInstruments is the supervised client's recovery telemetry.
+type supervisedInstruments struct {
+	reconnects *telemetry.Counter
+	retries    *telemetry.Counter
+	timeouts   *telemetry.Counter
+	dupAcks    *telemetry.Counter
+}
+
+// Instrument registers the supervised client's recovery counters:
+// smb_supervised_reconnects_total, smb_supervised_retries_total,
+// smb_supervised_timeouts_total, smb_supervised_dup_acks_total, and the
+// smb_supervised_pushes_total counter whose sum across clients equals the
+// server's smb_accumulates_total under the exactly-once invariant. Call
+// before issuing traffic.
+func (c *SupervisedClient) Instrument(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inst = &supervisedInstruments{
+		reconnects: reg.Counter("smb_supervised_reconnects_total", "connections re-established after a failure"),
+		retries:    reg.Counter("smb_supervised_retries_total", "operation attempts beyond the first"),
+		timeouts:   reg.Counter("smb_supervised_timeouts_total", "attempts failed on a fired per-op deadline"),
+		dupAcks:    reg.Counter("smb_supervised_dup_acks_total", "pushes acknowledged as server-side duplicates"),
+	}
+	reg.CounterFunc("smb_supervised_pushes_total",
+		"logical pushes applied exactly once", c.pushes.Load)
+}
+
 // Instrument enables fan-out timing on the sharded client, exporting
 // smb_sharded_seconds{op=...} (the full fan-out/join time across shards).
 // Call before issuing traffic.

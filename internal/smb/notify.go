@@ -1,6 +1,7 @@
 package smb
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -12,6 +13,12 @@ import (
 // ShmCaffe itself polls progress counters, but notification lets library
 // users build push-style coordination (e.g. an evaluator that wakes
 // whenever Wg changes) without busy-reading multi-hundred-MB segments.
+
+// ErrWaitCanceled is returned from a blocked WaitUpdate when the wait is
+// canceled before the version advances — a server answering while it shuts
+// down, or a caller abandoning the watch. Retry-able by design: a
+// supervised client re-issues the wait once the server is back.
+var ErrWaitCanceled = errors.New("smb: wait canceled")
 
 // Notifier is the optional notification interface implemented by the
 // in-process and TCP clients (segment versions are per-server, so the
@@ -27,23 +34,30 @@ type Notifier interface {
 
 // versioned augments the segment table with version counters. Stored in a
 // side table keyed by segment pointer so the hot data path stays lean.
+//
+// Waiting is channel-based rather than sync.Cond-based so a wait can be
+// canceled: cond.Wait has no way out except a broadcast, which is exactly
+// how the seed's server deadlocked on Close with a handler parked in a
+// WaitUpdate that no further write would ever release.
 type versionTable struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	v    map[*segment]uint64 // guarded by mu
+	mu sync.Mutex
+	v  map[*segment]uint64 // guarded by mu
+	ch chan struct{}       // guarded by mu; nil until a waiter needs one, closed on bump
 }
 
 func newVersionTable() *versionTable {
-	t := &versionTable{v: make(map[*segment]uint64)}
-	t.cond = sync.NewCond(&t.mu)
-	return t
+	return &versionTable{v: make(map[*segment]uint64)}
 }
 
 func (t *versionTable) bump(seg *segment) {
 	t.mu.Lock()
 	t.v[seg]++
+	ch := t.ch
+	t.ch = nil
 	t.mu.Unlock()
-	t.cond.Broadcast()
+	if ch != nil {
+		close(ch)
+	}
 }
 
 func (t *versionTable) get(seg *segment) uint64 {
@@ -52,16 +66,30 @@ func (t *versionTable) get(seg *segment) uint64 {
 	return t.v[seg]
 }
 
-// wait blocks until seg's version exceeds since; blocked reports whether the
-// caller actually slept (vs. the version already being ahead).
-func (t *versionTable) wait(seg *segment, since uint64) (v uint64, blocked bool) {
+// wait blocks until seg's version exceeds since or cancel closes (nil
+// cancel never fires, preserving the block-forever contract); blocked
+// reports whether the caller actually slept.
+func (t *versionTable) wait(seg *segment, since uint64, cancel <-chan struct{}) (v uint64, blocked bool, err error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	for t.v[seg] <= since {
+		if t.ch == nil {
+			// Lazily created so version bumps with nobody listening (the
+			// steady-state data path) allocate nothing.
+			t.ch = make(chan struct{})
+		}
+		ch := t.ch
+		t.mu.Unlock()
 		blocked = true
-		t.cond.Wait()
+		select {
+		case <-ch:
+		case <-cancel:
+			return 0, blocked, ErrWaitCanceled
+		}
+		t.mu.Lock()
 	}
-	return t.v[seg], blocked
+	v = t.v[seg]
+	t.mu.Unlock()
+	return v, blocked, nil
 }
 
 // Version implements Notifier for the Store (and through it LocalClient).
@@ -75,13 +103,24 @@ func (s *Store) Version(h Handle) (uint64, error) {
 
 // WaitUpdate implements Notifier for the Store.
 func (s *Store) WaitUpdate(h Handle, since uint64) (uint64, error) {
+	return s.WaitUpdateCancel(h, since, nil)
+}
+
+// WaitUpdateCancel is WaitUpdate with a cancellation channel: when cancel
+// closes before the version advances, the call returns ErrWaitCanceled
+// instead of blocking forever. The TCP server passes its shutdown channel
+// here so Close never deadlocks behind a parked watcher.
+func (s *Store) WaitUpdateCancel(h Handle, since uint64, cancel <-chan struct{}) (uint64, error) {
 	seg, err := s.lookupHandle(h)
 	if err != nil {
 		return 0, err
 	}
-	v, blocked := s.versions.wait(seg, since)
+	v, blocked, err := s.versions.wait(seg, since, cancel)
 	if blocked {
 		s.stats.notifyWakeups.Add(1)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wait on %q since %d: %w", seg.name, since, err)
 	}
 	return v, nil
 }
@@ -112,6 +151,10 @@ func (c *StreamClient) Version(h Handle) (uint64, error) {
 
 // WaitUpdate implements Notifier over the wire. It blocks the connection
 // until the update arrives, so watchers should use a dedicated connection.
+// With a wait timeout configured (SetTimeouts), a wait that outlives the
+// deadline fails with os.ErrDeadlineExceeded and poisons the connection —
+// the server's eventual reply can no longer be paired with a request, so
+// the connection must not be reused.
 func (c *StreamClient) WaitUpdate(h Handle, since uint64) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -153,7 +196,9 @@ func (s *Server) dispatchNotify(op opcode, payload []byte, cs *connState) ([]byt
 		if fr.err != nil {
 			return nil, fr.err
 		}
-		v, err := s.store.WaitUpdate(Handle(h), since)
+		// The server's shutdown channel cancels parked waits, so Close
+		// drains handler goroutines instead of deadlocking behind them.
+		v, err := s.store.WaitUpdateCancel(Handle(h), since, s.done)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,10 +19,17 @@ type Server struct {
 	store *Store
 	ln    net.Listener
 
+	done chan struct{} // closed by Close; cancels parked WaitUpdates
+
 	mu     sync.Mutex
-	conns  map[io.Closer]struct{} // guarded by mu
-	closed bool                   // guarded by mu
+	conns  map[io.Closer]struct{}           // guarded by mu
+	closed bool                             // guarded by mu
+	logf   func(format string, args ...any) // guarded by mu
 	wg     sync.WaitGroup
+
+	connErrors atomic.Int64 // handler loops that exited on a transport error
+	reapedSeqs atomic.Int64 // chunked sequences abandoned mid-stream by a dying conn
+	active     atomic.Int64 // live connection handlers
 }
 
 // NewServer returns a server around store listening on addr
@@ -31,12 +39,37 @@ func NewServer(store *Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smb server listen: %w", err)
 	}
+	return NewServerFromListener(store, ln), nil
+}
+
+// NewServerFromListener returns a server accepting from an existing
+// listener — the seam for wrapping the accept path (fault injection,
+// custom transports). The server owns ln from here on.
+func NewServerFromListener(store *Store, ln net.Listener) *Server {
 	return &Server{
 		store: store,
 		ln:    ln,
+		done:  make(chan struct{}),
 		conns: make(map[io.Closer]struct{}),
-	}, nil
+	}
 }
+
+// SetLogf installs a logger for abnormal per-connection handler exits —
+// broken pipes mid-frame, abandoned chunk sequences. Nil (the default)
+// keeps the server silent; the counters still advance either way.
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	s.mu.Lock()
+	s.logf = logf
+	s.mu.Unlock()
+}
+
+// ConnErrors returns how many connection handlers exited on a transport
+// error (as opposed to a clean close between frames).
+func (s *Server) ConnErrors() int64 { return s.connErrors.Load() }
+
+// ReapedSequences returns how many chunked WRITE+ACCUMULATE sequences died
+// mid-stream with their connection and were reaped.
+func (s *Server) ReapedSequences() int64 { return s.reapedSeqs.Load() }
 
 // Addr returns the listener's address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -101,6 +134,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Unpark handlers blocked in WaitUpdate before yanking their
+	// connections: with cond-based waits the seed's Close deadlocked in
+	// wg.Wait behind any parked watcher.
+	close(s.done)
 	for conn := range s.conns {
 		conn.Close()
 	}
@@ -124,19 +161,26 @@ type connState struct {
 	// first chunk failure is recorded here (later chunks are skipped) and
 	// reported once on the End frame. Single handler goroutine; no lock.
 	chunkErr error
+	// chunkOpen is true between the first chunk frame and the End frame —
+	// a connection dying with it set abandoned a sequence mid-stream.
+	chunkOpen bool
 }
 
 var connStatePool = sync.Pool{New: func() any { return new(connState) }}
 
 func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	cs := connStatePool.Get().(*connState)
 	cs.chunkErr = nil // a pooled state may carry a dead connection's sequence
+	cs.chunkOpen = false
 	defer connStatePool.Put(cs)
 	for {
 		op, payload, err := readFrameInto(conn, &cs.in)
 		if err != nil {
-			return // EOF or broken connection: drop silently
+			s.connDone(cs, err)
+			return
 		}
 		resp, err := s.dispatch(opcode(op), payload, cs)
 		if err != nil {
@@ -146,12 +190,51 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 			cs.fw.buf = cs.fw.buf[:0]
 			cs.fw.str(err.Error())
 			if werr := writeFrameInto(conn, statusErr, cs.fw.buf, &cs.wire); werr != nil {
+				s.connDone(cs, werr)
 				return
 			}
 			continue
 		}
 		if werr := writeFrameInto(conn, statusOK, resp, &cs.wire); werr != nil {
+			s.connDone(cs, werr)
 			return
+		}
+	}
+}
+
+// connDone classifies a handler-loop exit. The seed dropped every exit
+// silently, which hid real failures (workers dying mid-push, frames
+// truncated by the network) behind the same silence as a clean shutdown.
+// A clean close — io.EOF exactly between frames, or any error during
+// server shutdown — stays silent; everything else advances connErrors and
+// hits the optional log. A sequence abandoned mid-chunk-stream is reaped
+// here: its poison is cleared before the state returns to the pool (the
+// chunks already applied stay applied — see DESIGN.md §12 for why that is
+// safe only because supervised retries go through SeqAccumulate).
+func (s *Server) connDone(cs *connState, err error) {
+	mid := cs.chunkOpen || cs.chunkErr != nil
+	if mid {
+		s.reapedSeqs.Add(1)
+		cs.chunkErr = nil
+		cs.chunkOpen = false
+	}
+	select {
+	case <-s.done:
+		return // shutdown breaks every connection, by design
+	default:
+	}
+	if errors.Is(err, io.EOF) && !mid {
+		return // clean close at a frame boundary
+	}
+	s.connErrors.Add(1)
+	s.mu.Lock()
+	logf := s.logf
+	s.mu.Unlock()
+	if logf != nil {
+		if mid {
+			logf("smb: connection died mid chunk sequence (reaped): %v", err)
+		} else {
+			logf("smb: connection handler exited: %v", err)
 		}
 	}
 }
@@ -242,6 +325,7 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 	case opWriteAccChunk:
 		// Streamed chunk: apply immediately, never reply — the client is
 		// already sending the next chunk (the T.A2/T.A3 pipeline).
+		cs.chunkOpen = true
 		if cs.chunkErr != nil {
 			return nil, errNoReply // sequence poisoned: skip to the End frame
 		}
@@ -259,6 +343,7 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 		}
 		return nil, errNoReply
 	case opWriteAccEnd:
+		cs.chunkOpen = false
 		dst := fr.u64()
 		src := fr.u64()
 		if fr.err != nil {
@@ -269,6 +354,23 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			return nil, err
 		}
 		return nil, s.store.FinishWriteAccumulate(Handle(dst), Handle(src))
+	case opSeqAccumulate:
+		dst := fr.u64()
+		src := fr.u64()
+		client := fr.u64()
+		seq := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		applied, err := s.store.SeqAccumulate(Handle(dst), Handle(src), client, seq)
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		if applied {
+			v = 1
+		}
+		return fw.u64(v).buf, nil
 	default:
 		return s.dispatchNotify(op, payload, cs)
 	}
@@ -289,17 +391,69 @@ type StreamClient struct {
 	wire      []byte             // request frame staging, guarded by mu
 	inst      *clientInstruments // optional RTT timing, guarded by mu
 	chunkInst *chunkInstruments  // optional pipelined-transfer timing, guarded by mu
+
+	opTimeout   time.Duration // guarded by mu; 0 = block forever (seed behavior)
+	waitTimeout time.Duration // guarded by mu; WaitUpdate budget, 0 = block forever
+	broken      error         // guarded by mu; first transport failure latches here
 }
 
 var _ Client = (*StreamClient)(nil)
 
+// ErrTransport marks StreamClient failures where the transport itself broke
+// or timed out — as opposed to the server answering with an error. After a
+// transport failure the request/response framing is unknowable, so the
+// client poisons itself: the connection is closed and every later call
+// fails fast wrapping the original cause. ErrTransport is the retry signal
+// for SupervisedClient: a remote error means the server spoke and retrying
+// the same request changes nothing; a transport error means a reconnect
+// might.
+var ErrTransport = errors.New("smb: transport failure")
+
+// dialTimeout bounds connection establishment: a dead or partitioned server
+// should fail a dial quickly, not strand it in the kernel's multi-minute
+// SYN retry schedule.
+const dialTimeout = 10 * time.Second
+
 // Dial connects to an SMB server over TCP.
 func Dial(addr string) (*StreamClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("smb dial %s: %w", addr, err)
+		return nil, fmt.Errorf("smb dial %s: %w: %w", addr, ErrTransport, err)
 	}
 	return &StreamClient{conn: conn}, nil
+}
+
+// SetTimeouts bounds every operation on the client: op is the per-round-trip
+// budget for data verbs, wait the budget for WaitUpdate (0 inherits op;
+// both 0 restores block-forever). A deadline that fires poisons the client —
+// an abandoned round trip leaves an unpaired response in flight, so the
+// connection cannot be reused — and the call fails with an error matching
+// both ErrTransport and os.ErrDeadlineExceeded.
+func (c *StreamClient) SetTimeouts(op, wait time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = op
+	if wait <= 0 {
+		wait = op
+	}
+	c.waitTimeout = wait
+	c.mu.Unlock()
+}
+
+// deadlineConn is the deadline surface of net.Conn. Transports without one
+// (in-process pipes) silently ignore configured timeouts.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// poisonLocked latches the first transport failure and kills the
+// connection. Caller holds c.mu.
+func (c *StreamClient) poisonLocked(err error) error {
+	if c.broken == nil {
+		c.broken = err
+		c.conn.Close()
+	}
+	return err
 }
 
 // NewStreamClient wraps an established connection of any transport.
@@ -324,16 +478,39 @@ func (c *StreamClient) beginLocked() *frameWriter {
 // roundTripLocked performs one synchronous RPC with c.req.buf as the
 // request payload. The returned payload aliases the client's scratch and
 // must be consumed before c.mu is released. Caller holds c.mu.
+//
+// Any transport failure — write error, read error, or a fired deadline —
+// poisons the client: the framing state of the connection is unknown, so
+// reuse could pair a stale response with a fresh request.
 func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
+	if c.broken != nil {
+		return nil, fmt.Errorf("smb: connection poisoned: %w", c.broken)
+	}
+	timeout := c.opTimeout
+	if op == opWaitUpdate {
+		timeout = c.waitTimeout
+	}
+	dc, deadlines := c.conn.(deadlineConn)
+	deadlines = deadlines && timeout > 0
+	if deadlines {
+		dc.SetWriteDeadline(time.Now().Add(timeout))
+	}
 	if err := writeFrameInto(c.conn, byte(op), c.req.buf, &c.wire); err != nil {
-		return nil, fmt.Errorf("smb request: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("smb request: %w: %w", ErrTransport, err))
+	}
+	if deadlines {
+		dc.SetWriteDeadline(time.Time{})
+		dc.SetReadDeadline(time.Now().Add(timeout))
 	}
 	status, resp, err := readFrameInto(c.conn, &c.in)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("smb server closed connection: %w", err)
+			return nil, c.poisonLocked(fmt.Errorf("smb server closed connection: %w: %w", ErrTransport, err))
 		}
-		return nil, fmt.Errorf("smb response: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("smb response: %w: %w", ErrTransport, err))
+	}
+	if deadlines {
+		dc.SetReadDeadline(time.Time{})
 	}
 	if status == statusErr {
 		fr := frameReader{buf: resp}
@@ -349,6 +526,7 @@ func remoteError(msg string) error {
 	for _, known := range []error{
 		ErrSegmentExists, ErrUnknownSegment, ErrUnknownHandle,
 		ErrOutOfRange, ErrSizeMismatch, ErrNotFloatAligned,
+		ErrWaitCanceled,
 	} {
 		if hasSuffix(msg, known.Error()) {
 			return fmt.Errorf("%s: %w", msg, known)

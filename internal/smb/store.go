@@ -51,6 +51,11 @@ type Stats struct {
 	BytesRead     int64
 	BytesWrite    int64
 	NotifyWakeups int64
+	// SeqDuplicates counts sequence-stamped accumulates acknowledged as
+	// already-applied duplicates (seq.go). Duplicates do not advance
+	// Accumulates, so Accumulates stays exactly the count of distinct
+	// logical pushes applied, however many times each was retried.
+	SeqDuplicates int64
 }
 
 // statCounters is the lock-free internal form of Stats: plain atomic adds
@@ -66,6 +71,7 @@ type statCounters struct {
 	bytesRead     atomic.Int64
 	bytesWrite    atomic.Int64
 	notifyWakeups atomic.Int64
+	seqDups       atomic.Int64
 }
 
 // chunkBytes is the lock-striping granularity of a segment: each chunk has
@@ -122,6 +128,9 @@ type Store struct {
 
 	// versions backs the update-notification API (notify.go).
 	versions *versionTable
+
+	// seqs backs the at-most-once accumulate dedup (seq.go).
+	seqs seqTable
 }
 
 // NewStore returns an empty segment store.
@@ -443,6 +452,7 @@ func (s *Store) Stats() Stats {
 		BytesRead:     s.stats.bytesRead.Load(),
 		BytesWrite:    s.stats.bytesWrite.Load(),
 		NotifyWakeups: s.stats.notifyWakeups.Load(),
+		SeqDuplicates: s.stats.seqDups.Load(),
 	}
 }
 
@@ -456,6 +466,7 @@ func (s *Store) ResetStats() {
 	s.stats.bytesRead.Store(0)
 	s.stats.bytesWrite.Store(0)
 	s.stats.notifyWakeups.Store(0)
+	s.stats.seqDups.Store(0)
 }
 
 // SegmentCount returns the number of live segments (the /healthz liveness

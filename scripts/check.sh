@@ -55,6 +55,8 @@ tier2() {
 	go test -run='TestWriteAccumulateTCP|TestChunkedInterleavedClients' -count=1 ./internal/smb
 	echo "== tier 2: telemetry smoke (2-worker -telemetry run) =="
 	telemetry_smoke
+	echo "== tier 2: fault-injection smoke (chaos server + reconnecting workers) =="
+	fault_smoke
 }
 
 # telemetry_smoke runs a short 2-worker shmtrain with the telemetry surface
@@ -106,6 +108,82 @@ telemetry_smoke() {
 	# The trace must parse and contain compute spans.
 	"$tmpdir/benchtables" -trace "$tmpdir/trace.json" | grep -q 'T4+T5'
 	echo "telemetry smoke: OK"
+}
+
+# clean_smoke removes whichever smoke tmpdirs exist; EXIT-trap safe under
+# set -u even when only one smoke ran.
+clean_smoke() {
+	[ -n "${tmpdir:-}" ] && rm -rf "$tmpdir"
+	[ -n "${tmpdir2:-}" ] && rm -rf "$tmpdir2"
+	:
+}
+
+# fault_smoke is the ISSUE's acceptance drill at process level: the in-repo
+# fault-injection tests first, then a real smbserver in chaos mode (seeded
+# connection drops + one crash/restart of the serving plane) with two
+# shmtrain worker processes training through it. Survival criteria: the
+# server logs the restart, both workers reconnect and run to completion.
+fault_smoke() {
+	go test -run 'TestFaultyTrainingRunAcceptance|TestMasterCrashSurvivorsReElect|TestHybridGroupShrinksPastFailedMember' -count=1 ./internal/core
+	go test -run 'TestSupervisedExactlyOnceUnderDrops|TestSupervisedReconnectAcrossRestart|TestWaitUpdateServerDiesMidWait' -count=1 ./internal/smb
+
+	tmpdir2="$(mktemp -d)"
+	trap 'clean_smoke' EXIT
+	go build -o "$tmpdir2/smbserver" ./cmd/smbserver
+	go build -o "$tmpdir2/shmtrain" ./cmd/shmtrain
+
+	"$tmpdir2/smbserver" -addr 127.0.0.1:0 -stats 0 \
+		-chaos-drop 0.005 -chaos-seed 11 \
+		-chaos-restart-after 500ms -chaos-down 250ms \
+		>"$tmpdir2/server.log" 2>&1 &
+	server_pid=$!
+
+	smb=""
+	for _ in $(seq 1 100); do
+		smb="$(sed -n 's/.*listening on tcp \([0-9.:]*\).*/\1/p' "$tmpdir2/server.log" | head -1)"
+		[ -n "$smb" ] && break
+		sleep 0.1
+	done
+	if [ -z "$smb" ]; then
+		echo "fault smoke: smbserver never reported its address" >&2
+		cat "$tmpdir2/server.log" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	"$tmpdir2/shmtrain" -rank 0 -world 2 -smb "$smb" -job faultdrill \
+		-epochs 150 -smb-timeout 5s -liveness-timeout 10s \
+		>"$tmpdir2/w0.log" 2>&1 &
+	w0_pid=$!
+	"$tmpdir2/shmtrain" -rank 1 -world 2 -smb "$smb" -job faultdrill \
+		-epochs 150 -smb-timeout 5s -liveness-timeout 10s \
+		>"$tmpdir2/w1.log" 2>&1 &
+	w1_pid=$!
+
+	fail=""
+	wait "$w0_pid" || fail="worker 0 exited nonzero"
+	wait "$w1_pid" || fail="worker 1 exited nonzero"
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+
+	if [ -n "$fail" ]; then
+		echo "fault smoke: $fail" >&2
+		tail -n 5 "$tmpdir2/w0.log" "$tmpdir2/w1.log" "$tmpdir2/server.log" >&2
+		return 1
+	fi
+	for r in 0 1; do
+		if ! grep -q "worker $r finished" "$tmpdir2/w$r.log"; then
+			echo "fault smoke: worker $r never reported completion" >&2
+			cat "$tmpdir2/w$r.log" >&2
+			return 1
+		fi
+	done
+	if ! grep -q 'chaos: serving plane restarted' "$tmpdir2/server.log"; then
+		echo "fault smoke: training finished before the chaos restart fired; nothing was proven" >&2
+		cat "$tmpdir2/server.log" >&2
+		return 1
+	fi
+	echo "fault smoke: OK (workers survived $(grep -c 'smb:' "$tmpdir2/server.log" || true) injected conn failures + 1 restart)"
 }
 
 case "$tier" in
