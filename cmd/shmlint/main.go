@@ -1,18 +1,26 @@
 // Command shmlint runs the project's static-analysis suite
-// (internal/lint) over module packages. It is tier 2 of the verify
-// pipeline (scripts/check.sh), next to go vet and go test -race: the
-// analyzers machine-check the concurrency and protocol conventions the
-// SMB/SEASGD core depends on — mutex-guarded field access, goroutine
-// lifetime, %w error wrapping, opcode dispatch exhaustiveness, and
-// deterministic numeric paths.
+// (internal/lint) over module packages. It is part of the tier-1 gate
+// (scripts/check.sh): the analyzers machine-check the concurrency and
+// protocol conventions the SMB/SEASGD core depends on — mutex-guarded
+// field access, goroutine lifetime, %w error wrapping, opcode dispatch
+// exhaustiveness, deterministic numeric paths, and (through the
+// cross-package summary engine) lock acquisition order, hot-path
+// allocation freedom, atomic/plain access mixing, and wire-protocol
+// opcode parity.
 //
 // Usage:
 //
-//	shmlint [-list] [-run name,name] [packages...]
+//	shmlint [-list] [-run name,name] [-baseline file] [-write-baseline]
+//	        [-sarif file] [packages...]
 //
 // Package patterns are module-relative ("./...", "./internal/smb", or
-// full import paths); the default is ./... . Exit status: 0 clean,
-// 1 findings, 2 usage or load error.
+// full import paths); the default is ./... . With -baseline, committed
+// findings are filtered out and only new ones fail the run; with
+// -write-baseline, the current findings are written to the baseline file
+// instead of failing. -sarif writes a SARIF 2.1.0 log of the (post-
+// baseline) findings to the given file, or stdout with "-".
+//
+// Exit status: 0 clean, 1 new findings, 2 usage or load error.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"shmcaffe/internal/lint"
@@ -37,7 +46,14 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	baselinePath := fs.String("baseline", "", "baseline file: committed findings that do not fail the run")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to -baseline instead of failing")
+	sarifPath := fs.String("sarif", "", "write SARIF 2.1.0 findings to this file (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "shmlint: -write-baseline requires -baseline")
 		return 2
 	}
 
@@ -78,28 +94,115 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := 0
+	// Package analyzers run per package; the summary-engine analyzers run
+	// once over the whole load afterwards.
+	var diags []lint.Diagnostic
+	var targets []*lint.Package
 	for _, pkgDir := range dirs {
 		pkg, err := loader.LoadDir(pkgDir)
 		if err != nil {
 			fmt.Fprintln(stderr, "shmlint:", err)
 			return 2
 		}
-		diags, err := lint.Run(pkg, analyzers)
+		targets = append(targets, pkg)
+		ds, err := lint.Run(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(stderr, "shmlint:", err)
 			return 2
 		}
-		for _, d := range diags {
-			if rel, err := filepath.Rel(loader.ModuleDir(), d.Pos.Filename); err == nil {
-				d.Pos.Filename = rel
-			}
-			fmt.Fprintln(stdout, d)
-			findings++
+		diags = append(diags, ds...)
+	}
+	prog := lint.BuildProgram(loader, targets)
+	ds, err := lint.RunOnProgram(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "shmlint:", err)
+		return 2
+	}
+	diags = append(diags, ds...)
+
+	// Normalize to module-relative forward-slash paths: what the text
+	// output prints, what the baseline keys on, what SARIF embeds.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleDir(), diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "shmlint: %d finding(s)\n", findings)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+
+	if *writeBaseline {
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "shmlint:", err)
+			return 2
+		}
+		werr := lint.NewBaseline(diags).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "shmlint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "shmlint: baseline %s written with %d finding(s)\n", *baselinePath, len(diags))
+		return 0
+	}
+
+	if *baselinePath != "" {
+		base, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "shmlint:", err)
+			return 2
+		}
+		diags = base.Filter(diags)
+	}
+
+	if *sarifPath != "" {
+		out := stdout
+		var f *os.File
+		if *sarifPath != "-" {
+			f, err = os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "shmlint:", err)
+				return 2
+			}
+			out = f
+		}
+		werr := lint.WriteSARIF(out, analyzers, diags)
+		if f != nil {
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "shmlint:", werr)
+			return 2
+		}
+	}
+
+	// With -sarif -, stdout carries the JSON log; keep it parseable by
+	// moving the text findings to stderr.
+	text := stdout
+	if *sarifPath == "-" {
+		text = stderr
+	}
+	for _, d := range diags {
+		fmt.Fprintln(text, d)
+	}
+	if len(diags) > 0 {
+		what := "finding(s)"
+		if *baselinePath != "" {
+			what = "new finding(s) not in baseline"
+		}
+		fmt.Fprintf(stderr, "shmlint: %d %s\n", len(diags), what)
 		return 1
 	}
 	return 0

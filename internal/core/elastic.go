@@ -45,6 +45,7 @@ func ApplyIncrementLocal(local, delta []float32) error {
 // twice — this is the T2 critical-path update, so the saved sweep is
 // exposed time on every exchange. delta may be the worker's pendingDelta
 // directly, eliminating the former T.A1 handoff copy.
+//shm:hotpath
 func FusedWeightStep(delta, local, global []float32, alpha float64) error {
 	if len(delta) != len(local) || len(local) != len(global) {
 		return fmt.Errorf("fused weight step lengths %d/%d/%d: %w",

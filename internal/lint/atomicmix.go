@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix flags fields and package variables accessed both through the
+// sync/atomic function API and with plain loads/stores. A plain access to
+// an atomically-updated word is a data race even when it "only reads a
+// stat counter" — the race detector misses it unless both sides run under
+// -race in the same test, which is exactly how the heartbeat-slot and
+// counter bugs of PRs 3/5 would slip in. The atomic.Int64-style wrapper
+// types make mixing impossible by construction and are the preferred fix;
+// this analyzer polices the remaining function-style uses program-wide.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "flag fields accessed both via sync/atomic and plainly",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pass *ProgramPass) error {
+	prog := pass.Prog
+	type uses struct {
+		atomic []token.Pos
+		plain  []FieldUse
+	}
+	byVar := make(map[*types.Var]*uses)
+	var order []*types.Var
+	for _, fi := range prog.FuncsInOrder() {
+		for _, fu := range fi.Sum.Fields {
+			u := byVar[fu.Obj]
+			if u == nil {
+				u = &uses{}
+				byVar[fu.Obj] = u
+				order = append(order, fu.Obj)
+			}
+			if fu.Atomic {
+				u.atomic = append(u.atomic, fu.Pos)
+			} else {
+				u.plain = append(u.plain, fu)
+			}
+		}
+	}
+	for _, v := range order {
+		u := byVar[v]
+		if len(u.atomic) == 0 || len(u.plain) == 0 {
+			continue
+		}
+		ap := prog.Fset.Position(u.atomic[0])
+		for _, p := range u.plain {
+			kind := "read"
+			if p.Write {
+				kind = "write"
+			}
+			pass.Reportf(p.Pos, "plain %s of %s, which is accessed atomically (%s:%d); every access must use sync/atomic",
+				kind, v.Name(), filepath.Base(ap.Filename), ap.Line)
+		}
+	}
+	return nil
+}

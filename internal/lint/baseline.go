@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed set of accepted findings: CI fails only on
+// findings not in it, so a new analyzer can land before every legacy
+// finding is fixed, without ratcheting backwards. Entries are keyed on
+// (analyzer, file, message) with an occurrence count — deliberately NOT on
+// line numbers, so unrelated edits that shift a finding up or down do not
+// break the build; adding a second identical finding in the same file
+// still does, because the count is exceeded.
+type Baseline struct {
+	// Entries maps baselineKey strings to accepted occurrence counts.
+	Entries map[string]int `json:"entries"`
+}
+
+// baselineKey renders a diagnostic's identity, line-number-free.
+func baselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s\x00%s\x00%s", d.Analyzer, d.Pos.Filename, d.Message)
+}
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{Entries: make(map[string]int)}
+	for _, d := range diags {
+		b.Entries[baselineKey(d)]++
+	}
+	return b
+}
+
+// Filter returns the findings not covered by the baseline, preserving
+// order. Each accepted entry absorbs up to its count of matching findings.
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	if b == nil || len(b.Entries) == 0 {
+		return diags
+	}
+	budget := make(map[string]int, len(b.Entries))
+	for k, n := range b.Entries {
+		budget[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// baselineFile is the on-disk shape: a sorted array, so diffs are stable
+// and reviewable.
+type baselineFile struct {
+	// Comment documents the file's purpose for people reading the diff.
+	Comment  string          `json:"comment"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+const baselineComment = "Accepted shmlint findings; CI fails only on findings not listed here. Regenerate with: go run ./cmd/shmlint -write-baseline -baseline <path> ./..."
+
+// Write renders the baseline deterministically.
+func (b *Baseline) Write(w io.Writer) error {
+	f := baselineFile{Comment: baselineComment, Findings: []baselineEntry{}}
+	for k, n := range b.Entries {
+		var e baselineEntry
+		parts := splitBaselineKey(k)
+		e.Analyzer, e.File, e.Message, e.Count = parts[0], parts[1], parts[2], n
+		f.Findings = append(f.Findings, e)
+	}
+	sort.Slice(f.Findings, func(i, j int) bool {
+		a, b := f.Findings[i], f.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+func splitBaselineKey(k string) [3]string {
+	var out [3]string
+	idx := 0
+	start := 0
+	for i := 0; i < len(k) && idx < 2; i++ {
+		if k[i] == '\x00' {
+			out[idx] = k[start:i]
+			start = i + 1
+			idx++
+		}
+	}
+	out[2] = k[start:]
+	return out
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty baseline,
+// so a repo without one simply fails on every finding.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{Entries: map[string]int{}}, nil
+		}
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{Entries: make(map[string]int, len(f.Findings))}
+	for _, e := range f.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.Entries[fmt.Sprintf("%s\x00%s\x00%s", e.Analyzer, e.File, e.Message)] += n
+	}
+	return b, nil
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the //shm:hotpath contract: a function carrying the
+// directive — and every module function it transitively calls — must not
+// allocate on the steady-state path. It is the static twin of the runtime
+// alloc-guard tests: those prove one exercised path was allocation-free,
+// this proves no path through the call tree allocates. The summary's
+// exemptions (error construction on a return path, cap-guarded grow-only
+// scratch, panic paths) encode the idioms the SMB data path deliberately
+// uses; calls that escape the module (interface methods, func values) are
+// invisible, a documented optimistic limit.
+var HotAlloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "forbid allocations in //shm:hotpath functions and their callees",
+	RunProgram: runHotAlloc,
+}
+
+func runHotAlloc(pass *ProgramPass) error {
+	prog := pass.Prog
+	reported := make(map[token.Pos]bool)
+	for _, root := range prog.FuncsInOrder() {
+		if !root.Sum.Hot {
+			continue
+		}
+		// BFS the call tree so a site reached through several roots is
+		// reported once, under the shortest chain from the first root.
+		type node struct {
+			fi    *FuncInfo
+			chain string
+		}
+		visited := map[*types.Func]bool{root.Obj: true}
+		queue := []node{{root, funcDisplayName(root.Obj)}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, a := range cur.fi.Sum.Allocs {
+				if a.Exempt != "" || reported[a.Pos] {
+					continue
+				}
+				reported[a.Pos] = true
+				pass.Reportf(a.Pos, "allocation on hot path %s: %s", cur.chain, a.What)
+			}
+			for _, cs := range cur.fi.Sum.Calls {
+				callee := prog.Funcs[cs.Callee]
+				if callee == nil || visited[cs.Callee] {
+					continue
+				}
+				visited[cs.Callee] = true
+				queue = append(queue, node{callee, cur.chain + " -> " + funcDisplayName(cs.Callee)})
+			}
+		}
+	}
+	return nil
+}

@@ -29,7 +29,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check run over a package.
+// Analyzer is one named check. Package analyzers (Run) inspect one
+// type-checked package at a time; program analyzers (RunProgram) consume
+// the cross-package summary engine (program.go) and run once over the
+// whole load — exactly one of the two is set.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used by -run selection and
 	// //lint:ignore directives.
@@ -37,11 +40,15 @@ type Analyzer struct {
 	// Doc is a one-line description shown by shmlint -list.
 	Doc string
 	// Run inspects the package behind pass and reports findings via
-	// pass.Reportf.
+	// pass.Reportf. Nil for program analyzers.
 	Run func(pass *Pass) error
+	// RunProgram inspects the whole-module Program behind pass. Nil for
+	// package analyzers.
+	RunProgram func(pass *ProgramPass) error
 }
 
-// All is the default analyzer suite, in execution order.
+// All is the default analyzer suite, in execution order (package analyzers
+// first, then the summary-engine program analyzers).
 var All = []*Analyzer{
 	GuardedBy,
 	GoLeak,
@@ -50,6 +57,10 @@ var All = []*Analyzer{
 	Determinism,
 	SpanPair,
 	NetDeadline,
+	LockOrder,
+	HotAlloc,
+	AtomicMix,
+	WireProto,
 }
 
 // Lookup returns the analyzer with the given name, or nil.
@@ -93,12 +104,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies the analyzers to pkg and returns the surviving diagnostics
-// (ignore directives applied), sorted by position.
+// ProgramPass carries one whole-module Program through one program
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the package analyzers to pkg and returns the surviving
+// diagnostics (ignore directives applied), sorted by position. Program
+// analyzers in the list are skipped; drive them through RunOnProgram.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	sup := collectSuppressions(pkg)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -115,6 +148,41 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunOnProgram applies the program analyzers to prog — once for the whole
+// load, not per package — and returns the surviving diagnostics, sorted.
+// Suppression directives from every package of the program apply, so a
+// //lint:ignore works wherever the diagnostic lands (a hot-path allocation
+// is reported in the callee's package, not the root's).
+func RunOnProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := &suppressions{}
+	for _, pkg := range prog.Pkgs {
+		sup.ranges = append(sup.ranges, collectSuppressions(pkg).ranges...)
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !sup.suppressed(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// sortDiagnostics orders findings by file, line, then analyzer name.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -123,9 +191,11 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out, nil
 }
 
 // suppressRange silences one analyzer between two lines of a file.

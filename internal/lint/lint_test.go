@@ -43,7 +43,32 @@ func runGolden(t *testing.T, a *Analyzer, name string) {
 	if err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
+	checkWants(t, pkg, diags)
+}
 
+// runGoldenProgram is runGolden for the summary-engine analyzers: the
+// fixture package becomes a one-target Program and the analyzer runs
+// through RunOnProgram, suppressions included.
+func runGoldenProgram(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	prog := BuildProgram(l, []*Package{pkg})
+	diags, err := RunOnProgram(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// checkWants compares diagnostics against the fixture's `// want`
+// annotations, analysistest-style.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	var err error
 	type key struct {
 		file string
 		line int
@@ -112,6 +137,11 @@ func TestNetDeadlineGolden(t *testing.T) {
 func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, determinismAnalyzer([]string{"testdata/src/determinism"}), "determinism")
 }
+
+func TestLockOrderGolden(t *testing.T) { runGoldenProgram(t, LockOrder, "lockorder") }
+func TestHotAllocGolden(t *testing.T)  { runGoldenProgram(t, HotAlloc, "hotalloc") }
+func TestAtomicMixGolden(t *testing.T) { runGoldenProgram(t, AtomicMix, "atomicmix") }
+func TestWireProtoGolden(t *testing.T) { runGoldenProgram(t, WireProto, "wireproto") }
 
 // TestDeterminismOutOfScope: the analyzer must stay silent outside its
 // configured packages even when the code uses global rand.

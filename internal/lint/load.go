@@ -140,6 +140,11 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
+// Loaded returns the already-loaded package with the given import path, or
+// nil. Dependencies pulled in through Import are memoized here too, which
+// is how BuildProgram finds summaries for packages a target only imports.
+func (l *Loader) Loaded(path string) *Package { return l.pkgs[path] }
+
 // LoadDir parses and type-checks the (non-test) package in dir.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)

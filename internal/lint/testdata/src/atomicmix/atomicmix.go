@@ -1,0 +1,40 @@
+// Package atomicmix is the golden corpus for the atomicmix analyzer: a
+// struct field and a package variable each updated through sync/atomic in
+// one function and read or written plainly in another — the cross-function
+// race the per-package analyzers could never connect.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	grace int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want `plain read of hits, which is accessed atomically`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `plain write of hits, which is accessed atomically`
+}
+
+// grace is only ever accessed plainly; consistent, so silent.
+func (c *counters) graceful() int64 {
+	c.grace++
+	return c.grace
+}
+
+var generation int64
+
+func bumpGen() {
+	atomic.AddInt64(&generation, 1)
+}
+
+func readGen() int64 {
+	return generation // want `plain read of generation, which is accessed atomically`
+}

@@ -1,0 +1,44 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer: a
+// //shm:hotpath root whose own body uses only the exempt idioms
+// (cap-guarded scratch, grow-only buffer append, error construction on a
+// return path) but calls a deliberately allocating helper, which must be
+// flagged transitively with the call chain in the message.
+package hotalloc
+
+import "fmt"
+
+type buffer struct {
+	scratch []byte
+	buf     []byte
+}
+
+//shm:hotpath
+func (b *buffer) hot(n int, data []byte) error {
+	if n < 0 {
+		return fmt.Errorf("negative size %d", n)
+	}
+	if cap(b.scratch) < n {
+		b.scratch = make([]byte, n)
+	}
+	b.scratch = b.scratch[:n]
+	b.buf = append(b.buf, data...)
+	b.leaky(n)
+	return nil
+}
+
+// leaky is reached from the hot root and allocates four distinct ways.
+func (b *buffer) leaky(n int) {
+	_ = make([]int, n)      // want `allocation on hot path \(\*buffer\)\.hot -> \(\*buffer\)\.leaky: make`
+	local := []int{1, 2, 3} // want `slice literal \[\]int`
+	_ = append(local, n)    // want `append may grow`
+	f := func() { _ = n }   // want `function literal \(closure\)`
+	f()
+	sink(n) // want `interface boxing of int`
+}
+
+func sink(v any) { _ = v }
+
+// cold is not reachable from any hot root: allocations are fine here.
+func cold() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,37 @@
+// Package wireproto is the golden corpus for the wireproto analyzer: an
+// opcode space with one constant missing its server-dispatch arm (the
+// hand-maintenance failure the analyzer exists for), one never encoded,
+// one duplicating a wire value, and a raw-literal case label. The phase
+// enum at the bottom is a control: switched on, but not a wire protocol.
+package wireproto
+
+type opcode byte
+
+const (
+	opPing   opcode = 1
+	opStore  opcode = 2
+	opDrop   opcode = 3 // want `opcode opDrop \(value 3\) has no dispatch arm in any switch over opcode`
+	opStatus opcode = 4 // want `opcode opStatus is never encoded: no call puts it on the wire`
+	opAlias  opcode = 2 // want `opcode opAlias reuses wire value 2 of opStore`
+)
+
+func dispatch(op opcode) {
+	switch op {
+	case opPing:
+	case opStore:
+	case opStatus:
+	case 9: // want `raw literal case in switch over opcode; use the named op\* constant`
+	}
+}
+
+func send(op opcode, payload []byte) {
+	_ = op
+	_ = payload
+}
+
+func client() {
+	send(opPing, nil)
+	send(opStore, nil)
+	send(opDrop, nil)
+	send(opAlias, nil)
+}

@@ -66,6 +66,7 @@ type WriteAccumulator interface {
 // Version bumps and the per-operation counters are deferred to
 // FinishWriteAccumulate so an N-chunk sequence counts as exactly one Write
 // plus one Accumulate; only the byte counters advance per chunk.
+//shm:hotpath
 func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
 	dseg, err := s.lookupHandle(dst)
 	if err != nil {
@@ -115,6 +116,7 @@ func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
 			// Accumulate, so mixed chunked/unfused traffic cannot deadlock).
 			if dseg.key < sseg.key {
 				waitNs += lockWait(&dseg.locks[ci], timed)
+				//lint:ignore lockorder second stripe of the same class is taken in segment-key order (dseg.key < sseg.key here, the mirror branch below), so concurrent pairs cannot cross
 				waitNs += lockWait(&sseg.locks[ci], timed)
 			} else {
 				waitNs += lockWait(&sseg.locks[ci], timed)
@@ -192,6 +194,7 @@ var writeAccPadding [writeAccPad]byte
 // final End round trip collects the sequence's status. Request staging uses
 // the client's grow-only scratch, so the steady-state path allocates
 // nothing.
+//shm:hotpath
 func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

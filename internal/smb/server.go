@@ -520,14 +520,19 @@ func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
 	return resp, nil
 }
 
+// knownRemoteErrors are the sentinel errors remoteError can reconstruct
+// from a wire message; hoisted so the error path shares one slice instead
+// of building it per reply.
+var knownRemoteErrors = []error{
+	ErrSegmentExists, ErrUnknownSegment, ErrUnknownHandle,
+	ErrOutOfRange, ErrSizeMismatch, ErrNotFloatAligned,
+	ErrWaitCanceled,
+}
+
 // remoteError reconstructs well-known errors from their messages so callers
 // can keep using errors.Is across the wire.
 func remoteError(msg string) error {
-	for _, known := range []error{
-		ErrSegmentExists, ErrUnknownSegment, ErrUnknownHandle,
-		ErrOutOfRange, ErrSizeMismatch, ErrNotFloatAligned,
-		ErrWaitCanceled,
-	} {
+	for _, known := range knownRemoteErrors {
 		if hasSuffix(msg, known.Error()) {
 			return fmt.Errorf("%s: %w", msg, known)
 		}
@@ -598,6 +603,7 @@ func (c *StreamClient) Free(key SHMKey) error {
 
 // Read implements Client. The response payload is copied into dst straight
 // from the connection scratch — no intermediate allocation.
+//shm:hotpath
 func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -621,6 +627,7 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 }
 
 // Write implements Client.
+//shm:hotpath
 func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -637,6 +644,7 @@ func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 }
 
 // Accumulate implements Client.
+//shm:hotpath
 func (c *StreamClient) Accumulate(dst, src Handle) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -249,6 +249,7 @@ func (s *Store) SegmentSize(h Handle) (int, error) {
 // the update, which is exactly the relaxed visibility the asynchronous
 // SEASGD read of Wg tolerates (paper Eq. 6: workers train on slightly
 // stale weights by design).
+//shm:hotpath
 func (s *Store) Read(h Handle, off int, dst []byte) error {
 	seg, err := s.lookupHandle(h)
 	if err != nil {
@@ -285,6 +286,7 @@ func (s *Store) Read(h Handle, off int, dst []byte) error {
 
 // Write copies src into the segment at off — the RDMA Write verb. Like
 // Read, the copy is atomic per stripe.
+//shm:hotpath
 func (s *Store) Write(h Handle, off int, src []byte) error {
 	seg, err := s.lookupHandle(h)
 	if err != nil {
@@ -346,6 +348,7 @@ var accScratchPool = sync.Pool{New: func() any { return new([]float32) }}
 //
 // Lock ordering: for each stripe the two locks are taken in segment-key
 // order, so crossed accumulates (A: X+=Y, B: Y+=X) cannot deadlock.
+//shm:hotpath
 func (s *Store) Accumulate(dst, src Handle) error {
 	dseg, err := s.lookupHandle(dst)
 	if err != nil {

@@ -44,6 +44,7 @@ func minLen3(a, b, c int) int {
 // each other. Each element is fully computed and stored before the next, so
 // the result is bitwise-identical to running WeightIncrement followed by
 // ApplyIncrementLocal on disjoint operands.
+//shm:hotpath
 func FusedElasticStep(alpha float32, delta, local, global []float32) {
 	n := minLen3(len(delta), len(local), len(global))
 	i := 0
@@ -108,6 +109,7 @@ func fusedElasticStepScalar(alpha float32, delta, local, global []float32) {
 // delta, local and global must be pairwise non-aliasing. This is the fused
 // form of core.ElasticExchange, used by the in-process parameter server
 // where the global vector lives in the same address space.
+//shm:hotpath
 func FusedElasticExchange(alpha float32, delta, local, global []float32) {
 	n := minLen3(len(delta), len(local), len(global))
 	i := 0
@@ -177,6 +179,7 @@ func fusedElasticExchangeScalar(alpha float32, delta, local, global []float32) {
 // (same backing array and offset): each element is read and written before
 // the next, matching the scalar loop bit for bit. Partially overlapping
 // views are not supported.
+//shm:hotpath
 func FusedAxpyCopy(alpha float32, x, y, dst []float32) {
 	n := minLen3(len(x), len(y), len(dst))
 	i := 0

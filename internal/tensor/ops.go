@@ -21,6 +21,7 @@ func Axpy(alpha float32, x, y *Tensor) error {
 // float32 slices, not tensors. The body is unrolled fusedLanes wide (see
 // fused.go); element order matches AxpySliceScalar exactly, so y may alias
 // x (same backing array and offset) with identical results.
+//shm:hotpath
 func AxpySlice(alpha float32, x, y []float32) {
 	n := len(x)
 	if len(y) < n {

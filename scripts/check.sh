@@ -1,13 +1,14 @@
 #!/bin/sh
 # check.sh — the repo's verification gate, in two tiers.
 #
-#   Tier 1 (correctness): build + full test suite. Must always pass;
-#   CI and the growth driver treat a tier-1 failure as a broken tree.
+#   Tier 1 (correctness): build + full test suite + shmlint against the
+#   committed baseline (.shmlint-baseline.json — only NEW findings fail).
+#   Must always pass; CI and the growth driver treat a tier-1 failure as
+#   a broken tree.
 #
-#   Tier 2 (analysis): go vet, the project-specific shmlint analyzers,
-#   the -race stress suite over the concurrency core, and a short
-#   deterministic smoke run of every fuzz target (replays testdata/fuzz
-#   corpora plus 100 fresh execs each).
+#   Tier 2 (analysis): go vet, the -race stress suite over the
+#   concurrency core, and a short deterministic smoke run of every fuzz
+#   target (replays testdata/fuzz corpora plus 100 fresh execs each).
 #
 # Usage: scripts/check.sh [tier1|tier2|all]   (default: all)
 set -eu
@@ -21,13 +22,13 @@ tier1() {
 	go build ./...
 	echo "== tier 1: tests =="
 	go test ./...
+	echo "== tier 1: shmlint (baseline-aware) =="
+	go run ./cmd/shmlint -baseline .shmlint-baseline.json ./...
 }
 
 tier2() {
 	echo "== tier 2: go vet =="
 	go vet ./...
-	echo "== tier 2: shmlint =="
-	go run ./cmd/shmlint ./...
 	echo "== tier 2: race stress (smb, ps, core, rds, telemetry) =="
 	go test -race ./internal/smb ./internal/ps ./internal/core ./internal/rds ./internal/telemetry
 	echo "== tier 2: fuzz smoke (100 execs per target) =="
