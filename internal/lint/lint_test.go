@@ -143,6 +143,38 @@ func TestHotAllocGolden(t *testing.T)  { runGoldenProgram(t, HotAlloc, "hotalloc
 func TestAtomicMixGolden(t *testing.T) { runGoldenProgram(t, AtomicMix, "atomicmix") }
 func TestWireProtoGolden(t *testing.T) { runGoldenProgram(t, WireProto, "wireproto") }
 
+// TestAsmBackedSummaries: body-less (assembly-backed) declarations stay in
+// the program as AsmBacked leaves with empty fact sets, rather than being
+// dropped at the module boundary like stdlib callees.
+func TestAsmBackedSummaries(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "hotalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := BuildProgram(l, []*Package{pkg})
+	found := map[string]*Summary{}
+	for _, fi := range prog.FuncsInOrder() {
+		if fi.Sum.AsmBacked {
+			if fi.Decl.Body != nil {
+				t.Errorf("%s marked AsmBacked but has a body", fi.Obj.Name())
+			}
+			found[fi.Obj.Name()] = fi.Sum
+		}
+	}
+	sum := found["asmAxpy"]
+	if sum == nil {
+		t.Fatalf("asmAxpy not summarized as AsmBacked; got %v", found)
+	}
+	if len(sum.Allocs) != 0 || len(sum.Locks) != 0 || len(sum.Calls) != 0 {
+		t.Errorf("asmAxpy summary not empty: %+v", sum)
+	}
+	hot := found["hotAsmKernel"]
+	if hot == nil || !hot.Hot {
+		t.Fatalf("hotAsmKernel: want AsmBacked summary with Hot=true, got %+v", hot)
+	}
+}
+
 // TestDeterminismOutOfScope: the analyzer must stay silent outside its
 // configured packages even when the code uses global rand.
 func TestDeterminismOutOfScope(t *testing.T) {

@@ -76,9 +76,13 @@ func BuildProgram(l *Loader, targets []*Package) *Program {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
+				if !ok {
 					continue
 				}
+				// Body-less declarations (assembly-backed kernels) stay in
+				// the program: summarize marks them AsmBacked with an empty
+				// fact set, so call chains through them resolve instead of
+				// silently falling off the module boundary.
 				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
 				if !ok {
 					continue

@@ -16,6 +16,13 @@ type Summary struct {
 	// the module must be allocation-free on the steady-state path.
 	Hot bool
 
+	// AsmBacked marks a body-less declaration implemented in assembly (or
+	// provided by the linker). Its summary is empty by construction — Go
+	// assembly cannot heap-allocate or take a sync lock without calling
+	// back into Go — so the engine treats it as a verified leaf: hotalloc
+	// traverses through it without flagging, lockorder sees no events.
+	AsmBacked bool
+
 	// Locks is the in-order stream of lock acquisitions, releases, and
 	// calls, the input to the lockorder simulation.
 	Locks []LockEvent
@@ -162,6 +169,12 @@ func summarize(fi *FuncInfo) *Summary {
 				s.sum.Hot = true
 			}
 		}
+	}
+	if fi.Decl.Body == nil {
+		// Assembly-backed (or linker-provided) declaration: no AST to walk.
+		// The empty summary is the correct model, not a gap — see AsmBacked.
+		s.sum.AsmBacked = true
+		return s.sum
 	}
 	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
 		if n == nil {

@@ -22,9 +22,24 @@ func (b *buffer) hot(n int, data []byte) error {
 	}
 	b.scratch = b.scratch[:n]
 	b.buf = append(b.buf, data...)
+	asmAxpy(1, data, b.scratch)
 	b.leaky(n)
 	return nil
 }
+
+// asmAxpy is a body-less declaration backed by assembly. The summary engine
+// must keep it in the program as an AsmBacked leaf — no crash on the nil
+// body, no diagnostic for the call above (assembly cannot heap-allocate),
+// and no silent drop that would hide it from the call graph.
+//
+//go:noescape
+func asmAxpy(alpha float32, x, y []byte)
+
+// hotAsmKernel is an assembly-backed hot root: the directive is legal on a
+// body-less declaration and its empty summary yields no findings.
+//
+//shm:hotpath
+func hotAsmKernel(x, y []byte)
 
 // leaky is reached from the hot root and allocates four distinct ways.
 func (b *buffer) leaky(n int) {

@@ -47,11 +47,12 @@ func (t task) run() {
 	t.done.Done()
 }
 
-// joinPool recycles the per-For join state. A WaitGroup is reusable once
-// Wait has returned, so pooling it removes the one heap allocation a
+// joinFree recycles the per-For join state. A WaitGroup is reusable once
+// Wait has returned, so recycling it removes the one heap allocation a
 // dispatching For call used to pay (the WaitGroup escaped through the task
-// channel).
-var joinPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+// channel). It is a Freelist rather than a sync.Pool so the zero-alloc
+// dispatch contract survives GC cycles (see freelist.go).
+var joinFree = NewFreelist[sync.WaitGroup](16)
 
 // Pool is a fixed-width worker pool. The zero value is not usable; call
 // NewPool. A Pool of width w runs at most w ranges concurrently: w-1
@@ -165,9 +166,9 @@ func runRange(fn func(lo, hi int), r Ranger, lo, hi int) {
 }
 
 // dispatch fans ranges of [0, n) out across the pool and joins them. The
-// join state comes from joinPool so a dispatching call allocates nothing.
+// join state comes from joinFree so a dispatching call allocates nothing.
 func (p *Pool) dispatch(n, chunk int, fn func(lo, hi int), r Ranger) {
-	done := joinPool.Get().(*sync.WaitGroup)
+	done := joinFree.Get()
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi >= n {
@@ -198,7 +199,7 @@ func (p *Pool) dispatch(n, chunk int, fn func(lo, hi int), r Ranger) {
 		break
 	}
 	done.Wait()
-	joinPool.Put(done)
+	joinFree.Put(done)
 }
 
 var (

@@ -49,11 +49,11 @@ func Im2Col(img []float32, c, h, w int, p ConvParams, col []float32) {
 	oh, ow := p.OutSize(h, w)
 	perChannel := p.KernelH * p.KernelW * oh * ow
 	if c > 1 && perChannel*c >= convParallelWork {
-		r := im2colRangerPool.Get().(*im2colRanger)
+		r := im2colRangerFree.Get()
 		*r = im2colRanger{img: img, col: col, h: h, w: w, oh: oh, ow: ow, p: p}
 		parallel.ForRanger(c, 1, r)
 		*r = im2colRanger{}
-		im2colRangerPool.Put(r)
+		im2colRangerFree.Put(r)
 		return
 	}
 	im2ColChannels(img, 0, c, h, w, oh, ow, p, col)
@@ -93,11 +93,11 @@ func Col2Im(col []float32, c, h, w int, p ConvParams, img []float32) {
 	oh, ow := p.OutSize(h, w)
 	perChannel := p.KernelH * p.KernelW * oh * ow
 	if c > 1 && perChannel*c >= convParallelWork {
-		r := col2imRangerPool.Get().(*col2imRanger)
+		r := col2imRangerFree.Get()
 		*r = col2imRanger{col: col, img: img, h: h, w: w, oh: oh, ow: ow, p: p}
 		parallel.ForRanger(c, 1, r)
 		*r = col2imRanger{}
-		col2imRangerPool.Put(r)
+		col2imRangerFree.Put(r)
 		return
 	}
 	col2ImChannels(col, 0, c, h, w, oh, ow, p, img)

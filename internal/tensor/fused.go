@@ -43,9 +43,17 @@ func minLen3(a, b, c int) int {
 // delta must not alias local or global; local and global must not alias
 // each other. Each element is fully computed and stored before the next, so
 // the result is bitwise-identical to running WeightIncrement followed by
-// ApplyIncrementLocal on disjoint operands.
+// ApplyIncrementLocal on disjoint operands — on both the portable and the
+// SIMD backend (the AVX2 kernel evaluates the identical expression tree
+// per element; see internal/tensor/simd).
 //shm:hotpath
 func FusedElasticStep(alpha float32, delta, local, global []float32) {
+	fusedElasticStepImpl(alpha, delta, local, global)
+}
+
+// fusedElasticStepUnrolled is the portable FusedElasticStep kernel and
+// the dispatch default.
+func fusedElasticStepUnrolled(alpha float32, delta, local, global []float32) {
 	n := minLen3(len(delta), len(local), len(global))
 	i := 0
 	for ; i+fusedLanes <= n; i += fusedLanes {
@@ -111,6 +119,12 @@ func fusedElasticStepScalar(alpha float32, delta, local, global []float32) {
 // where the global vector lives in the same address space.
 //shm:hotpath
 func FusedElasticExchange(alpha float32, delta, local, global []float32) {
+	fusedElasticExchangeImpl(alpha, delta, local, global)
+}
+
+// fusedElasticExchangeUnrolled is the portable FusedElasticExchange
+// kernel and the dispatch default.
+func fusedElasticExchangeUnrolled(alpha float32, delta, local, global []float32) {
 	n := minLen3(len(delta), len(local), len(global))
 	i := 0
 	for ; i+fusedLanes <= n; i += fusedLanes {
@@ -177,10 +191,26 @@ func fusedElasticExchangeScalar(alpha float32, delta, local, global []float32) {
 // clone-then-axpy pattern (dst := y.Clone(); Axpy(alpha, x, dst)) into a
 // single traversal with no intermediate copy. dst may alias y or x exactly
 // (same backing array and offset): each element is read and written before
-// the next, matching the scalar loop bit for bit. Partially overlapping
-// views are not supported.
+// the next. Partially overlapping views are not supported.
+//
+// Numerical policy: this is the one dispatched kernel that is NOT
+// bitwise-identical across backends. The AVX2 backend contracts the
+// multiply-add into a single FMA rounding, so results are correctly
+// rounded (within 1 ULP of the exact y + alpha*x, and at most 1 ULP from
+// the portable two-rounding body). With alpha == ±1 or either operand
+// zero the contraction is exact and the backends agree bit for bit —
+// which covers every current production call site (compose/dense use
+// alpha=1). Runs needing cross-backend bitwise reproducibility at other
+// alphas set SHMCAFFE_NOSIMD. See DESIGN.md §14.
 //shm:hotpath
 func FusedAxpyCopy(alpha float32, x, y, dst []float32) {
+	fusedAxpyCopyImpl(alpha, x, y, dst)
+}
+
+// fusedAxpyCopyUnrolled is the portable FusedAxpyCopy kernel and the
+// dispatch default: two roundings per element (mul, then add), which is
+// the reference the bitwise tests pin when the SIMD backend is off.
+func fusedAxpyCopyUnrolled(alpha float32, x, y, dst []float32) {
 	n := minLen3(len(x), len(y), len(dst))
 	i := 0
 	for ; i+fusedLanes <= n; i += fusedLanes {

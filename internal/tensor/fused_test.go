@@ -42,6 +42,46 @@ func unaligned(data []float32, off, n int) []float32 {
 	return data[off : off+n]
 }
 
+// fmaRef64 computes the FusedAxpyCopy float64 reference: the float32
+// operands convert and multiply exactly in float64, so each element is a
+// single 53-bit rounding of the mathematically exact y + alpha*x —
+// within half a float32 ULP of the true value after the final
+// conversion. The FMA-contracted kernel is compared against this, not
+// against the two-rounding scalar body (whose distance from the FMA
+// result is unbounded under cancellation).
+func fmaRef64(alpha float32, x, y []float32) []float32 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	ref := make([]float32, n)
+	for i := range ref {
+		ref[i] = float32(float64(y[i]) + float64(alpha)*float64(x[i]))
+	}
+	return ref
+}
+
+// assertWithin1ULP checks the contracted kernel output against fmaRef64:
+// both are correctly rounded, so they sit at most one representable value
+// apart. Same-signed overflow (one side MaxFloat32, the other Inf, which
+// double rounding through float64 can produce at the overflow threshold)
+// also passes.
+func assertWithin1ULP(t *testing.T, tag string, got, ref []float32) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: length %d vs %d", tag, len(got), len(ref))
+	}
+	for i := range ref {
+		if d := ulpDistance32(got[i], ref[i]); d > 1 {
+			g, r := float64(got[i]), float64(ref[i])
+			if math.Abs(g) >= math.MaxFloat32 && math.Abs(r) >= math.MaxFloat32 && math.Signbit(g) == math.Signbit(r) {
+				continue
+			}
+			t.Fatalf("%s: element %d: got %v, float64 ref %v (%.1f ULPs)", tag, i, got[i], ref[i], d)
+		}
+	}
+}
+
 func TestFusedElasticStepMatchesScalar(t *testing.T) {
 	for _, n := range fusedSizes {
 		for _, alpha := range fusedAlphas {
@@ -129,12 +169,23 @@ func TestFusedAxpyCopyMatchesScalar(t *testing.T) {
 				fillPattern(x, 8)
 				fillPattern(y, 9)
 				want := make([]float32, off+n)
-				copy(want, dst)
+				fallback := make([]float32, off+n)
 
 				FusedAxpyCopy(alpha, unaligned(x, off, n), unaligned(y, off, n), unaligned(dst, off, n))
 				fusedAxpyCopyScalar(alpha, unaligned(x, off, n), unaligned(y, off, n), unaligned(want, off, n))
+				fusedAxpyCopyUnrolled(alpha, unaligned(x, off, n), unaligned(y, off, n), unaligned(fallback, off, n))
 
-				if !bitsEqual(dst, want) {
+				// The portable body is bitwise against the scalar loop in
+				// every build; the dispatched kernel is too unless it is
+				// FMA-contracted, in which case it must instead sit within
+				// 1 ULP of the float64 reference.
+				if !bitsEqual(fallback, want) {
+					t.Fatalf("fusedAxpyCopyUnrolled n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
+				}
+				if SimdEnabled() {
+					ref := fmaRef64(alpha, unaligned(x, off, n), unaligned(y, off, n))
+					assertWithin1ULP(t, "FusedAxpyCopy(fma)", unaligned(dst, off, n), ref)
+				} else if !bitsEqual(dst, want) {
 					t.Fatalf("FusedAxpyCopy n=%d alpha=%v off=%d diverges from scalar", n, alpha, off)
 				}
 			}
@@ -154,10 +205,13 @@ func TestFusedAxpyCopyAliased(t *testing.T) {
 		y := make([]float32, n)
 		fillPattern(x, 10)
 		fillPattern(y, 11)
+		ref := fmaRef64(alpha, x, y) // from pre-aliasing state
 		want := cloneSlice(y)
 		fusedAxpyCopyScalar(alpha, x, want, want)
 		FusedAxpyCopy(alpha, x, y, y)
-		if !bitsEqual(y, want) {
+		if SimdEnabled() {
+			assertWithin1ULP(t, "FusedAxpyCopy(fma) dst==y", y, ref)
+		} else if !bitsEqual(y, want) {
 			t.Fatalf("FusedAxpyCopy dst==y n=%d diverges from scalar", n)
 		}
 
@@ -166,11 +220,27 @@ func TestFusedAxpyCopyAliased(t *testing.T) {
 		y2 := make([]float32, n)
 		fillPattern(x2, 12)
 		fillPattern(y2, 13)
+		ref2 := fmaRef64(alpha, x2, y2)
 		want2 := cloneSlice(x2)
 		fusedAxpyCopyScalar(alpha, want2, y2, want2)
 		FusedAxpyCopy(alpha, x2, y2, x2)
-		if !bitsEqual(x2, want2) {
+		if SimdEnabled() {
+			assertWithin1ULP(t, "FusedAxpyCopy(fma) dst==x", x2, ref2)
+		} else if !bitsEqual(x2, want2) {
 			t.Fatalf("FusedAxpyCopy dst==x n=%d diverges from scalar", n)
+		}
+
+		// alpha==1 contracts exactly, so the aliased forms the Residual
+		// layers actually use stay bitwise-identical on every backend.
+		x3 := make([]float32, n)
+		y3 := make([]float32, n)
+		fillPattern(x3, 10)
+		fillPattern(y3, 11)
+		want3 := cloneSlice(y3)
+		fusedAxpyCopyScalar(1, x3, want3, want3)
+		FusedAxpyCopy(1, x3, y3, y3)
+		if !bitsEqual(y3, want3) {
+			t.Fatalf("FusedAxpyCopy alpha=1 dst==y n=%d diverges from scalar", n)
 		}
 	}
 }
@@ -236,8 +306,12 @@ func TestFusedKernelsSpecialValues(t *testing.T) {
 	}
 }
 
-// FuzzFusedKernels drives every fused/unrolled kernel against its scalar
-// reference with fuzz-chosen lengths, offsets and bit patterns.
+// FuzzFusedKernels drives every fused kernel through the dispatcher AND
+// through the portable unrolled fallback against the scalar references
+// with fuzz-chosen lengths, offsets and bit patterns. On an AVX2 host the
+// dispatched path is the assembly, so one fuzz run cross-checks the
+// dispatched and `noasm` implementations against the same reference; the
+// FMA-contracted FusedAxpyCopy is instead held to the float64 reference.
 func FuzzFusedKernels(f *testing.F) {
 	f.Add(uint16(8), uint8(0), uint32(0x3f000000), int64(1))
 	f.Add(uint16(17), uint8(3), uint32(0x3f800000), int64(42))
@@ -257,28 +331,57 @@ func FuzzFusedKernels(f *testing.F) {
 		wantGlobal := cloneSlice(global)
 		wantDelta := cloneSlice(delta)
 
+		// Fallback copies: the portable unrolled kernels run on identical
+		// inputs so the noasm path is fuzzed in the same breath.
+		fbLocal := cloneSlice(local)
+		fbGlobal := cloneSlice(global)
+		fbDelta := cloneSlice(delta)
+
 		FusedElasticStep(alpha, delta[off:], local[off:], global[off:])
 		fusedElasticStepScalar(alpha, wantDelta[off:], wantLocal[off:], wantGlobal[off:])
+		fusedElasticStepUnrolled(alpha, fbDelta[off:], fbLocal[off:], fbGlobal[off:])
 		if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) {
 			t.Fatalf("FusedElasticStep n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+		if !bitsEqual(fbDelta, wantDelta) || !bitsEqual(fbLocal, wantLocal) {
+			t.Fatalf("fusedElasticStepUnrolled n=%d off=%d alpha=%x diverges", n, off, alphaBits)
 		}
 
 		FusedElasticExchange(alpha, delta[off:], local[off:], global[off:])
 		fusedElasticExchangeScalar(alpha, wantDelta[off:], wantLocal[off:], wantGlobal[off:])
+		fusedElasticExchangeUnrolled(alpha, fbDelta[off:], fbLocal[off:], fbGlobal[off:])
 		if !bitsEqual(delta, wantDelta) || !bitsEqual(local, wantLocal) || !bitsEqual(global, wantGlobal) {
 			t.Fatalf("FusedElasticExchange n=%d off=%d alpha=%x diverges", n, off, alphaBits)
 		}
+		if !bitsEqual(fbDelta, wantDelta) || !bitsEqual(fbLocal, wantLocal) || !bitsEqual(fbGlobal, wantGlobal) {
+			t.Fatalf("fusedElasticExchangeUnrolled n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
 
+		ref := fmaRef64(alpha, wantLocal[off:], wantGlobal[off:])
 		FusedAxpyCopy(alpha, local[off:], global[off:], delta[off:])
 		fusedAxpyCopyScalar(alpha, wantLocal[off:], wantGlobal[off:], wantDelta[off:])
-		if !bitsEqual(delta, wantDelta) {
+		fusedAxpyCopyUnrolled(alpha, fbLocal[off:], fbGlobal[off:], fbDelta[off:])
+		if !bitsEqual(fbDelta, wantDelta) {
+			t.Fatalf("fusedAxpyCopyUnrolled n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+		if SimdEnabled() {
+			assertWithin1ULP(t, "FusedAxpyCopy(fma)", delta[off:], ref)
+			// Resync: the contracted delta may sit 1 ULP off the scalar
+			// one, and delta feeds the next kernel as an input.
+			copy(delta, wantDelta)
+		} else if !bitsEqual(delta, wantDelta) {
 			t.Fatalf("FusedAxpyCopy n=%d off=%d alpha=%x diverges", n, off, alphaBits)
 		}
 
+		copy(fbLocal, local)
 		AxpySlice(alpha, delta[off:], local[off:])
 		AxpySliceScalar(alpha, wantDelta[off:], wantLocal[off:])
+		axpySliceUnrolled(alpha, wantDelta[off:], fbLocal[off:])
 		if !bitsEqual(local, wantLocal) {
 			t.Fatalf("AxpySlice n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+		if !bitsEqual(fbLocal, wantLocal) {
+			t.Fatalf("axpySliceUnrolled n=%d off=%d alpha=%x diverges", n, off, alphaBits)
 		}
 	})
 }

@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"sync"
 
 	"shmcaffe/internal/parallel"
 )
@@ -35,20 +34,27 @@ const (
 	gemmBlockJ = 256
 	// gemmRowGrain is the minimum C-row count per parallel range.
 	gemmRowGrain = 8
+	// gemmSimdPackFlops is the m·n·k threshold for the transposed-A path
+	// when the SIMD microkernel is live: the blocked kernel then beats the
+	// scalar reference from ~16³ up at every pool width (measured on
+	// avx2+fma at widths 1 and 4), but below that the per-range pack of
+	// the aᵀ strip costs more than the microkernel recovers.
+	gemmSimdPackFlops = 1 << 12
 )
 
-// packPool recycles the scratch panels the transposed-A path packs into.
-var packPool = sync.Pool{New: func() any { return new([]float32) }}
+// packFree recycles the scratch panels the transposed-A path packs into
+// (a Freelist so panels survive GC; see parallel.Freelist).
+var packFree = parallel.NewFreelist[[]float32](8)
 
 func getPack(n int) ([]float32, *[]float32) {
-	p := packPool.Get().(*[]float32)
+	p := packFree.Get()
 	if cap(*p) < n {
 		*p = make([]float32, n)
 	}
 	return (*p)[:n], p
 }
 
-func putPack(p *[]float32) { packPool.Put(p) }
+func putPack(p *[]float32) { packFree.Put(p) }
 
 // MatMul computes dst = a × b for 2-D tensors: a is (m×k), b is (k×n),
 // dst is (m×n). dst must be preallocated; it is overwritten.
@@ -66,11 +72,36 @@ func MatMul(a, b, dst *Tensor) error {
 	return nil
 }
 
-// useParallelGemm reports whether the blocked parallel kernel should run:
-// the problem must carry enough flops to amortise dispatch, and the pool
-// must actually have more than one lane (on a single-core machine the
-// blocked kernel can only lose to the scalar reference).
+// useParallelGemm reports whether the blocked parallel kernel should run
+// for a plain gemm. With the SIMD microkernel live the blocked kernel
+// wins at every measured size and pool width — 2.6–7.5x from 8³ to 128³
+// at widths 1 and 4 — so it is unconditional; tiny problems stay a single
+// inline range anyway (gemmRowGrain caps the partition). On the portable
+// backend the old rule holds: enough flops to amortise dispatch, and a
+// pool that actually has more than one lane (on a single-core machine the
+// portable blocked kernel can only lose to the scalar reference).
 func useParallelGemm(flops int) bool {
+	if gemmInner4 != nil {
+		return true
+	}
+	return flops >= gemmParallelFlops && parallel.DefaultWidth() > 1
+}
+
+// useParallelTransA is useParallelGemm for the aᵀ×b path, which pays an
+// extra per-range pack of the A strip: with SIMD the crossover sits near
+// 16³ flops instead of zero.
+func useParallelTransA(flops int) bool {
+	if gemmInner4 != nil {
+		return flops >= gemmSimdPackFlops
+	}
+	return flops >= gemmParallelFlops && parallel.DefaultWidth() > 1
+}
+
+// useParallelTransB is useParallelGemm for the a×bᵀ path. Its range
+// kernel is the sequential-dot scalar loop (the horizontal reduction
+// cannot be vectorised without changing the accumulation order), so the
+// SIMD backend changes nothing here and the portable rule always applies.
+func useParallelTransB(flops int) bool {
 	return flops >= gemmParallelFlops && parallel.DefaultWidth() > 1
 }
 
@@ -89,11 +120,11 @@ func gemm(m, n, k int, a, b, c []float32) {
 // operands travel in a pooled Ranger struct so the dispatch allocates
 // nothing (see rangers.go).
 func gemmParallel(m, n, k int, a, b, c []float32) {
-	g := gemmRangerPool.Get().(*gemmRanger)
+	g := gemmRangerFree.Get()
 	*g = gemmRanger{a: a, b: b, c: c, k: k, n: n}
 	parallel.ForRanger(m, gemmRowGrain, g)
 	*g = gemmRanger{}
-	gemmRangerPool.Put(g)
+	gemmRangerFree.Put(g)
 }
 
 // gemmScalar is the seed's original kernel: k-outer with a row-broadcast
@@ -140,7 +171,25 @@ func gemmRows(aRows, b, cRows []float32, rows, k, n int) {
 			for i := 0; i < rows; i++ {
 				arow := aRows[i*k+kb : i*k+kend]
 				crow := cRows[i*n+jb : i*n+jend]
-				for l, av := range arow {
+				l := 0
+				if gemmInner4 != nil {
+					// SIMD quad path: four k-steps per call. The microkernel
+					// accumulates the four products per element in l-order
+					// with separate mul+add roundings, so the result stays
+					// bitwise-equal to the scalar kernel for finite B. A
+					// zero A lane contributes ±0 instead of being skipped,
+					// which is also bitwise-neutral on finite data (c is
+					// never -0 mid-accumulation); all-zero quads are
+					// skipped outright for the sparse case.
+					for ; l+4 <= len(arow); l += 4 {
+						if arow[l] == 0 && arow[l+1] == 0 && arow[l+2] == 0 && arow[l+3] == 0 {
+							continue
+						}
+						gemmInner4(&arow[l], &b[(kb+l)*n+jb], n, &crow[0], len(crow))
+					}
+				}
+				for ; l < len(arow); l++ {
+					av := arow[l]
 					if av == 0 {
 						continue
 					}
@@ -186,7 +235,7 @@ func MatMulTransA(a, b, dst *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTransA: %w", ErrShapeMismatch)
 	}
-	if !useParallelGemm(m * n * k) {
+	if !useParallelTransA(m * n * k) {
 		gemmTransAScalar(m, n, k, a.data, b.data, dst.data)
 		return nil
 	}
@@ -198,11 +247,11 @@ func MatMulTransA(a, b, dst *Tensor) error {
 // (rows lo..hi of the logical m×k matrix, read column-wise from a) into a
 // contiguous pooled panel so the row kernel streams it like plain gemm.
 func gemmTransAParallel(m, n, k int, a, b, c []float32) {
-	g := transARangerPool.Get().(*transARanger)
+	g := transARangerFree.Get()
 	*g = transARanger{a: a, b: b, c: c, m: m, k: k, n: n}
 	parallel.ForRanger(m, gemmRowGrain, g)
 	*g = transARanger{}
-	transARangerPool.Put(g)
+	transARangerFree.Put(g)
 }
 
 // gemmTransAScalar is the seed's original aᵀ×b kernel (reference).
@@ -235,7 +284,7 @@ func MatMulTransB(a, b, dst *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("tensor: matmulTransB: %w", ErrShapeMismatch)
 	}
-	if !useParallelGemm(m * n * k) {
+	if !useParallelTransB(m * n * k) {
 		gemmTransBScalar(m, n, k, a.data, b.data, dst.data)
 		return nil
 	}
@@ -246,11 +295,11 @@ func MatMulTransB(a, b, dst *Tensor) error {
 // gemmTransBParallel partitions C rows; both operands already stream
 // row-contiguously, so the scalar kernel doubles as the range kernel.
 func gemmTransBParallel(m, n, k int, a, b, c []float32) {
-	g := transBRangerPool.Get().(*transBRanger)
+	g := transBRangerFree.Get()
 	*g = transBRanger{a: a, b: b, c: c, k: k, n: n}
 	parallel.ForRanger(m, gemmRowGrain, g)
 	*g = transBRanger{}
-	transBRangerPool.Put(g)
+	transBRangerFree.Put(g)
 }
 
 // gemmTransBScalar is the seed's original a×bᵀ kernel (reference). Both

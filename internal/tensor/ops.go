@@ -18,11 +18,24 @@ func Axpy(alpha float32, x, y *Tensor) error {
 
 // AxpySlice computes y += alpha*x elementwise over raw slices.
 // It is exported because the SMB accumulate path operates on byte-decoded
-// float32 slices, not tensors. The body is unrolled fusedLanes wide (see
-// fused.go); element order matches AxpySliceScalar exactly, so y may alias
-// x (same backing array and offset) with identical results.
+// float32 slices, not tensors. It dispatches through the kernel pointers
+// in dispatch.go; element order matches AxpySliceScalar exactly, so y may
+// alias x (same backing array and offset) with identical results. The
+// alpha==1 case — the SMB accumulate loop — routes to the plain add
+// kernel, which is bitwise-identical (1*x == x exactly, including NaN
+// quieting) and skips the broadcast multiply.
 //shm:hotpath
 func AxpySlice(alpha float32, x, y []float32) {
+	if alpha == 1 {
+		addImpl(x, y)
+		return
+	}
+	axpyImpl(alpha, x, y)
+}
+
+// axpySliceUnrolled is the portable AxpySlice kernel, unrolled fusedLanes
+// wide (see fused.go) and the dispatch default.
+func axpySliceUnrolled(alpha float32, x, y []float32) {
 	n := len(x)
 	if len(y) < n {
 		n = len(y)
@@ -42,6 +55,31 @@ func AxpySlice(alpha float32, x, y []float32) {
 	}
 	for ; i < n; i++ {
 		y[i] += alpha * x[i]
+	}
+}
+
+// addSliceUnrolled is the portable alpha==1 kernel: y += x, same unroll
+// and ordering as axpySliceUnrolled with the multiply folded away.
+func addSliceUnrolled(x, y []float32) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		xv := (*lanes8)(x[i:])
+		yv := (*lanes8)(y[i:])
+		yv[0] += xv[0]
+		yv[1] += xv[1]
+		yv[2] += xv[2]
+		yv[3] += xv[3]
+		yv[4] += xv[4]
+		yv[5] += xv[5]
+		yv[6] += xv[6]
+		yv[7] += xv[7]
+	}
+	for ; i < n; i++ {
+		y[i] += x[i]
 	}
 }
 

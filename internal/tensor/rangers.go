@@ -1,17 +1,18 @@
 package tensor
 
-import "sync"
+import "shmcaffe/internal/parallel"
 
-// Pooled parallel.Ranger adapters for the row/channel-partitioned kernels.
+// Recycled parallel.Ranger adapters for the row/channel-partitioned kernels.
 //
 // A closure that captures its operands allocates at every call site (the
 // capture block escapes through the pool's task channel — BENCH_kernels.json
-// measured 96 B/op on the gemm dispatch). Packaging the operands in a pooled
-// struct whose pointer implements Range keeps the dispatch at zero
+// measured 96 B/op on the gemm dispatch). Packaging the operands in a
+// recycled struct whose pointer implements Range keeps the dispatch at zero
 // allocations: interface conversion from a pointer stores the pointer
-// directly, and the struct is recycled after the join. Each adapter zeroes
-// its slice fields before returning to the pool so pooled entries never pin
-// caller arrays.
+// directly, and the struct is returned to a parallel.Freelist after the
+// join (a Freelist, not a sync.Pool, so the zero-alloc contract holds
+// across GC cycles). Each adapter zeroes its slice fields before Put so
+// recycled entries never pin caller arrays.
 
 // gemmRanger partitions C rows of a plain gemm across the pool.
 type gemmRanger struct {
@@ -23,7 +24,7 @@ func (g *gemmRanger) Range(lo, hi int) {
 	gemmRows(g.a[lo*g.k:hi*g.k], g.b, g.c[lo*g.n:hi*g.n], hi-lo, g.k, g.n)
 }
 
-var gemmRangerPool = sync.Pool{New: func() any { return new(gemmRanger) }}
+var gemmRangerFree = parallel.NewFreelist[gemmRanger](8)
 
 // transARanger partitions C rows of the aᵀ×b kernel; each range packs its
 // strip of aᵀ into a pooled panel (see gemmTransAParallel).
@@ -45,7 +46,7 @@ func (g *transARanger) Range(lo, hi int) {
 	putPack(ph)
 }
 
-var transARangerPool = sync.Pool{New: func() any { return new(transARanger) }}
+var transARangerFree = parallel.NewFreelist[transARanger](8)
 
 // transBRanger partitions C rows of the a×bᵀ kernel.
 type transBRanger struct {
@@ -57,7 +58,7 @@ func (g *transBRanger) Range(lo, hi int) {
 	gemmTransBScalar(hi-lo, g.n, g.k, g.a[lo*g.k:hi*g.k], g.b, g.c[lo*g.n:hi*g.n])
 }
 
-var transBRangerPool = sync.Pool{New: func() any { return new(transBRanger) }}
+var transBRangerFree = parallel.NewFreelist[transBRanger](8)
 
 // im2colRanger partitions channels of the im2col lowering.
 type im2colRanger struct {
@@ -70,7 +71,7 @@ func (r *im2colRanger) Range(lo, hi int) {
 	im2ColChannels(r.img, lo, hi, r.h, r.w, r.oh, r.ow, r.p, r.col)
 }
 
-var im2colRangerPool = sync.Pool{New: func() any { return new(im2colRanger) }}
+var im2colRangerFree = parallel.NewFreelist[im2colRanger](8)
 
 // col2imRanger partitions channels of the col2im scatter.
 type col2imRanger struct {
@@ -83,4 +84,4 @@ func (r *col2imRanger) Range(lo, hi int) {
 	col2ImChannels(r.col, lo, hi, r.h, r.w, r.oh, r.ow, r.p, r.img)
 }
 
-var col2imRangerPool = sync.Pool{New: func() any { return new(col2imRanger) }}
+var col2imRangerFree = parallel.NewFreelist[col2imRanger](8)

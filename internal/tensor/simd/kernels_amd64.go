@@ -1,0 +1,70 @@
+//go:build amd64 && !noasm
+
+package simd
+
+// Assembly kernel declarations. Callers must check Enabled() first: the
+// bodies execute AVX2 unconditionally. Every slice kernel iterates
+// min(len(...)) elements — the length clamp, the 8-wide vector loop and
+// the scalar tail all live in the assembly (kernels_amd64.s), so the
+// tensor dispatcher can store these directly in its function pointers
+// with no wrapper between the call site and the vector loop.
+//
+// Operand-order contract (what makes the non-FMA kernels bitwise-equal
+// to the portable Go bodies): each element evaluates the identical
+// mul/add/sub expression tree in the identical order, with the scalar
+// tail using the VEX scalar forms of the same instructions. Only
+// FusedAxpyCopy deviates — it contracts y + alpha*x into one FMA
+// rounding (see the package comment and DESIGN.md §14).
+
+// Axpy computes y[i] += alpha*x[i] for i < min(len(x), len(y)).
+// y may alias x exactly (same base pointer).
+//
+//go:noescape
+func Axpy(alpha float32, x, y []float32)
+
+// Add computes y[i] += x[i] for i < min(len(x), len(y)); the alpha==1
+// axpy fast path and the SMB accumulate add-loop. y may alias x exactly.
+//
+//go:noescape
+func Add(x, y []float32)
+
+// FusedElasticStep computes, per element over the min length:
+//
+//	d := alpha * (local[i] - global[i]); local[i] -= d; delta[i] = d
+//
+// delta must not alias local or global; local and global must not alias
+// each other (the vector block stores local before delta).
+//
+//go:noescape
+func FusedElasticStep(alpha float32, delta, local, global []float32)
+
+// FusedElasticExchange computes, per element over the min length:
+//
+//	d := alpha * (local[i] - global[i])
+//	local[i] -= d; global[i] += d; delta[i] = d
+//
+// delta, local and global must be pairwise non-aliasing.
+//
+//go:noescape
+func FusedElasticExchange(alpha float32, delta, local, global []float32)
+
+// FusedAxpyCopy computes dst[i] = fma(alpha, x[i], y[i]) over the min
+// length — FMA-contracted, so within 1 ULP of the infinitely precise
+// y + alpha*x but not bitwise-equal to the two-rounding portable body.
+// dst may alias x or y exactly.
+//
+//go:noescape
+func FusedAxpyCopy(alpha float32, x, y, dst []float32)
+
+// GemmInner4 is the quad-row gemm microkernel: with a pointing at four
+// consecutive A values a0..a3 and b at the first of four B rows spaced
+// ldb floats apart, it computes for j < n:
+//
+//	c[j] += a0*b0[j]; c[j] += a1*b1[j]; c[j] += a2*b2[j]; c[j] += a3*b3[j]
+//
+// as separate VMULPS/VADDPS per term in that order, which is the exact
+// per-element accumulation order of the scalar blocked kernel — bitwise
+// equality preserved, no FMA. c must not overlap a or the b rows.
+//
+//go:noescape
+func GemmInner4(a *float32, b *float32, ldb int, c *float32, n int)

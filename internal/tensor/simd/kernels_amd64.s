@@ -1,0 +1,484 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2/FMA float32 kernels. Shared conventions:
+//
+//   - Element count CX = min of the operand lengths, clamped up front, so
+//     the Go side never pre-validates; BX is the running element index.
+//   - Main loops are 8 or 16 elements per iteration of unaligned 32-byte
+//     VMOVUPS (the target cores take no penalty on unaligned YMM access
+//     that doesn't split cache lines, and the streams are float32-aligned
+//     at worst); the tail runs the same expression with VEX scalar ops
+//     (VMOVSS/VMULSS/...), never legacy SSE, to avoid AVX transition
+//     stalls before the final VZEROUPPER.
+//   - Arithmetic operand order mirrors the portable Go kernels term by
+//     term: dst = src1 op src2 with src1 holding the value the Go
+//     expression names first, so rounding AND two-NaN propagation match
+//     the scalar reference bit for bit. FusedAxpyCopy alone contracts
+//     its multiply-add (VFMADD231) and trades bitwise equality for
+//     correctly-rounded results.
+
+// func Axpy(alpha float32, x, y []float32)
+//
+// y[i] += alpha*x[i]. 32 elements per main iteration on four independent
+// YMM chains; y may alias x exactly (every load of an element precedes
+// the store to it within the block).
+TEXT ·Axpy(SB), NOSPLIT, $0-56
+	MOVQ x_len+16(FP), CX
+	MOVQ y_len+40(FP), DX
+	CMPQ DX, CX
+	JGE  axpy_min
+	MOVQ DX, CX
+
+axpy_min:
+	MOVQ         x_base+8(FP), SI
+	MOVQ         y_base+32(FP), DI
+	VBROADCASTSS alpha+0(FP), Y0
+	XORQ         BX, BX
+	MOVQ         CX, DX
+	ANDQ         $-32, DX
+	CMPQ         BX, DX
+	JGE          axpy_blk8
+
+axpy_loop32:
+	VMOVUPS (SI)(BX*4), Y1
+	VMOVUPS 32(SI)(BX*4), Y2
+	VMOVUPS 64(SI)(BX*4), Y3
+	VMOVUPS 96(SI)(BX*4), Y4
+	VMULPS  Y1, Y0, Y1
+	VMULPS  Y2, Y0, Y2
+	VMULPS  Y3, Y0, Y3
+	VMULPS  Y4, Y0, Y4
+	VADDPS  (DI)(BX*4), Y1, Y1
+	VADDPS  32(DI)(BX*4), Y2, Y2
+	VADDPS  64(DI)(BX*4), Y3, Y3
+	VADDPS  96(DI)(BX*4), Y4, Y4
+	VMOVUPS Y1, (DI)(BX*4)
+	VMOVUPS Y2, 32(DI)(BX*4)
+	VMOVUPS Y3, 64(DI)(BX*4)
+	VMOVUPS Y4, 96(DI)(BX*4)
+	ADDQ    $32, BX
+	CMPQ    BX, DX
+	JLT     axpy_loop32
+
+axpy_blk8:
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ BX, DX
+	JGE  axpy_tail
+
+axpy_loop8:
+	VMOVUPS (SI)(BX*4), Y1
+	VMULPS  Y1, Y0, Y1
+	VADDPS  (DI)(BX*4), Y1, Y1
+	VMOVUPS Y1, (DI)(BX*4)
+	ADDQ    $8, BX
+	CMPQ    BX, DX
+	JLT     axpy_loop8
+
+axpy_tail:
+	CMPQ BX, CX
+	JGE  axpy_done
+
+axpy_tail_loop:
+	VMOVSS (SI)(BX*4), X1
+	VMULSS X1, X0, X1
+	VADDSS (DI)(BX*4), X1, X1
+	VMOVSS X1, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    axpy_tail_loop
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func Add(x, y []float32)
+//
+// y[i] += x[i] — the alpha==1 axpy fast path and the SMB accumulate
+// inner loop. y may alias x exactly.
+TEXT ·Add(SB), NOSPLIT, $0-48
+	MOVQ x_len+8(FP), CX
+	MOVQ y_len+32(FP), DX
+	CMPQ DX, CX
+	JGE  add_min
+	MOVQ DX, CX
+
+add_min:
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ BX, DX
+	JGE  add_blk8
+
+add_loop32:
+	VMOVUPS (DI)(BX*4), Y1
+	VMOVUPS 32(DI)(BX*4), Y2
+	VMOVUPS 64(DI)(BX*4), Y3
+	VMOVUPS 96(DI)(BX*4), Y4
+	VADDPS  (SI)(BX*4), Y1, Y1
+	VADDPS  32(SI)(BX*4), Y2, Y2
+	VADDPS  64(SI)(BX*4), Y3, Y3
+	VADDPS  96(SI)(BX*4), Y4, Y4
+	VMOVUPS Y1, (DI)(BX*4)
+	VMOVUPS Y2, 32(DI)(BX*4)
+	VMOVUPS Y3, 64(DI)(BX*4)
+	VMOVUPS Y4, 96(DI)(BX*4)
+	ADDQ    $32, BX
+	CMPQ    BX, DX
+	JLT     add_loop32
+
+add_blk8:
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ BX, DX
+	JGE  add_tail
+
+add_loop8:
+	VMOVUPS (DI)(BX*4), Y1
+	VADDPS  (SI)(BX*4), Y1, Y1
+	VMOVUPS Y1, (DI)(BX*4)
+	ADDQ    $8, BX
+	CMPQ    BX, DX
+	JLT     add_loop8
+
+add_tail:
+	CMPQ BX, CX
+	JGE  add_done
+
+add_tail_loop:
+	VMOVSS (DI)(BX*4), X1
+	VADDSS (SI)(BX*4), X1, X1
+	VMOVSS X1, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    add_tail_loop
+
+add_done:
+	VZEROUPPER
+	RET
+
+// func FusedElasticStep(alpha float32, delta, local, global []float32)
+//
+// d := alpha*(local[i]-global[i]); local[i] -= d; delta[i] = d.
+// 16 elements per main iteration on two independent chains. delta must
+// not alias local/global (local stores land before delta stores within
+// a block); local and global must not alias each other.
+TEXT ·FusedElasticStep(SB), NOSPLIT, $0-80
+	MOVQ delta_len+16(FP), CX
+	MOVQ local_len+40(FP), DX
+	CMPQ DX, CX
+	JGE  festep_min1
+	MOVQ DX, CX
+
+festep_min1:
+	MOVQ global_len+64(FP), DX
+	CMPQ DX, CX
+	JGE  festep_min2
+	MOVQ DX, CX
+
+festep_min2:
+	MOVQ         delta_base+8(FP), DI
+	MOVQ         local_base+32(FP), R8
+	MOVQ         global_base+56(FP), R9
+	VBROADCASTSS alpha+0(FP), Y0
+	XORQ         BX, BX
+	MOVQ         CX, DX
+	ANDQ         $-16, DX
+	CMPQ         BX, DX
+	JGE          festep_blk8
+
+festep_loop16:
+	VMOVUPS (R8)(BX*4), Y1
+	VMOVUPS 32(R8)(BX*4), Y4
+	VMOVUPS (R9)(BX*4), Y2
+	VMOVUPS 32(R9)(BX*4), Y5
+	VSUBPS  Y2, Y1, Y3
+	VSUBPS  Y5, Y4, Y6
+	VMULPS  Y3, Y0, Y3
+	VMULPS  Y6, Y0, Y6
+	VSUBPS  Y3, Y1, Y1
+	VSUBPS  Y6, Y4, Y4
+	VMOVUPS Y1, (R8)(BX*4)
+	VMOVUPS Y4, 32(R8)(BX*4)
+	VMOVUPS Y3, (DI)(BX*4)
+	VMOVUPS Y6, 32(DI)(BX*4)
+	ADDQ    $16, BX
+	CMPQ    BX, DX
+	JLT     festep_loop16
+
+festep_blk8:
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ BX, DX
+	JGE  festep_tail
+
+festep_loop8:
+	VMOVUPS (R8)(BX*4), Y1
+	VMOVUPS (R9)(BX*4), Y2
+	VSUBPS  Y2, Y1, Y3
+	VMULPS  Y3, Y0, Y3
+	VSUBPS  Y3, Y1, Y1
+	VMOVUPS Y1, (R8)(BX*4)
+	VMOVUPS Y3, (DI)(BX*4)
+	ADDQ    $8, BX
+	CMPQ    BX, DX
+	JLT     festep_loop8
+
+festep_tail:
+	CMPQ BX, CX
+	JGE  festep_done
+
+festep_tail_loop:
+	VMOVSS (R8)(BX*4), X1
+	VMOVSS (R9)(BX*4), X2
+	VSUBSS X2, X1, X3
+	VMULSS X3, X0, X3
+	VSUBSS X3, X1, X1
+	VMOVSS X1, (R8)(BX*4)
+	VMOVSS X3, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    festep_tail_loop
+
+festep_done:
+	VZEROUPPER
+	RET
+
+// func FusedElasticExchange(alpha float32, delta, local, global []float32)
+//
+// d := alpha*(local[i]-global[i]); local[i] -= d; global[i] += d;
+// delta[i] = d. Operands pairwise non-aliasing.
+TEXT ·FusedElasticExchange(SB), NOSPLIT, $0-80
+	MOVQ delta_len+16(FP), CX
+	MOVQ local_len+40(FP), DX
+	CMPQ DX, CX
+	JGE  fex_min1
+	MOVQ DX, CX
+
+fex_min1:
+	MOVQ global_len+64(FP), DX
+	CMPQ DX, CX
+	JGE  fex_min2
+	MOVQ DX, CX
+
+fex_min2:
+	MOVQ         delta_base+8(FP), DI
+	MOVQ         local_base+32(FP), R8
+	MOVQ         global_base+56(FP), R9
+	VBROADCASTSS alpha+0(FP), Y0
+	XORQ         BX, BX
+	MOVQ         CX, DX
+	ANDQ         $-16, DX
+	CMPQ         BX, DX
+	JGE          fex_blk8
+
+fex_loop16:
+	VMOVUPS (R8)(BX*4), Y1
+	VMOVUPS 32(R8)(BX*4), Y4
+	VMOVUPS (R9)(BX*4), Y2
+	VMOVUPS 32(R9)(BX*4), Y5
+	VSUBPS  Y2, Y1, Y3
+	VSUBPS  Y5, Y4, Y6
+	VMULPS  Y3, Y0, Y3
+	VMULPS  Y6, Y0, Y6
+	VSUBPS  Y3, Y1, Y1
+	VSUBPS  Y6, Y4, Y4
+	VADDPS  Y3, Y2, Y2
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y1, (R8)(BX*4)
+	VMOVUPS Y4, 32(R8)(BX*4)
+	VMOVUPS Y2, (R9)(BX*4)
+	VMOVUPS Y5, 32(R9)(BX*4)
+	VMOVUPS Y3, (DI)(BX*4)
+	VMOVUPS Y6, 32(DI)(BX*4)
+	ADDQ    $16, BX
+	CMPQ    BX, DX
+	JLT     fex_loop16
+
+fex_blk8:
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ BX, DX
+	JGE  fex_tail
+
+fex_loop8:
+	VMOVUPS (R8)(BX*4), Y1
+	VMOVUPS (R9)(BX*4), Y2
+	VSUBPS  Y2, Y1, Y3
+	VMULPS  Y3, Y0, Y3
+	VSUBPS  Y3, Y1, Y1
+	VADDPS  Y3, Y2, Y2
+	VMOVUPS Y1, (R8)(BX*4)
+	VMOVUPS Y2, (R9)(BX*4)
+	VMOVUPS Y3, (DI)(BX*4)
+	ADDQ    $8, BX
+	CMPQ    BX, DX
+	JLT     fex_loop8
+
+fex_tail:
+	CMPQ BX, CX
+	JGE  fex_done
+
+fex_tail_loop:
+	VMOVSS (R8)(BX*4), X1
+	VMOVSS (R9)(BX*4), X2
+	VSUBSS X2, X1, X3
+	VMULSS X3, X0, X3
+	VSUBSS X3, X1, X1
+	VADDSS X3, X2, X2
+	VMOVSS X1, (R8)(BX*4)
+	VMOVSS X2, (R9)(BX*4)
+	VMOVSS X3, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    fex_tail_loop
+
+fex_done:
+	VZEROUPPER
+	RET
+
+// func FusedAxpyCopy(alpha float32, x, y, dst []float32)
+//
+// dst[i] = fma(alpha, x[i], y[i]), contracted to one rounding in both
+// the vector body and the scalar tail so the whole kernel is uniformly
+// correctly rounded. dst may alias x or y exactly.
+TEXT ·FusedAxpyCopy(SB), NOSPLIT, $0-80
+	MOVQ x_len+16(FP), CX
+	MOVQ y_len+40(FP), DX
+	CMPQ DX, CX
+	JGE  fac_min1
+	MOVQ DX, CX
+
+fac_min1:
+	MOVQ dst_len+64(FP), DX
+	CMPQ DX, CX
+	JGE  fac_min2
+	MOVQ DX, CX
+
+fac_min2:
+	MOVQ         x_base+8(FP), SI
+	MOVQ         y_base+32(FP), DX
+	MOVQ         dst_base+56(FP), DI
+	VBROADCASTSS alpha+0(FP), Y0
+	XORQ         BX, BX
+	MOVQ         CX, R10
+	ANDQ         $-16, R10
+	CMPQ         BX, R10
+	JGE          fac_blk8
+
+fac_loop16:
+	VMOVUPS     (DX)(BX*4), Y1
+	VMOVUPS     32(DX)(BX*4), Y2
+	VFMADD231PS (SI)(BX*4), Y0, Y1
+	VFMADD231PS 32(SI)(BX*4), Y0, Y2
+	VMOVUPS     Y1, (DI)(BX*4)
+	VMOVUPS     Y2, 32(DI)(BX*4)
+	ADDQ        $16, BX
+	CMPQ        BX, R10
+	JLT         fac_loop16
+
+fac_blk8:
+	MOVQ CX, R10
+	ANDQ $-8, R10
+	CMPQ BX, R10
+	JGE  fac_tail
+
+fac_loop8:
+	VMOVUPS     (DX)(BX*4), Y1
+	VFMADD231PS (SI)(BX*4), Y0, Y1
+	VMOVUPS     Y1, (DI)(BX*4)
+	ADDQ        $8, BX
+	CMPQ        BX, R10
+	JLT         fac_loop8
+
+fac_tail:
+	CMPQ BX, CX
+	JGE  fac_done
+
+fac_tail_loop:
+	VMOVSS      (DX)(BX*4), X1
+	VFMADD231SS (SI)(BX*4), X0, X1
+	VMOVSS      X1, (DI)(BX*4)
+	INCQ        BX
+	CMPQ        BX, CX
+	JLT         fac_tail_loop
+
+fac_done:
+	VZEROUPPER
+	RET
+
+// func GemmInner4(a *float32, b *float32, ldb int, c *float32, n int)
+//
+// Quad-row gemm microkernel: c[j] accumulates a0*b0[j], a1*b1[j],
+// a2*b2[j], a3*b3[j] as four separate mul+add terms IN THAT ORDER per
+// element — the exact accumulation order of the scalar blocked kernel,
+// so no FMA here. Successive j-blocks are independent chains, which is
+// what lets out-of-order execution overlap the four serial adds.
+TEXT ·GemmInner4(SB), NOSPLIT, $0-40
+	MOVQ         a+0(FP), AX
+	MOVQ         b+8(FP), SI
+	MOVQ         ldb+16(FP), DX
+	MOVQ         c+24(FP), DI
+	MOVQ         n+32(FP), CX
+	VBROADCASTSS (AX), Y0
+	VBROADCASTSS 4(AX), Y1
+	VBROADCASTSS 8(AX), Y2
+	VBROADCASTSS 12(AX), Y3
+	LEAQ         (SI)(DX*4), R8
+	LEAQ         (R8)(DX*4), R9
+	LEAQ         (R9)(DX*4), R10
+	XORQ         BX, BX
+	MOVQ         CX, DX
+	ANDQ         $-8, DX
+	CMPQ         BX, DX
+	JGE          gi4_tail
+
+gi4_loop8:
+	VMOVUPS (DI)(BX*4), Y4
+	VMOVUPS (SI)(BX*4), Y5
+	VMULPS  Y5, Y0, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R8)(BX*4), Y5
+	VMULPS  Y5, Y1, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R9)(BX*4), Y5
+	VMULPS  Y5, Y2, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS (R10)(BX*4), Y5
+	VMULPS  Y5, Y3, Y5
+	VADDPS  Y5, Y4, Y4
+	VMOVUPS Y4, (DI)(BX*4)
+	ADDQ    $8, BX
+	CMPQ    BX, DX
+	JLT     gi4_loop8
+
+gi4_tail:
+	CMPQ BX, CX
+	JGE  gi4_done
+
+gi4_tail_loop:
+	VMOVSS (DI)(BX*4), X4
+	VMOVSS (SI)(BX*4), X5
+	VMULSS X5, X0, X5
+	VADDSS X5, X4, X4
+	VMOVSS (R8)(BX*4), X5
+	VMULSS X5, X1, X5
+	VADDSS X5, X4, X4
+	VMOVSS (R9)(BX*4), X5
+	VMULSS X5, X2, X5
+	VADDSS X5, X4, X4
+	VMOVSS (R10)(BX*4), X5
+	VMULSS X5, X3, X5
+	VADDSS X5, X4, X4
+	VMOVSS X4, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    gi4_tail_loop
+
+gi4_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,30 @@
+//go:build !amd64 || noasm
+
+package simd
+
+// Portable build: no assembly is linked, Enabled() stays false, and the
+// tensor dispatcher keeps its scalar-unrolled defaults. The kernel stubs
+// exist only so call sites guarded by Enabled() compile on every
+// platform; reaching one is a dispatcher bug, hence the panic.
+
+func unreachable() {
+	panic("simd: kernel called with Enabled() == false")
+}
+
+// Axpy panics; the portable build has no assembly backend.
+func Axpy(alpha float32, x, y []float32) { unreachable() }
+
+// Add panics; the portable build has no assembly backend.
+func Add(x, y []float32) { unreachable() }
+
+// FusedElasticStep panics; the portable build has no assembly backend.
+func FusedElasticStep(alpha float32, delta, local, global []float32) { unreachable() }
+
+// FusedElasticExchange panics; the portable build has no assembly backend.
+func FusedElasticExchange(alpha float32, delta, local, global []float32) { unreachable() }
+
+// FusedAxpyCopy panics; the portable build has no assembly backend.
+func FusedAxpyCopy(alpha float32, x, y, dst []float32) { unreachable() }
+
+// GemmInner4 panics; the portable build has no assembly backend.
+func GemmInner4(a *float32, b *float32, ldb int, c *float32, n int) { unreachable() }

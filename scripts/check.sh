@@ -22,6 +22,12 @@ tier1() {
 	go build ./...
 	echo "== tier 1: tests =="
 	go test ./...
+	echo "== tier 1: build (noasm) =="
+	go build -tags noasm ./...
+	echo "== tier 1: tests (noasm — portable float32 kernels) =="
+	# Second pass with the assembly backend compiled out: the portable
+	# unrolled kernels must pass the same suite bitwise (DESIGN.md §14).
+	go test -tags noasm ./...
 	echo "== tier 1: shmlint (baseline-aware) =="
 	go run ./cmd/shmlint -baseline .shmlint-baseline.json ./...
 }
@@ -51,7 +57,8 @@ tier2() {
 	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
 	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc' -count=1 ./internal/telemetry
 	go test -run='TestFusedStepAndStreamZeroAlloc' -count=1 ./internal/core
-	go test -run='TestForRangerZeroAlloc|TestForZeroAlloc' -count=1 ./internal/parallel
+	go test -run='TestForRangerZeroAlloc|TestForZeroAlloc|TestFreelist' -count=1 ./internal/parallel
+	go test -run='ZeroAllocAcrossGC|TestDispatchedKernelsZeroAlloc' -count=1 ./internal/tensor
 	echo "== tier 2: pipelined-transfer smoke (chunked WRITE+ACCUMULATE over TCP) =="
 	go test -run='TestWriteAccumulateTCP|TestChunkedInterleavedClients' -count=1 ./internal/smb
 	echo "== tier 2: telemetry smoke (2-worker -telemetry run) =="
