@@ -1,0 +1,113 @@
+// Command shmtop is the fleet aggregator: it scrapes the observability
+// surface (/metrics, /healthz, /debug/events, /debug/trace) of every node in
+// a ShmCaffe deployment — SMB servers and training workers alike — and
+// presents one cluster-wide view.
+//
+// Live mode renders a refreshing status table; -snapshot writes a one-shot
+// report (JSON, or Markdown when the path ends in .md); -trace-out merges
+// every node's Chrome trace into a single cross-node timeline, shifting each
+// node's spans by a per-node clock offset estimated from the
+// shm_wallclock_unix_nano gauge (offset ≈ reported clock − scrape midpoint,
+// error bounded by RTT/2). Spans that crossed the wire via trace propagation
+// appear as parent/child chains spanning two processes.
+//
+// Usage:
+//
+//	shmtop -nodes server=127.0.0.1:7780,worker0=127.0.0.1:7781 -interval 2s
+//	shmtop -nodes 127.0.0.1:7780,127.0.0.1:7781 -snapshot fleet.md -trace-out fleet-trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"shmcaffe/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shmtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shmtop", flag.ContinueOnError)
+	var (
+		nodesFlag = fs.String("nodes", "", "comma-separated node metrics addresses (host:port or name=host:port)")
+		interval  = fs.Duration("interval", 2*time.Second, "live mode refresh interval")
+		count     = fs.Int("count", 0, "live mode: stop after this many refreshes (0 = until interrupted)")
+		snapshot  = fs.String("snapshot", "", "write a one-shot fleet report to this path (.md = Markdown, else JSON) and exit")
+		traceOut  = fs.String("trace-out", "", "write the merged cross-node Chrome trace to this path")
+		timeout   = fs.Duration("timeout", 3*time.Second, "per-request scrape timeout")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	specs, err := parseNodes(*nodesFlag)
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	s := newScraper(*timeout)
+
+	if *snapshot != "" || *traceOut != "" {
+		return snapshotOnce(s, specs, *snapshot, *traceOut, out)
+	}
+	return live(s, specs, *interval, *count, out)
+}
+
+// snapshotOnce takes one fleet scrape and writes the requested artifacts.
+func snapshotOnce(s *scraper, specs []nodeSpec, snapshot, traceOut string, out io.Writer) error {
+	rep, merged := collect(s, specs)
+	if traceOut != "" {
+		if err := telemetry.WriteMergedTraceFile(traceOut, merged); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merged trace (%d spans, %d cross-node chains) written to %s\n",
+			rep.MergedSpans, rep.CrossNodeChains, traceOut)
+	}
+	if snapshot == "" {
+		return nil
+	}
+	f, err := os.Create(snapshot)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(snapshot, ".md") {
+		err = writeMarkdownReport(f, rep)
+	} else {
+		err = writeJSONReport(f, rep)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(out, "snapshot written to %s\n", snapshot)
+	}
+	return err
+}
+
+// live renders the fleet table every interval. Traces are not fetched in
+// live mode — per-refresh merging would hammer the nodes for no new signal.
+func live(s *scraper, specs []nodeSpec, interval time.Duration, count int, out io.Writer) error {
+	for i := 0; ; i++ {
+		rep := report{TakenAt: time.Now()}
+		for _, spec := range specs {
+			rep.Nodes = append(rep.Nodes, s.scrape(spec))
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := writeTable(out, rep); err != nil {
+			return err
+		}
+		if count > 0 && i+1 >= count {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}

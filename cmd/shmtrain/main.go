@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"syscall"
 	"time"
 
 	"shmcaffe/internal/core"
@@ -27,6 +28,11 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "shmtrain:", err)
+		// Fatal exit: leave the flight recorder on disk so the post-mortem
+		// (reconnects, fired deadlines, dead peers) survives the process.
+		if path, derr := dumpFlightRecorder("shmtrain"); derr == nil {
+			fmt.Fprintln(os.Stderr, "shmtrain: flight recorder dump:", path)
+		}
 		os.Exit(1)
 	}
 }
@@ -76,6 +82,12 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	// SIGQUIT dumps the flight recorder before the runtime's stack dump.
+	stopDump := telemetry.DumpEventsOnSignal(flightDumpPath("shmtrain"),
+		func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "shmtrain: "+format+"\n", args...)
+		}, syscall.SIGQUIT)
+	defer stopDump()
 	// finish writes the trace and lingers on every exit path; a finish
 	// failure surfaces only when training itself succeeded.
 	defer func() {

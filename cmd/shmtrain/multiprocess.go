@@ -47,6 +47,13 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 			ic.Instrument(o.reg)
 		}
 	}
+	if o.tel != nil {
+		// Negotiate wire-level trace propagation so the worker's pushes
+		// carry trace contexts; an old server declines and nothing changes.
+		if tc, ok := client.(interface{ EnableTrace() }); ok {
+			tc.EnableTrace()
+		}
+	}
 
 	full, err := dataset.NewGaussian(dataset.GaussianConfig{
 		Classes: o.classes, PerClass: o.perClass, Shape: []int{8},

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"time"
 
 	"shmcaffe/internal/telemetry"
@@ -37,6 +39,12 @@ func startTelemetry(out io.Writer, httpAddr, traceOut string, linger time.Durati
 		return nil, nil
 	}
 	reg := telemetry.NewRegistry()
+	// The fleet aggregator (shmtop) estimates this node's clock offset as
+	// reported wallclock minus the scrape midpoint — the HTTP analogue of
+	// the control segment's per-worker clock slots.
+	reg.GaugeFunc("shm_wallclock_unix_nano",
+		"this process's wall clock at scrape time (UnixNano)",
+		func() float64 { return float64(time.Now().UnixNano()) })
 	s := &telemetrySink{
 		Trainer:  telemetry.NewTrainer(reg, 0),
 		reg:      reg,
@@ -64,6 +72,14 @@ func startTelemetry(out io.Writer, httpAddr, traceOut string, linger time.Durati
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = telemetry.FlightRecorder().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.Trainer.Tracer.WriteChromeTrace(w)
+	})
 	// The standard pprof handlers; Index serves the /debug/pprof/<profile>
 	// family (heap, goroutine, block, mutex, ...) itself.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -75,8 +91,23 @@ func startTelemetry(out io.Writer, httpAddr, traceOut string, linger time.Durati
 	s.addr = ln.Addr().String()
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //lint:ignore goleak joined by srv.Close in finish
-	fmt.Fprintf(out, "telemetry listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n", s.addr)
+	fmt.Fprintf(out, "telemetry listening on http://%s (metrics at /metrics, flight recorder at /debug/events, trace at /debug/trace, pprof at /debug/pprof/)\n", s.addr)
 	return s, nil
+}
+
+// flightDumpPath names the per-process flight-recorder dump file.
+func flightDumpPath(prefix string) string {
+	return filepath.Join(os.TempDir(), fmt.Sprintf("%s-%d-events.txt", prefix, os.Getpid()))
+}
+
+// dumpFlightRecorder writes the process-global flight recorder to the
+// per-process dump file and returns its path.
+func dumpFlightRecorder(prefix string) (string, error) {
+	path := flightDumpPath(prefix)
+	if err := telemetry.DumpEvents(path); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // trainer returns the phase trainer to hand to the platform; nil-safe.

@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -21,13 +22,23 @@ import (
 	"shmcaffe/internal/faults"
 	"shmcaffe/internal/rds"
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "smbserver:", err)
+		// Fatal exit: leave the flight recorder on disk for the post-mortem.
+		if path := eventDumpPath(); telemetry.DumpEvents(path) == nil {
+			fmt.Fprintln(os.Stderr, "smbserver: flight recorder dump:", path)
+		}
 		os.Exit(1)
 	}
+}
+
+// eventDumpPath names this process's flight-recorder dump file.
+func eventDumpPath() string {
+	return filepath.Join(os.TempDir(), fmt.Sprintf("smbserver-%d-events.txt", os.Getpid()))
 }
 
 func run() error {
@@ -61,6 +72,11 @@ func run() error {
 		return err
 	}
 	srv.SetLogf(logf)
+	// Server-side spans (srv.dispatch, srv.acc, srv.chunk, srv.wait) record
+	// into this ring and export on the metrics endpoint's /debug/trace;
+	// trace-negotiating clients get their contexts propagated into it.
+	tracer := telemetry.NewTracer(1 << 16)
+	srv.SetTracer(tracer)
 	fmt.Printf("SMB server listening on tcp %s\n", srv.Addr())
 
 	serveErr := make(chan error, 1)
@@ -100,7 +116,7 @@ func run() error {
 	}
 
 	if *httpAddr != "" {
-		httpSrv, err := startMetricsHTTP(store, srv, *httpAddr)
+		httpSrv, err := startMetricsHTTP(store, srv, tracer, *httpAddr)
 		if err != nil {
 			srv.Close()
 			return err
@@ -151,6 +167,10 @@ func runChaos(store *smb.Store, addr, httpAddr, rdsAddr string, o chaosOpts, log
 	if o.drop > 0 {
 		inj = faults.New(faults.Config{DropRate: o.drop, Seed: o.seed})
 	}
+	// One tracer outlives the crash/restart cycles — every frontend
+	// incarnation records into the same ring, so the merged fleet trace
+	// shows spans on both sides of the outage.
+	tracer := telemetry.NewTracer(1 << 16)
 	factory := func(a string) (faults.Frontend, error) {
 		ln, err := net.Listen("tcp", a)
 		if err != nil {
@@ -162,19 +182,24 @@ func runChaos(store *smb.Store, addr, httpAddr, rdsAddr string, o chaosOpts, log
 		}
 		fe := smb.NewServerFromListener(store, accept)
 		fe.SetLogf(logf)
+		fe.SetTracer(tracer)
 		return fe, nil
 	}
 	rs, err := faults.NewRestartableServer(addr, factory)
 	if err != nil {
 		return err
 	}
+	// Every chaos crash snapshots the flight recorder — the readable
+	// post-mortem of what led up to the outage (injected faults included).
+	rs.SetDumpPath(eventDumpPath())
 	fmt.Printf("SMB server (chaos: drop=%.2f restart-after=%s) listening on tcp %s\n",
 		o.drop, o.restartAfter, rs.Addr())
+	fmt.Printf("chaos: flight recorder dumps to %s on crash\n", eventDumpPath())
 
 	if httpAddr != "" {
 		// No Server handle: the frontend is recreated on restart, so only
 		// the store-level families stay truthful.
-		httpSrv, err := startMetricsHTTP(store, nil, httpAddr)
+		httpSrv, err := startMetricsHTTP(store, nil, tracer, httpAddr)
 		if err != nil {
 			rs.Close()
 			return err

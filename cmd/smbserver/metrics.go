@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"shmcaffe/internal/smb"
 	"shmcaffe/internal/telemetry"
@@ -51,8 +52,11 @@ func wantsJSON(r *http.Request) bool {
 // -http also export smb_*_seconds distributions. A non-nil srv additionally
 // exports the connection-health counters (handler errors, reaped sequences,
 // live connections); chaos mode passes nil because the frontend — and its
-// counters — is recreated on every restart.
-func startMetricsHTTP(store *smb.Store, srv *smb.Server, addr string) (*metricsServer, error) {
+// counters — is recreated on every restart. A non-nil tracer is exported as
+// a Chrome trace on /debug/trace (the server-side spans a fleet aggregator
+// merges with the workers' traces); the flight recorder is always on
+// /debug/events.
+func startMetricsHTTP(store *smb.Store, srv *smb.Server, tracer *telemetry.Tracer, addr string) (*metricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -62,6 +66,11 @@ func startMetricsHTTP(store *smb.Store, srv *smb.Server, addr string) (*metricsS
 	if srv != nil {
 		srv.Instrument(reg)
 	}
+	// Clock-offset sample for fleet aggregation (see shmtop): offset ≈
+	// reported wallclock − scrape midpoint.
+	reg.GaugeFunc("shm_wallclock_unix_nano",
+		"this process's wall clock at scrape time (UnixNano)",
+		func() float64 { return float64(time.Now().UnixNano()) })
 
 	writeJSON := func(w http.ResponseWriter) {
 		s := store.Stats()
@@ -110,6 +119,14 @@ func startMetricsHTTP(store *smb.Store, srv *smb.Server, addr string) (*metricsS
 		n := store.SegmentCount()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok segments=%d\n", n)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = telemetry.FlightRecorder().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = tracer.WriteChromeTrace(w)
 	})
 
 	ms := &metricsServer{

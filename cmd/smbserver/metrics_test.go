@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"shmcaffe/internal/smb"
+	"shmcaffe/internal/telemetry"
 )
 
 // traffic generates one create/attach/write/read against store.
@@ -32,7 +33,7 @@ func traffic(t *testing.T, store *smb.Store) {
 
 func TestMetricsPrometheus(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestMetricsPrometheus(t *testing.T) {
 // the dedicated path and via content negotiation on /metrics.
 func TestMetricsJSONCompat(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestMetricsServerCounters(t *testing.T) {
 	}
 	go srv.Serve()
 	defer srv.Close()
-	ms, err := startMetricsHTTP(store, srv, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, srv, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,9 +168,76 @@ func TestMetricsServerCounters(t *testing.T) {
 	}
 }
 
+// TestDebugEndpoints: the observability surface exposes the flight recorder
+// as JSON, the server tracer as a loadable Chrome trace, and the wallclock
+// gauge shmtop uses for clock-offset estimation.
+func TestDebugEndpoints(t *testing.T) {
+	store := smb.NewStore()
+	tracer := telemetry.NewTracer(256)
+	tracer.Begin(1, telemetry.PhaseSrvDispatch).End()
+	telemetry.RecordEvent(telemetry.EvConnError, 7, 0, 0)
+	ms, err := startMetricsHTTP(store, nil, tracer, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ms.Addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
+		t.Fatalf("/debug/events not a JSON array: %v", err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev["kind"] == "conn_error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/events missing the recorded conn_error (got %d events)", len(events))
+	}
+
+	trace, err := telemetry.ParseChromeTrace(get("/debug/trace"))
+	if err != nil {
+		t.Fatalf("/debug/trace not a Chrome trace: %v", err)
+	}
+	if telemetry.TraceEpochUnixNano(trace) == 0 {
+		t.Error("/debug/trace missing clock_epoch metadata")
+	}
+	spans := 0
+	for _, ev := range trace {
+		if ev.Ph == "X" && ev.Name == "srv.dispatch" {
+			spans++
+		}
+	}
+	if spans != 1 {
+		t.Errorf("/debug/trace has %d srv.dispatch spans, want 1", spans)
+	}
+
+	if !strings.Contains(string(get("/metrics")), "shm_wallclock_unix_nano") {
+		t.Error("exposition missing shm_wallclock_unix_nano")
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	store := smb.NewStore()
-	ms, err := startMetricsHTTP(store, nil, "127.0.0.1:0")
+	ms, err := startMetricsHTTP(store, nil, nil, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

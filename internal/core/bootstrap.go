@@ -153,10 +153,14 @@ func SetupBuffersPolling(client smb.Client, job string, rank, n, elems int, init
 
 	// Feature-test the chunk-pipelined push exactly like SetupBuffers does
 	// (the seed forgot this here, so polling-bootstrapped workers silently
-	// fell back to the unfused Write+Accumulate pair).
+	// fell back to the unfused Write+Accumulate pair). The trace carrier is
+	// feature-tested the same way: without it, polling-bootstrapped workers
+	// — i.e. every multi-process worker — silently run untraced.
 	wacc, _ := client.(smb.WriteAccumulator)
+	carrier, _ := client.(smb.TraceCarrier)
 	return &JobBuffers{
 		client:    client,
+		carrier:   carrier,
 		wacc:      wacc,
 		rank:      rank,
 		n:         n,

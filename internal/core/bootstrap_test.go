@@ -66,6 +66,42 @@ func TestPollingBootstrapValidation(t *testing.T) {
 	}
 }
 
+// tracingClient wraps a client with a no-op TraceCarrier surface, modeling
+// the supervised TCP client multi-process workers actually use.
+type tracingClient struct {
+	smb.Client
+	tc smb.TraceContext
+}
+
+func (c *tracingClient) SetTraceContext(tc smb.TraceContext) { c.tc = tc }
+func (c *tracingClient) ClearTraceContext()                  { c.tc = smb.TraceContext{} }
+
+// TestPollingBootstrapCapturesCarrier: SetupBuffersPolling must feature-test
+// the trace carrier like SetupBuffers does. It once didn't, so every
+// multi-process worker (they all bootstrap by polling) ran untraced and the
+// merged fleet trace had zero cross-node chains.
+func TestPollingBootstrapCapturesCarrier(t *testing.T) {
+	job := newTestJob(t, 1, 54)
+	opts := BootstrapOptions{PollInterval: time.Millisecond, Timeout: 10 * time.Second}
+	elems := job.nets[0].NumParams()
+	client := &tracingClient{Client: smb.NewLocalClient(job.store)}
+	weights := make([]float32, elems)
+	bufs, err := SetupBuffersPolling(client, "carrier", 0, 1, elems, weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bufs.TraceCarrier() == nil {
+		t.Fatal("polling bootstrap dropped the client's TraceCarrier")
+	}
+	bare, err := SetupBuffersPolling(smb.NewLocalClient(job.store), "carrier2", 0, 1, elems, weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.TraceCarrier() != nil {
+		t.Fatal("a client without SetTraceContext must yield a nil carrier")
+	}
+}
+
 // TestPollingBootstrapTimesOutWithoutMaster: a non-master rank alone must
 // fail with a rendezvous timeout, not hang.
 func TestPollingBootstrapTimesOutWithoutMaster(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"shmcaffe/internal/mpi"
 	"shmcaffe/internal/smb"
@@ -15,6 +16,9 @@ import (
 // plus a stop flag (Sec. III-E).
 type JobBuffers struct {
 	client smb.Client
+	// carrier is non-nil when client can stamp cross-process trace contexts
+	// onto its wire frames (smb.StreamClient and smb.SupervisedClient do).
+	carrier smb.TraceCarrier
 	// wacc is non-nil when client supports the chunk-pipelined
 	// WRITE+ACCUMULATE sequence (all in-repo clients do; test doubles that
 	// wrap the interface fall back to the split Write+Accumulate pair).
@@ -35,18 +39,31 @@ type JobBuffers struct {
 }
 
 // Control segment layout: n int64 iteration counters, one int64 stop flag
-// (slot n), then n int64 heartbeat slots (slots n+1 .. 2n). A heartbeat slot
-// carries a monotonically increasing beat while its worker lives and the
-// tombstone value when the worker dies on purpose (MarkDead); a worker that
-// crashes without a tombstone is detected by its beat going stale (see
-// livenessTracker).
-func controlSize(n int) int { return (2*n + 1) * 8 }
+// (slot n), then n int64 heartbeat slots (slots n+1 .. 2n), then n int64
+// wall-clock slots (slots 2n+1 .. 3n). A heartbeat slot carries a
+// monotonically increasing beat while its worker lives and the tombstone
+// value when the worker dies on purpose (MarkDead); a worker that crashes
+// without a tombstone is detected by its beat going stale (see
+// livenessTracker). A clock slot carries the worker's wall clock
+// (UnixNano) as of its last beat — the per-node clock sample a fleet
+// aggregator (shmtop) uses to estimate cross-node clock offsets when
+// aligning merged traces.
+func controlSize(n int) int { return ControlSegmentSlots(n) * 8 }
+
+// ControlSegmentSlots returns the number of int64 slots in the control
+// segment of an n-worker job (progress + stop flag + heartbeats + clocks).
+func ControlSegmentSlots(n int) int { return 3*n + 1 }
 
 const stopFlagSlot = -1 // resolved to slot n at runtime
 
 // deadTombstone is the heartbeat value a worker writes on its way out of a
 // failed Run — an explicit obituary, faster to detect than staleness.
 const deadTombstone int64 = -1
+
+// DeadTombstone is the exported view of the heartbeat tombstone, for
+// diagnostics that read the control segment from outside the worker
+// (fleet aggregators, tests).
+const DeadTombstone = deadTombstone
 
 // SetupBuffers performs the Fig. 2 bootstrap. The master (rank 0) creates
 // the Wg and control segments and seeds Wg with initWeights; every rank
@@ -123,8 +140,10 @@ func SetupBuffers(comm *mpi.Comm, client smb.Client, job string, elems int, init
 	comm.Barrier()
 
 	wacc, _ := client.(smb.WriteAccumulator)
+	carrier, _ := client.(smb.TraceCarrier)
 	return &JobBuffers{
 		client:    client,
+		carrier:   carrier,
 		wacc:      wacc,
 		rank:      rank,
 		n:         n,
@@ -250,10 +269,15 @@ func (b *JobBuffers) ProgressInto(out []int64) error {
 }
 
 // Beat publishes this worker's heartbeat — any value strictly greater than
-// the last one it published (the iteration count works). Written alongside
-// ReportProgress when liveness tracking is enabled.
+// the last one it published (the iteration count works) — and stamps the
+// worker's wall clock into its clock slot. Written alongside ReportProgress
+// when liveness tracking is enabled; the clock stamp is what lets a fleet
+// aggregator estimate per-node clock offsets from the control segment.
 func (b *JobBuffers) Beat(v int64) error {
-	return smb.WriteInt64(b.client, b.control, b.n+1+b.rank, v)
+	if err := smb.WriteInt64(b.client, b.control, b.n+1+b.rank, v); err != nil {
+		return err
+	}
+	return smb.WriteInt64(b.client, b.control, 2*b.n+1+b.rank, time.Now().UnixNano())
 }
 
 // MarkDead writes this worker's tombstone. Called best-effort on the error
@@ -271,6 +295,19 @@ func (b *JobBuffers) HeartbeatsInto(out []int64) error {
 	}
 	return smb.ReadInt64SlotsAtInto(b.client, b.control, b.n+1, out)
 }
+
+// ClocksInto reads every worker's wall-clock slot (UnixNano as of its last
+// Beat; zero before the first) into out (len WorldSize) without allocating.
+func (b *JobBuffers) ClocksInto(out []int64) error {
+	if len(out) != b.n {
+		return fmt.Errorf("clocks into %d slots, want %d: %w", len(out), b.n, ErrConfig)
+	}
+	return smb.ReadInt64SlotsAtInto(b.client, b.control, 2*b.n+1, out)
+}
+
+// TraceCarrier returns the client's trace-stamping surface, or nil when the
+// underlying client cannot carry trace contexts on its wire frames.
+func (b *JobBuffers) TraceCarrier() smb.TraceCarrier { return b.carrier }
 
 // SignalStop raises the shared stop flag; every worker observes it at its
 // next termination check.

@@ -242,6 +242,7 @@ func (g *HybridGroup) Run() (stats *GroupStats, err error) {
 			// instead of deadlocking at the barrier. Safe because the
 			// member goroutine has returned from any collective by the
 			// time we get here.
+			telemetry.RecordEvent(telemetry.EvGroupShrink, int64(m), 0, 0)
 			g.group.Leave(m)
 		}()
 	}
@@ -463,11 +464,23 @@ func (g *HybridGroup) checkTermination(completed int64) (bool, string, error) {
 
 func (g *HybridGroup) pushPending() error {
 	tel := g.cfg.Telemetry
-	tid := telemetry.UpdateTID(g.cfg.Comm.Rank())
+	rank := g.cfg.Comm.Rank()
+	tid := telemetry.UpdateTID(rank)
 	spA1 := tel.Begin(tid, telemetry.PhaseTA1)
 	g.mu.Lock()
 	spA1.End()
 	defer g.mu.Unlock()
+	// Same cross-process trace rooting as Worker.pushPending: the group
+	// root's T.A3 span anchors the server-side children of this push.
+	var tc telemetry.TraceContext
+	if carrier := g.buffers.TraceCarrier(); tel != nil && carrier != nil {
+		id := telemetry.NextSpanID(uint64(rank+1) << 48)
+		tc = telemetry.TraceContext{TraceID: id, SpanID: id}
+		carrier.SetTraceContext(smb.TraceContext{
+			TraceID: id, SpanID: id, Rank: uint32(rank), Iter: uint32(g.pushes),
+		})
+		defer carrier.ClearTraceContext()
+	}
 	if g.buffers.CanStreamPush() {
 		// Chunk-pipelined WRITE+ACCUMULATE; see Worker.pushPending for the
 		// span convention (T.A2 = staging, T.A3 = streamed store+fold).
@@ -477,7 +490,7 @@ func (g *HybridGroup) pushPending() error {
 		if err != nil {
 			return err
 		}
-		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		spA3 := tel.BeginTraced(tid, telemetry.PhaseTA3, tc)
 		err = g.buffers.StreamStaged()
 		spA3.End()
 		if err != nil {
@@ -490,7 +503,7 @@ func (g *HybridGroup) pushPending() error {
 		if err != nil {
 			return err
 		}
-		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		spA3 := tel.BeginTraced(tid, telemetry.PhaseTA3, tc)
 		err = g.buffers.AccumulateIncrement()
 		spA3.End()
 		if err != nil {

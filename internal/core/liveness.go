@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"shmcaffe/internal/telemetry"
+)
 
 // Crash-aware termination alignment. The paper's Sec. III-E protocol reads
 // per-worker progress counters and assumes every counter keeps moving until
@@ -31,6 +35,10 @@ type livenessTracker struct {
 	seen  []time.Time // when beats[i] last advanced
 	last  []int64     // the beat value at seen[i]
 	alive []bool
+	// ref is the lowest-ranked live worker — the StopOnMaster progress
+	// reference. Tracked so its death (and the implied re-election of the
+	// next live rank) lands in the flight recorder.
+	ref int
 }
 
 // newLivenessTracker builds a tracker for n workers observing from rank
@@ -71,7 +79,7 @@ func (t *livenessTracker) observe(beats []int64) []bool {
 		}
 		b := beats[i]
 		if b == deadTombstone {
-			t.alive[i] = false
+			t.declareDead(i)
 			continue
 		}
 		if b > t.last[i] {
@@ -80,10 +88,28 @@ func (t *livenessTracker) observe(beats []int64) []bool {
 			continue
 		}
 		if t.timeout > 0 && now.Sub(t.seen[i]) > t.timeout {
-			t.alive[i] = false
+			t.declareDead(i)
 		}
 	}
 	return t.alive
+}
+
+// declareDead marks rank i dead and records the transition (plus the
+// StopOnMaster re-election it implies when i was the progress reference)
+// into the flight recorder.
+func (t *livenessTracker) declareDead(i int) {
+	t.alive[i] = false
+	telemetry.RecordEvent(telemetry.EvWorkerDead, int64(t.self), int64(i), 0)
+	if i != t.ref {
+		return
+	}
+	for r, a := range t.alive {
+		if a {
+			t.ref = r
+			telemetry.RecordEvent(telemetry.EvReElection, int64(t.self), int64(r), 0)
+			return
+		}
+	}
 }
 
 // deadRanks appends the ranks currently considered dead to dst.

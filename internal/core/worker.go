@@ -466,6 +466,19 @@ func (w *Worker) pushPending(tid int32) error {
 	w.mu.Lock()
 	spA1.End()
 	defer w.mu.Unlock()
+	// Cross-process trace: when the client can carry trace contexts on its
+	// wire frames, root a fresh trace at this push. The T.A3 span below is
+	// the root; the server's srv.dispatch/srv.acc/srv.chunk spans for the
+	// frames of this push become its children in the merged fleet trace.
+	var tc telemetry.TraceContext
+	if carrier := w.buffers.TraceCarrier(); tel != nil && carrier != nil {
+		id := telemetry.NextSpanID(uint64(w.rank+1) << 48)
+		tc = telemetry.TraceContext{TraceID: id, SpanID: id}
+		carrier.SetTraceContext(smb.TraceContext{
+			TraceID: id, SpanID: id, Rank: uint32(w.rank), Iter: uint32(w.pushes),
+		})
+		defer carrier.ClearTraceContext()
+	}
 	if w.buffers.CanStreamPush() {
 		// Chunk-pipelined push: the server folds chunk k into Wg while
 		// chunk k+1 is on the wire, so the segment store rides inside the
@@ -478,7 +491,7 @@ func (w *Worker) pushPending(tid int32) error {
 		if err != nil {
 			return err
 		}
-		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		spA3 := tel.BeginTraced(tid, telemetry.PhaseTA3, tc)
 		err = w.buffers.StreamStaged()
 		spA3.End()
 		if err != nil {
@@ -493,7 +506,7 @@ func (w *Worker) pushPending(tid int32) error {
 			return err
 		}
 		// T.A3: server-side accumulate Wg += ΔWx (Eq. 7).
-		spA3 := tel.Begin(tid, telemetry.PhaseTA3)
+		spA3 := tel.BeginTraced(tid, telemetry.PhaseTA3, tc)
 		err = w.buffers.AccumulateIncrement()
 		spA3.End()
 		if err != nil {

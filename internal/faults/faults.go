@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // ErrInjected marks every failure this package manufactures; tests and
@@ -54,6 +56,13 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.DropRate > 0 || c.DelayRate > 0 || c.PartialWriteRate > 0
 }
+
+// Fault kind codes recorded as the EvFaultInjected payload.
+const (
+	faultDrop int64 = iota
+	faultDelay
+	faultPartial
+)
 
 // Stats counts the faults an Injector has dealt.
 type Stats struct {
@@ -126,6 +135,7 @@ func (i *Injector) drawDrop() bool {
 		return false
 	}
 	i.drops.Add(1)
+	telemetry.RecordEvent(telemetry.EvFaultInjected, faultDrop, 0, 0)
 	return true
 }
 
@@ -135,6 +145,7 @@ func (i *Injector) drawDelay() time.Duration {
 		return 0
 	}
 	i.delays.Add(1)
+	telemetry.RecordEvent(telemetry.EvFaultInjected, faultDelay, 0, 0)
 	frac := i.roll()
 	d := time.Duration(frac * float64(i.cfg.MaxDelay))
 	if d <= 0 {
@@ -150,6 +161,7 @@ func (i *Injector) drawPartial(n int) (int, bool) {
 		return n, false
 	}
 	i.partials.Add(1)
+	telemetry.RecordEvent(telemetry.EvFaultInjected, faultPartial, 0, 0)
 	keep := 1 + int(i.roll()*float64(n-1))
 	if keep >= n {
 		keep = n - 1

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // Frontend is the serving plane a RestartableServer cycles: something that
@@ -34,11 +36,12 @@ type Factory func(addr string) (Frontend, error)
 type RestartableServer struct {
 	factory Factory
 
-	mu      sync.Mutex
-	cur     Frontend // guarded by mu; nil while crashed
-	addr    string   // guarded by mu; sticky after first bind
-	closed  bool     // guarded by mu
-	crashes atomic.Int64
+	mu       sync.Mutex
+	cur      Frontend // guarded by mu; nil while crashed
+	addr     string   // guarded by mu; sticky after first bind
+	closed   bool     // guarded by mu
+	dumpPath string   // guarded by mu; "" disables the crash-time dump
+	crashes  atomic.Int64
 }
 
 // NewRestartableServer builds the first frontend on addr (use
@@ -81,8 +84,19 @@ func (r *RestartableServer) start() error {
 	}
 	r.addr = fe.Addr() // resolve :0 once, then stick to the concrete port
 	r.cur = fe
+	if n := r.crashes.Load(); n > 0 {
+		telemetry.RecordEvent(telemetry.EvChaosRestart, n, 0, 0)
+	}
 	go fe.Serve() //lint:ignore goleak Serve exits when Crash/Close closes the frontend
 	return nil
+}
+
+// SetDumpPath enables a flight-recorder text dump to path on every Crash —
+// the post-mortem record of what the process saw leading up to the outage.
+func (r *RestartableServer) SetDumpPath(path string) {
+	r.mu.Lock()
+	r.dumpPath = path
+	r.mu.Unlock()
 }
 
 // Addr returns the server's concrete address (stable across restarts).
@@ -101,11 +115,17 @@ func (r *RestartableServer) Crash() error {
 	r.mu.Lock()
 	fe := r.cur
 	r.cur = nil
+	dump := r.dumpPath
 	r.mu.Unlock()
 	if fe == nil {
 		return nil
 	}
-	r.crashes.Add(1)
+	telemetry.RecordEvent(telemetry.EvChaosCrash, r.crashes.Add(1), 0, 0)
+	if dump != "" {
+		// Best-effort: the dump is diagnostics, the crash semantics (every
+		// live connection breaks) must proceed regardless.
+		_ = telemetry.DumpEvents(dump)
+	}
 	return fe.Close()
 }
 

@@ -63,7 +63,7 @@ func checkSpanList(pass *Pass, list []ast.Stmt) {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
 			if call, ok := s.X.(*ast.CallExpr); ok && isSpanBegin(pass, call) {
-				pass.Reportf(call.Pos(), "result of Begin discarded; the span can never End")
+				pass.Reportf(call.Pos(), "result of %s discarded; the span can never End", beginName(call))
 			}
 		case *ast.AssignStmt:
 			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
@@ -78,7 +78,7 @@ func checkSpanList(pass *Pass, list []ast.Stmt) {
 				continue
 			}
 			if ident.Name == "_" {
-				pass.Reportf(call.Pos(), "result of Begin discarded; the span can never End")
+				pass.Reportf(call.Pos(), "result of %s discarded; the span can never End", beginName(call))
 				continue
 			}
 			obj := pass.TypesInfo.ObjectOf(ident)
@@ -116,15 +116,24 @@ func checkSpanEnds(pass *Pass, beginPos token.Pos, name string, obj types.Object
 	pass.Reportf(beginPos, "span %s is not ended before the end of this block", name)
 }
 
-// isSpanBegin reports whether call is a method call named Begin whose
-// result is a named type called Span.
+// isSpanBegin reports whether call is a method call named Begin (or
+// BeginTraced, the trace-context-carrying variant the server-side spans
+// use) whose result is a named type called Span.
 func isSpanBegin(pass *Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Begin" {
+	if !ok || sel.Sel.Name != "Begin" && sel.Sel.Name != "BeginTraced" {
 		return false
 	}
 	named, ok := pass.TypesInfo.TypeOf(call).(*types.Named)
 	return ok && named.Obj().Name() == "Span"
+}
+
+// beginName renders the span-opening method's name for diagnostics.
+func beginName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Begin"
 }
 
 // isEndCall reports whether call is obj.End().

@@ -126,7 +126,18 @@ type ConstSwitch struct {
 	TypeName *types.TypeName
 	Covered  []string    // exact constant values the cases cover
 	Raw      []token.Pos // case labels that are literals, not named consts
+	Arms     []SwitchArm // per-case facts, in source order
 	Pos      token.Pos
+}
+
+// SwitchArm is one case clause of a ConstSwitch: the constant values its
+// labels cover and the statically-resolved callees of its body. The
+// wireproto analyzer walks Callees transitively to decide whether a
+// dispatch arm records a latency observation.
+type SwitchArm struct {
+	Values  []string
+	Callees []*types.Func
+	Pos     token.Pos
 }
 
 // CallSite is one statically-resolved callee.
@@ -601,16 +612,33 @@ func (s *summarizer) visitSwitch(sw *ast.SwitchStmt) {
 		if !ok {
 			continue
 		}
+		arm := SwitchArm{Pos: cc.Pos()}
 		for _, expr := range cc.List {
 			tv, ok := s.info.Types[expr]
 			if !ok || tv.Value == nil {
 				continue
 			}
 			cs.Covered = append(cs.Covered, tv.Value.ExactString())
+			arm.Values = append(arm.Values, tv.Value.ExactString())
 			if !isConstRef(s.info, expr) {
 				cs.Raw = append(cs.Raw, expr.Pos())
 			}
 		}
+		seen := make(map[*types.Func]bool)
+		for _, body := range cc.Body {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := s.calleeOf(call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					arm.Callees = append(arm.Callees, callee)
+				}
+				return true
+			})
+		}
+		cs.Arms = append(cs.Arms, arm)
 	}
 	s.sum.Switches = append(s.sum.Switches, cs)
 }

@@ -9,11 +9,18 @@ type Span struct{ id int }
 // End records the span.
 func (s Span) End() {}
 
+// TraceContext stands in for telemetry.TraceContext.
+type TraceContext struct{ TraceID uint64 }
+
 // Tracer stands in for telemetry.Trainer.
 type Tracer struct{}
 
 // Begin opens a span.
 func (Tracer) Begin(phase int) Span { return Span{} }
+
+// BeginTraced opens a span carrying a propagated trace context — the
+// server-side variant. Same Begin/End discipline.
+func (Tracer) BeginTraced(phase int, tc TraceContext) Span { return Span{} }
 
 func work()          {}
 func failing() error { return nil }
@@ -80,6 +87,13 @@ func okSwitchCase(t Tracer, k int) {
 	}
 }
 
+// okTraced: BeginTraced follows the same accepted shapes.
+func okTraced(t Tracer, tc TraceContext) {
+	sp := t.BeginTraced(1, tc)
+	defer sp.End()
+	work()
+}
+
 // --- violations ---
 
 func badDiscard(t Tracer) {
@@ -116,6 +130,20 @@ func badCase(t Tracer, k int) {
 			sp.End()
 		}
 	}
+}
+
+func badTracedDiscard(t Tracer, tc TraceContext) {
+	t.BeginTraced(1, tc) // want `result of BeginTraced discarded`
+	work()
+}
+
+func badTracedReturn(t Tracer, tc TraceContext) error {
+	sp := t.BeginTraced(1, tc) // want `span sp may return without End`
+	if err := failing(); err != nil {
+		return err
+	}
+	sp.End()
+	return nil
 }
 
 // suppressed shows the standard escape hatch.

@@ -18,6 +18,14 @@ import (
 // the decoder learns the value, since decode in this codebase is dispatch).
 // It additionally rejects duplicate wire values and raw-literal case
 // labels, the two ways a hand-maintained opcode space corrupts silently.
+//
+// Data-plane discipline: every dispatch arm of a wire switch must record a
+// latency observation — a Histogram Observe/ObserveSeconds or a telemetry
+// Span.End reached transitively through the arm's callees. An opcode that
+// dodges the latency surface is invisible to shmtop's p50/p99 columns and
+// to the Fig. 6 timeline, which is how a slow verb hides in a fleet.
+// Control-plane arms (create/lookup/hello, called once per session) carry
+// //lint:ignore wireproto directives.
 var WireProto = &Analyzer{
 	Name:       "wireproto",
 	Doc:        "require encoder/dispatch parity for op* wire constants",
@@ -36,6 +44,7 @@ func runWireProto(pass *ProgramPass) error {
 		tn  *types.TypeName
 	}
 	var raws []rawCase
+	arms := make(map[*types.TypeName][]SwitchArm)
 	for _, fi := range prog.FuncsInOrder() {
 		for _, sw := range fi.Sum.Switches {
 			switched[sw.TypeName] = true
@@ -50,6 +59,7 @@ func runWireProto(pass *ProgramPass) error {
 			for _, p := range sw.Raw {
 				raws = append(raws, rawCase{p, sw.TypeName})
 			}
+			arms[sw.TypeName] = append(arms[sw.TypeName], sw.Arms...)
 		}
 		for _, ou := range fi.Sum.Opcodes {
 			if ou.Role == OpUseEncode {
@@ -87,6 +97,7 @@ func runWireProto(pass *ProgramPass) error {
 		return a.Name() < b.Name()
 	})
 
+	obs := &observer{prog: prog, memo: make(map[*types.Func]bool)}
 	for _, tn := range typeOrder {
 		if !switched[tn] {
 			// A type nobody dispatches on is not a wire protocol.
@@ -109,6 +120,16 @@ func runWireProto(pass *ProgramPass) error {
 				pass.Reportf(c.Pos(), "opcode %s is never encoded: no call puts it on the wire", c.Name())
 			}
 		}
+		for _, arm := range arms[tn] {
+			if len(arm.Values) == 0 {
+				continue // default clause: not an opcode handler
+			}
+			if obs.armObserves(arm) {
+				continue
+			}
+			pass.Reportf(arm.Pos, "dispatch arm for %s records no latency observation (no Observe/ObserveSeconds/Span.End on any call path)",
+				armLabel(arm, firstByValue))
+		}
 	}
 	for _, r := range raws {
 		if switched[r.tn] && groups[r.tn] != nil {
@@ -116,6 +137,83 @@ func runWireProto(pass *ProgramPass) error {
 		}
 	}
 	return nil
+}
+
+// observer answers "does this function transitively record a latency
+// observation?" with memoization over the program call graph.
+type observer struct {
+	prog *Program
+	memo map[*types.Func]bool
+}
+
+// armObserves reports whether any call in the dispatch arm's body reaches a
+// latency observation.
+func (o *observer) armObserves(arm SwitchArm) bool {
+	for _, c := range arm.Callees {
+		if o.observes(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// observes reports whether fn is itself a latency observation or reaches
+// one through its module callees. The memo doubles as the cycle guard: a
+// function mid-visit reads as false, which is the conservative fixpoint.
+func (o *observer) observes(fn *types.Func) bool {
+	if isObserveCall(fn) {
+		return true
+	}
+	if done, ok := o.memo[fn]; ok {
+		return done
+	}
+	o.memo[fn] = false
+	fi := o.prog.Funcs[fn]
+	if fi == nil {
+		return false // outside the module: assumed not to observe
+	}
+	for _, c := range fi.Sum.Calls {
+		if o.observes(c.Callee) {
+			o.memo[fn] = true
+			return true
+		}
+	}
+	return false
+}
+
+// isObserveCall recognizes the latency-recording leaves: a Histogram's
+// Observe/ObserveSeconds, and End/ObserveInto on a type named Span (the
+// telemetry tracer's span, whose End records the phase sample).
+func isObserveCall(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Observe", "ObserveSeconds":
+		return true
+	case "End", "ObserveInto":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			return false
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "Span"
+	}
+	return false
+}
+
+// armLabel names a dispatch arm by its opcode constants for diagnostics.
+func armLabel(arm SwitchArm, byValue map[string]*types.Const) string {
+	names := make([]string, 0, len(arm.Values))
+	for _, v := range arm.Values {
+		if c := byValue[v]; c != nil {
+			names = append(names, c.Name())
+		} else {
+			names = append(names, v)
+		}
+	}
+	return strings.Join(names, ", ")
 }
 
 // isOpName matches the repo's opcode naming convention: "op" followed by an

@@ -218,7 +218,16 @@ func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
 		if deadlines {
 			dc.SetWriteDeadline(time.Now().Add(c.opTimeout))
 		}
-		if err := writeFrameInto(c.conn, byte(opWriteAccChunk), c.req.buf, &c.wire); err != nil {
+		var werr error
+		if c.traceOK && c.tc.TraceID != 0 {
+			// Chunk frames carry the trace header too: the server's per-chunk
+			// srv.chunk spans then parent onto the same client push span as
+			// the End ack, rendering the pipeline under one trace.
+			werr = writeFrameTracedInto(c.conn, byte(opWriteAccChunk), c.req.buf, c.tc, &c.wire)
+		} else {
+			werr = writeFrameInto(c.conn, byte(opWriteAccChunk), c.req.buf, &c.wire)
+		}
+		if err := werr; err != nil {
 			// A mid-sequence failure leaves the stream desynchronized: the
 			// server saw some prefix of the chunks and is waiting for the
 			// rest. The seed returned the error but kept the connection,

@@ -19,6 +19,9 @@ func FuzzDispatch(f *testing.F) {
 		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4}) // hdr+pad+one float
 	f.Add(byte(opWriteAccChunk), []byte{7})                 // truncated header
 	f.Add(byte(opWriteAccEnd), bytes.Repeat([]byte{0}, 16)) // end without chunks
+	f.Add(byte(opHello), []byte{1, 0, 0, 0, 0, 0, 0, 0})    // feature negotiation
+	f.Add(byte(opHello), []byte{})                          // truncated hello
+	f.Add(byte(opAccumulate)|traceFlagBit, []byte{1})       // flagged op leaks to dispatch
 	f.Add(byte(99), []byte{1})
 	f.Fuzz(func(t *testing.T, op byte, payload []byte) {
 		srv := &Server{store: NewStore()}
@@ -66,7 +69,17 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{5, 0, 0, 0, 1, 2, 3, 4, 5})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Trace-flagged frame: 25-byte body (opcode|0x80 + 24-byte header).
+	f.Add(append([]byte{25, 0, 0, 0, byte(opAccumulate) | traceFlagBit},
+		bytes.Repeat([]byte{0xab}, 24)...))
+	// Flagged frame whose body is shorter than the trace header.
+	f.Add([]byte{3, 0, 0, 0, byte(opWrite) | traceFlagBit, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _, _ = readFrame(bytes.NewReader(data))
+		op, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil || op&traceFlagBit == 0 {
+			return
+		}
+		// Flagged frames must split cleanly or be rejected — never panic.
+		_, _, _ = parseTraceExt(payload)
 	})
 }

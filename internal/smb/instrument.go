@@ -132,6 +132,9 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	reg.CounterFunc("smb_seq_duplicates_total",
 		"sequence-stamped accumulates acknowledged as already-applied duplicates",
 		s.store.stats.seqDups.Load)
+	s.dispatchLat.Store(reg.Histogram("smb_server_dispatch_seconds",
+		"per-frame dispatch latency, read-to-reply (the srv.dispatch span); recorded only with a tracer installed",
+		telemetry.DefLatencyBuckets))
 }
 
 // supervisedInstruments is the supervised client's recovery telemetry.

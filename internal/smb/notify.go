@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // Update notification (paper Sec. III-B: SMB "provides APIs to the
@@ -181,6 +183,7 @@ const (
 func (s *Server) dispatchNotify(op opcode, payload []byte, cs *connState) ([]byte, error) {
 	fr := frameReader{buf: payload}
 	switch op {
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opVersion:
 		h := fr.u64()
 		if fr.err != nil {
@@ -199,8 +202,13 @@ func (s *Server) dispatchNotify(op opcode, payload []byte, cs *connState) ([]byt
 		}
 		// The server's shutdown channel cancels parked waits, so Close
 		// drains handler goroutines instead of deadlocking behind them.
+		sp := s.armSpan(cs, telemetry.PhaseSrvWait)
 		v, err := s.store.WaitUpdateCancel(Handle(h), since, s.done)
+		sp.End()
 		if err != nil {
+			if errors.Is(err, ErrWaitCanceled) {
+				telemetry.RecordEvent(telemetry.EvWaitCanceled, 0, 0, 0)
+			}
 			return nil, err
 		}
 		return cs.fw.u64(v).buf, nil

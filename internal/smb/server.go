@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // Server exposes a Store over TCP — the process playing the role of the
@@ -30,7 +32,25 @@ type Server struct {
 	connErrors atomic.Int64 // handler loops that exited on a transport error
 	reapedSeqs atomic.Int64 // chunked sequences abandoned mid-stream by a dying conn
 	active     atomic.Int64 // live connection handlers
+
+	// tracer, when installed via SetTracer, records server-side spans
+	// (dispatch, accumulate apply, chunk pipeline, waits) — with trace
+	// propagation they become children of the client span that sent the
+	// frame. Atomic so chaos frontends can share one tracer across server
+	// incarnations without racing the handler loops.
+	tracer      atomic.Pointer[telemetry.Tracer]
+	dispatchLat atomic.Pointer[telemetry.Histogram]
+	traceTIDs   atomic.Int32 // connection track ids handed out, see serverTIDBase
 }
+
+// serverTIDBase offsets server connection tracks away from the worker
+// main/update tids (2*rank, 2*rank+1), so a merged per-process trace keeps
+// the two families visually separate.
+const serverTIDBase int32 = 1000
+
+// serverSpanSalt marks span ids minted by a server process; workers salt
+// with (rank+1)<<48, so merged traces never collide.
+const serverSpanSalt uint64 = 1 << 63
 
 // NewServer returns a server around store listening on addr
 // (e.g. "127.0.0.1:0"). Serve must be called to accept connections.
@@ -62,6 +82,13 @@ func (s *Server) SetLogf(logf func(format string, args ...any)) {
 	s.logf = logf
 	s.mu.Unlock()
 }
+
+// SetTracer installs a span tracer on the server: every request frame then
+// records a srv.dispatch span, and the accumulate/chunk/wait arms record
+// their own nested spans. With a tracer installed the server also grants
+// the trace feature to clients negotiating via opHello, linking those spans
+// to the client side. Safe to call while serving; nil uninstalls.
+func (s *Server) SetTracer(tr *telemetry.Tracer) { s.tracer.Store(tr) }
 
 // ConnErrors returns how many connection handlers exited on a transport
 // error (as opposed to a clean close between frames).
@@ -164,6 +191,15 @@ type connState struct {
 	// chunkOpen is true between the first chunk frame and the End frame —
 	// a connection dying with it set abandoned a sequence mid-stream.
 	chunkOpen bool
+
+	// tc is the trace context of the request currently being dispatched
+	// (zero = untraced). cur is the server's own dispatch-span context,
+	// which the arm spans parent onto. Single handler goroutine; no lock.
+	tc  TraceContext
+	cur telemetry.TraceContext
+	// tid is the telemetry track assigned to this connection (0 = none yet;
+	// assigned lazily on the first dispatch with a tracer installed).
+	tid int32
 }
 
 var connStatePool = sync.Pool{New: func() any { return new(connState) }}
@@ -175,12 +211,28 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	cs := connStatePool.Get().(*connState)
 	cs.chunkErr = nil // a pooled state may carry a dead connection's sequence
 	cs.chunkOpen = false
+	cs.tc = TraceContext{}
+	cs.cur = telemetry.TraceContext{}
+	cs.tid = 0
 	defer connStatePool.Put(cs)
 	for {
 		op, payload, err := readFrameInto(conn, &cs.in)
 		if err != nil {
 			s.connDone(cs, err)
 			return
+		}
+		cs.tc = TraceContext{}
+		if op&traceFlagBit != 0 {
+			// A truncated trace header is connection-fatal, never an error
+			// reply: the flagged frame may be a streamed chunk that expects
+			// no reply, and answering it would desync the framing.
+			tc, body, perr := parseTraceExt(payload)
+			if perr != nil {
+				s.connDone(cs, perr)
+				return
+			}
+			cs.tc, payload = tc, body
+			op &^= traceFlagBit
 		}
 		resp, err := s.dispatch(opcode(op), payload, cs)
 		if err != nil {
@@ -214,7 +266,8 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 func (s *Server) connDone(cs *connState, err error) {
 	mid := cs.chunkOpen || cs.chunkErr != nil
 	if mid {
-		s.reapedSeqs.Add(1)
+		total := s.reapedSeqs.Add(1)
+		telemetry.RecordEvent(telemetry.EvSeqReaped, total, 0, 0)
 		cs.chunkErr = nil
 		cs.chunkOpen = false
 	}
@@ -226,7 +279,7 @@ func (s *Server) connDone(cs *connState, err error) {
 	if errors.Is(err, io.EOF) && !mid {
 		return // clean close at a frame boundary
 	}
-	s.connErrors.Add(1)
+	telemetry.RecordEvent(telemetry.EvConnError, s.connErrors.Add(1), 0, 0)
 	s.mu.Lock()
 	logf := s.logf
 	s.mu.Unlock()
@@ -241,11 +294,63 @@ func (s *Server) connDone(cs *connState, err error) {
 
 // dispatch decodes and executes one request. The returned payload may alias
 // cs scratch and is valid until the next dispatch on the same connection.
+// With a tracer installed it wraps the work in a srv.dispatch span: a child
+// of the client span when the frame carried a trace context, a plain local
+// span otherwise.
 func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, error) {
+	tr := s.tracer.Load()
+	if tr == nil {
+		cs.cur = telemetry.TraceContext{}
+		return s.dispatchOp(op, payload, cs)
+	}
+	if cs.tid == 0 {
+		cs.tid = serverTIDBase + s.traceTIDs.Add(1)
+		tr.NameThread(cs.tid, fmt.Sprintf("smb-conn-%d", cs.tid-serverTIDBase))
+	}
+	cs.cur = telemetry.TraceContext{}
+	if cs.tc.TraceID != 0 {
+		cs.cur = telemetry.TraceContext{
+			TraceID: cs.tc.TraceID,
+			SpanID:  telemetry.NextSpanID(serverSpanSalt),
+			Parent:  cs.tc.SpanID,
+		}
+	}
+	sp := tr.BeginTraced(cs.tid, telemetry.PhaseSrvDispatch, cs.cur)
+	if h := s.dispatchLat.Load(); h != nil {
+		sp = sp.ObserveInto(h)
+	}
+	resp, err := s.dispatchOp(op, payload, cs)
+	sp.End()
+	return resp, err
+}
+
+// armSpan opens a nested span for one dispatch arm (accumulate apply, chunk
+// apply, wait). It parents onto the connection's current dispatch span when
+// that span is part of a propagated trace. Returns the inert zero Span when
+// no tracer is installed, so arms call it unconditionally.
+func (s *Server) armSpan(cs *connState, p telemetry.Phase) telemetry.Span {
+	tr := s.tracer.Load()
+	if tr == nil {
+		return telemetry.Span{}
+	}
+	var tc telemetry.TraceContext
+	if cs.cur.TraceID != 0 {
+		tc = telemetry.TraceContext{
+			TraceID: cs.cur.TraceID,
+			SpanID:  telemetry.NextSpanID(serverSpanSalt),
+			Parent:  cs.cur.SpanID,
+		}
+	}
+	return tr.BeginTraced(cs.tid, p, tc)
+}
+
+// dispatchOp is the opcode switch behind dispatch.
+func (s *Server) dispatchOp(op opcode, payload []byte, cs *connState) ([]byte, error) {
 	fr := frameReader{buf: payload}
 	fw := &cs.fw
 	fw.buf = fw.buf[:0]
 	switch op {
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opCreate:
 		name := fr.str()
 		size := fr.u64()
@@ -257,6 +362,7 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			return nil, err
 		}
 		return fw.u64(uint64(key)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opLookup:
 		name := fr.str()
 		if fr.err != nil {
@@ -267,6 +373,7 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			return nil, err
 		}
 		return fw.u64(uint64(key)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opAttach:
 		key := fr.u64()
 		if fr.err != nil {
@@ -277,12 +384,14 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			return nil, err
 		}
 		return fw.u64(uint64(h)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opDetach:
 		h := fr.u64()
 		if fr.err != nil {
 			return nil, fr.err
 		}
 		return nil, s.store.Detach(Handle(h))
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
 	case opFree:
 		key := fr.u64()
 		if fr.err != nil {
@@ -321,7 +430,10 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 		if fr.err != nil {
 			return nil, fr.err
 		}
-		return nil, s.store.Accumulate(Handle(dst), Handle(src))
+		sp := s.armSpan(cs, telemetry.PhaseSrvAcc)
+		err := s.store.Accumulate(Handle(dst), Handle(src))
+		sp.End()
+		return nil, err
 	case opWriteAccChunk:
 		// Streamed chunk: apply immediately, never reply — the client is
 		// already sending the next chunk (the T.A2/T.A3 pipeline).
@@ -338,9 +450,11 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			cs.chunkErr = fr.err
 			return nil, errNoReply
 		}
+		sp := s.armSpan(cs, telemetry.PhaseSrvChunk)
 		if err := s.store.WriteAccumulateAt(Handle(dst), Handle(src), int(off), data); err != nil {
 			cs.chunkErr = err
 		}
+		sp.End()
 		return nil, errNoReply
 	case opWriteAccEnd:
 		cs.chunkOpen = false
@@ -353,7 +467,10 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			cs.chunkErr = nil
 			return nil, err
 		}
-		return nil, s.store.FinishWriteAccumulate(Handle(dst), Handle(src))
+		sp := s.armSpan(cs, telemetry.PhaseSrvAcc)
+		err := s.store.FinishWriteAccumulate(Handle(dst), Handle(src))
+		sp.End()
+		return nil, err
 	case opSeqAccumulate:
 		dst := fr.u64()
 		src := fr.u64()
@@ -362,7 +479,9 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 		if fr.err != nil {
 			return nil, fr.err
 		}
+		sp := s.armSpan(cs, telemetry.PhaseSrvAcc)
 		applied, err := s.store.SeqAccumulate(Handle(dst), Handle(src), client, seq)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -371,6 +490,20 @@ func (s *Server) dispatch(op opcode, payload []byte, cs *connState) ([]byte, err
 			v = 1
 		}
 		return fw.u64(v).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per session/segment, not a data-path latency
+	case opHello:
+		want := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		// Grant only what this server can honor: the trace feature needs an
+		// installed tracer (otherwise the header would be parsed and thrown
+		// away — better to tell the client not to pay for stamping).
+		var granted uint64
+		if s.tracer.Load() != nil {
+			granted = want & helloFeatureTrace
+		}
+		return fw.u64(granted).buf, nil
 	default:
 		return s.dispatchNotify(op, payload, cs)
 	}
@@ -395,6 +528,13 @@ type StreamClient struct {
 	opTimeout   time.Duration // guarded by mu; 0 = block forever (seed behavior)
 	waitTimeout time.Duration // guarded by mu; WaitUpdate budget, 0 = block forever
 	broken      error         // guarded by mu; first transport failure latches here
+
+	// traceOK is set by NegotiateTrace when the server granted the trace
+	// feature; tc is the context stamped on outgoing requests while nonzero.
+	// Both guarded by mu. Requests are only ever trace-flagged when both
+	// hold, so an un-negotiated peer never sees the extension.
+	traceOK bool
+	tc      TraceContext
 }
 
 var _ Client = (*StreamClient)(nil)
@@ -495,7 +635,13 @@ func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
 	if deadlines {
 		dc.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	if err := writeFrameInto(c.conn, byte(op), c.req.buf, &c.wire); err != nil {
+	var err error
+	if c.traceOK && c.tc.TraceID != 0 && op != opHello {
+		err = writeFrameTracedInto(c.conn, byte(op), c.req.buf, c.tc, &c.wire)
+	} else {
+		err = writeFrameInto(c.conn, byte(op), c.req.buf, &c.wire)
+	}
+	if err != nil {
 		return nil, c.poisonLocked(fmt.Errorf("smb request: %w: %w", ErrTransport, err))
 	}
 	if deadlines {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shmcaffe/internal/telemetry"
 )
 
 // SupervisedClient: the fault-tolerant SMB data path.
@@ -98,6 +100,12 @@ type SupervisedClient struct {
 
 	closed    bool // guarded by mu
 	connected bool // guarded by mu; a connection has succeeded at least once
+
+	// wantTrace makes every (re)connection negotiate the trace extension;
+	// tc is the caller's current trace context, re-stamped onto each fresh
+	// connection so propagation survives reconnects. Both guarded by mu.
+	wantTrace bool
+	tc        TraceContext
 
 	reconnects atomic.Int64
 	retries    atomic.Int64
@@ -193,6 +201,16 @@ func (c *SupervisedClient) ensureLocked() (*StreamClient, error) {
 		return nil, fmt.Errorf("smb supervised dial: %w", err)
 	}
 	sc.SetTimeouts(c.cfg.OpTimeout, c.cfg.WaitTimeout)
+	if c.wantTrace {
+		// Re-negotiate on every fresh connection — the grant is per-conn
+		// state on the server. A transport failure here counts as a failed
+		// dial; an old server just leaves the connection untraced.
+		if _, err := sc.NegotiateTrace(); err != nil {
+			sc.Close()
+			return nil, fmt.Errorf("smb supervised hello: %w", err)
+		}
+		sc.SetTraceContext(c.tc)
+	}
 	// Fresh connection, fresh server-side handle table: the Fig. 2 attach
 	// exchange replays lazily via remoteLocked as handles are next used.
 	c.conn = sc
@@ -202,7 +220,8 @@ func (c *SupervisedClient) ensureLocked() (*StreamClient, error) {
 	if c.connected {
 		// Only re-connections count: the lazy first dial is the normal
 		// bootstrap, not a recovery.
-		c.reconnects.Add(1)
+		n := c.reconnects.Add(1)
+		telemetry.RecordEvent(telemetry.EvReconnect, int64(c.cfg.ClientID), n, 0)
 		if c.inst != nil {
 			c.inst.reconnects.Inc()
 		}
@@ -210,6 +229,46 @@ func (c *SupervisedClient) ensureLocked() (*StreamClient, error) {
 	c.connected = true
 	return sc, nil
 }
+
+// EnableTrace makes the client negotiate the trace extension on every
+// connection, including reconnects. Against an old server it degrades
+// silently to untraced. Call before traffic (it also upgrades a live
+// connection in place).
+func (c *SupervisedClient) EnableTrace() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wantTrace = true
+	if c.conn != nil {
+		if _, err := c.conn.NegotiateTrace(); err != nil {
+			c.dropLocked() // transport failure: the next verb redials
+			return
+		}
+		c.conn.SetTraceContext(c.tc)
+	}
+}
+
+// SetTraceContext implements TraceCarrier. The context survives reconnects:
+// every fresh connection is re-stamped with it.
+func (c *SupervisedClient) SetTraceContext(tc TraceContext) {
+	c.mu.Lock()
+	c.tc = tc
+	if c.conn != nil {
+		c.conn.SetTraceContext(tc)
+	}
+	c.mu.Unlock()
+}
+
+// ClearTraceContext implements TraceCarrier.
+func (c *SupervisedClient) ClearTraceContext() {
+	c.mu.Lock()
+	c.tc = TraceContext{}
+	if c.conn != nil {
+		c.conn.ClearTraceContext()
+	}
+	c.mu.Unlock()
+}
+
+var _ TraceCarrier = (*SupervisedClient)(nil)
 
 // dropLocked discards the connection after a transport failure.
 func (c *SupervisedClient) dropLocked() {
@@ -271,6 +330,7 @@ func (c *SupervisedClient) withRetry(verb string, op func(sc *StreamClient) erro
 		}
 		if errors.Is(err, os.ErrDeadlineExceeded) {
 			c.timeouts.Add(1)
+			telemetry.RecordEvent(telemetry.EvDeadlineFired, int64(c.cfg.ClientID), 0, 0)
 			if c.inst != nil {
 				c.inst.timeouts.Inc()
 			}
@@ -281,6 +341,7 @@ func (c *SupervisedClient) withRetry(verb string, op func(sc *StreamClient) erro
 		lastErr = err
 		c.dropLocked()
 	}
+	telemetry.RecordEvent(telemetry.EvRetriesExhausted, int64(c.cfg.ClientID), int64(c.cfg.MaxAttempts), 0)
 	return fmt.Errorf("smb supervised %s: %d attempts exhausted: %w", verb, c.cfg.MaxAttempts, lastErr)
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 )
 
 // Chrome trace_event export: the tracer's ring renders as the paper's
@@ -48,7 +49,11 @@ func (t *Tracer) Events() []TraceEvent {
 		tids = append(tids, tid)
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
-	events := make([]TraceEvent, 0, len(spans)+len(tids))
+	events := make([]TraceEvent, 0, len(spans)+len(tids)+1)
+	events = append(events, TraceEvent{
+		Name: "clock_epoch", Ph: "M", PID: 0, TID: 0,
+		Args: map[string]string{"epoch_unix_nano": strconv.FormatInt(t.EpochUnixNano(), 10)},
+	})
 	for _, tid := range tids {
 		events = append(events, TraceEvent{
 			Name: "thread_name", Ph: "M", PID: 0, TID: int(tid),
@@ -58,7 +63,7 @@ func (t *Tracer) Events() []TraceEvent {
 	t.mu.Unlock()
 
 	for _, s := range spans {
-		events = append(events, TraceEvent{
+		ev := TraceEvent{
 			Name: s.phase.String(),
 			Cat:  "seasgd",
 			Ph:   "X",
@@ -66,16 +71,44 @@ func (t *Tracer) Events() []TraceEvent {
 			Dur:  float64(s.dur) / 1e3,
 			PID:  0,
 			TID:  int(s.tid),
-		})
+		}
+		if s.traceID != 0 {
+			ev.Args = map[string]string{
+				"trace_id": fmt.Sprintf("%016x", s.traceID),
+				"span_id":  fmt.Sprintf("%016x", s.spanID),
+			}
+			if s.parent != 0 {
+				ev.Args["parent_id"] = fmt.Sprintf("%016x", s.parent)
+			}
+		}
+		events = append(events, ev)
 	}
 	return events
+}
+
+// TraceEpochUnixNano extracts the clock_epoch metadata from a parsed trace
+// (0 when absent — traces written before epoch anchoring).
+func TraceEpochUnixNano(events []TraceEvent) int64 {
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "clock_epoch" {
+			if v, err := strconv.ParseInt(ev.Args["epoch_unix_nano"], 10, 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
 }
 
 // WriteChromeTrace writes the trace_event JSON object form. Call it only
 // after recording has quiesced (e.g. after training returns).
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeTraceEvents(w, t.Events())
+}
+
+// writeTraceEvents writes any event list in the object trace form.
+func writeTraceEvents(w io.Writer, events []TraceEvent) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
 // WriteChromeTraceFile writes the trace to path (0644).

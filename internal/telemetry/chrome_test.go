@@ -55,9 +55,17 @@ func TestChromeTraceGolden(t *testing.T) {
 
 	seen := map[string]int{}
 	meta := 0
+	epochs := 0
 	for _, ev := range obj.TraceEvents {
 		switch ev.Ph {
 		case "M":
+			if ev.Name == "clock_epoch" {
+				epochs++
+				if ev.Args["epoch_unix_nano"] == "" {
+					t.Errorf("clock_epoch event missing epoch_unix_nano: %+v", ev)
+				}
+				continue
+			}
 			meta++
 			if ev.Name != "thread_name" || ev.Args["name"] == "" {
 				t.Errorf("bad metadata event %+v", ev)
@@ -76,6 +84,9 @@ func TestChromeTraceGolden(t *testing.T) {
 	}
 	if meta != 4 { // 2 workers x (main, update)
 		t.Errorf("thread_name events = %d, want 4", meta)
+	}
+	if epochs != 1 {
+		t.Errorf("clock_epoch events = %d, want 1", epochs)
 	}
 	for _, name := range []string{"T1", "T2", "T4+T5", "T.A1", "T.A2", "T.A3", "T.A4", "T.A5"} {
 		if seen[name] != 2 {
@@ -153,8 +164,10 @@ func TestComputeBreakdown(t *testing.T) {
 	if got, want := b.OverlapRatio(), 0.7; math.Abs(got-want) > 1e-9 {
 		t.Errorf("OverlapRatio = %v, want %v", got, want)
 	}
-	if len(b.Phases) != NumPhases {
-		t.Errorf("Phases = %d entries, want %d", len(b.Phases), NumPhases)
+	// The sample trace exercises exactly the 8 Fig. 6 worker phases; the
+	// server-side srv.* phases are absent.
+	if len(b.Phases) != 8 {
+		t.Errorf("Phases = %d entries, want 8", len(b.Phases))
 	}
 	for i, st := range b.Phases {
 		if int(st.Phase) != i {

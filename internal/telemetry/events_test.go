@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventRingBasics(t *testing.T) {
+	r := NewEventRing(64)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("fresh ring: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	r.Record(EvReconnect, 3, 2, 0)
+	r.Record(EvDeadlineFired, 7, 0, 0)
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != EvReconnect || evs[0].A != 3 || evs[0].B != 2 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != EvDeadlineFired || evs[1].A != 7 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+	if evs[0].UnixNano == 0 || evs[1].UnixNano < evs[0].UnixNano {
+		t.Errorf("timestamps not monotone: %d then %d", evs[0].UnixNano, evs[1].UnixNano)
+	}
+}
+
+func TestEventRingWrap(t *testing.T) {
+	r := NewEventRing(64)
+	const total = 200
+	for i := 0; i < total; i++ {
+		r.Record(EvConnError, int64(i), 0, 0)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	if got := r.Dropped(); got != total-64 {
+		t.Fatalf("Dropped = %d, want %d", got, total-64)
+	}
+	evs := r.Snapshot()
+	// Oldest-first: the survivors are events 136..199 in order.
+	for i, e := range evs {
+		if want := int64(total - 64 + i); e.A != want {
+			t.Fatalf("event %d has A=%d, want %d", i, e.A, want)
+		}
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Record(EvReconnect, 1, 2, 3) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring is not inert")
+	}
+}
+
+// TestEventRingConcurrent hammers Record from many goroutines; tier 2 runs
+// this package under -race. Every record must land without a data race and
+// the drop accounting must be exact.
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(256)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(EventKind(1+(i%(NumEventKinds-1))), int64(w), int64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len() + int(r.Dropped()); got != workers*perWorker {
+		t.Fatalf("Len+Dropped = %d, want %d", got, workers*perWorker)
+	}
+	// Export while idle must not panic and must decode every slot.
+	if evs := r.Snapshot(); len(evs) != 256 {
+		t.Fatalf("Snapshot len = %d, want 256", len(evs))
+	}
+}
+
+// TestEventRecordZeroAlloc pins the flight-recorder contract: the record
+// path performs zero heap allocations (check.sh tier-2 guard).
+func TestEventRecordZeroAlloc(t *testing.T) {
+	r := NewEventRing(1024)
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record(EvReconnect, 1, 2, 3)
+	}); n != 0 {
+		t.Errorf("EventRing.Record allocates %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		RecordEvent(EvDeadlineFired, 4, 0, 0)
+	}); n != 0 {
+		t.Errorf("RecordEvent allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestEventJSONAndText(t *testing.T) {
+	r := NewEventRing(64)
+	r.Record(EvReconnect, 5, 2, 0)
+	r.Record(EvChaosCrash, 1, 0, 0)
+
+	var jb bytes.Buffer
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Time string           `json:"time"`
+		Kind string           `json:"kind"`
+		Args map[string]int64 `json:"args"`
+	}
+	if err := json.Unmarshal(jb.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, jb.String())
+	}
+	if len(out) != 2 || out[0].Kind != "reconnect" || out[1].Kind != "chaos_crash" {
+		t.Fatalf("decoded = %+v", out)
+	}
+	if out[0].Args["client"] != 5 || out[0].Args["attempt"] != 2 {
+		t.Errorf("reconnect args = %v", out[0].Args)
+	}
+
+	var tb bytes.Buffer
+	if err := r.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	text := tb.String()
+	for _, want := range []string{"2 events", "reconnect", "client=5", "attempt=2", "chaos_crash", "crashes=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < NumEventKinds; k++ {
+		name := EventKind(k).String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionConformance is the table-driven 0.0.4 text-format edge-case
+// suite: label values are escaped, HELP text is escaped, NaN/±Inf render in
+// the spellings the format requires, and an explicit trailing +Inf bucket
+// never duplicates the implicit overflow bucket.
+func TestExpositionConformance(t *testing.T) {
+	cases := []struct {
+		name     string
+		register func(r *Registry)
+		want     []string // substrings that must appear
+		absent   []string // substrings that must not
+	}{
+		{
+			name: "label value backslash and quote escaped",
+			register: func(r *Registry) {
+				r.Counter(`files_total{path="C:\\tmp\"x"}`, "files").Add(3)
+			},
+			want: []string{`files_total{path="C:\\tmp\"x"} 3`},
+		},
+		{
+			name: "label value newline escaped",
+			register: func(r *Registry) {
+				c := r.Counter("lines_total{src=\"a\nb\"}", "lines")
+				c.Inc()
+			},
+			want:   []string{`lines_total{src="a\nb"} 1`},
+			absent: []string{"a\nb\"}"},
+		},
+		{
+			name: "help text escaped",
+			register: func(r *Registry) {
+				r.Gauge("g_one", "line one\nline two \\ backslash").Set(1)
+			},
+			want: []string{`# HELP g_one line one\nline two \\ backslash`},
+		},
+		{
+			name: "gauge NaN and infinities",
+			register: func(r *Registry) {
+				r.Gauge("g_nan", "n").Set(math.NaN())
+				r.Gauge("g_pinf", "p").Set(math.Inf(1))
+				r.Gauge("g_ninf", "m").Set(math.Inf(-1))
+			},
+			want: []string{"g_nan NaN", "g_pinf +Inf", "g_ninf -Inf"},
+		},
+		{
+			name: "explicit trailing +Inf bucket deduplicated",
+			register: func(r *Registry) {
+				h := r.Histogram("h_inf", "h", []float64{0.5, math.Inf(1)})
+				h.Observe(0.1)
+				h.Observe(99)
+			},
+			want: []string{
+				`h_inf_bucket{le="0.5"} 1`,
+				`h_inf_bucket{le="+Inf"} 2`,
+				"h_inf_count 2",
+			},
+		},
+		{
+			name: "labeled histogram escapes values in every series",
+			register: func(r *Registry) {
+				h := r.Histogram(`h_lbl{op="a\"b"}`, "h", []float64{1})
+				h.Observe(0.5)
+			},
+			want: []string{
+				`h_lbl_bucket{op="a\"b",le="1"} 1`,
+				`h_lbl_bucket{op="a\"b",le="+Inf"} 1`,
+				`h_lbl_sum{op="a\"b"} 0.5`,
+				`h_lbl_count{op="a\"b"} 1`,
+			},
+		},
+		{
+			name: "multi-label series renders in order",
+			register: func(r *Registry) {
+				r.Counter(`multi_total{op="read",tier="hot"}`, "m").Add(7)
+			},
+			want: []string{`multi_total{op="read",tier="hot"} 7`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.register(r)
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("exposition missing %q:\n%s", w, out)
+				}
+			}
+			for _, a := range tc.absent {
+				if strings.Contains(out, a) {
+					t.Errorf("exposition contains forbidden %q:\n%s", a, out)
+				}
+			}
+			// One +Inf bucket line per histogram series, never more.
+			for _, line := range strings.Split(out, "\n") {
+				if strings.Count(line, `le="+Inf"`) > 1 {
+					t.Errorf("duplicate +Inf in one line: %q", line)
+				}
+			}
+		})
+	}
+}
+
+// TestExpositionInfBucketCount asserts the stripped +Inf bound did not shift
+// bucket boundaries: an observation above the finite bounds lands only in
+// the overflow bucket.
+func TestExpositionInfBucketCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_shift", "h", []float64{1, 2, math.Inf(1)})
+	h.Observe(1.5)
+	h.Observe(10)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		`h_shift_bucket{le="1"} 0`,
+		`h_shift_bucket{le="2"} 1`,
+		`h_shift_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Count(out, `le="+Inf"`) != 1 {
+		t.Errorf("want exactly one +Inf bucket line:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Cross-node trace merging — the shmtop half of trace propagation. Each
+// process exports spans with timestamps relative to its own tracer epoch;
+// the epoch's wall-clock anchor rides along as clock_epoch metadata. The
+// merger assigns every node a distinct Chrome pid, shifts each node's spans
+// onto one absolute timeline (epoch anchor minus the node's estimated clock
+// offset), and the trace_id/span_id/parent_id args recorded by the wire
+// extension then link a worker's push span to the server-side spans it
+// caused — across processes.
+
+// NodeTrace is one process's trace plus its placement on the fleet timeline.
+type NodeTrace struct {
+	Name   string       // display name (process_name metadata)
+	Events []TraceEvent // as parsed from the node's trace export
+
+	// ClockOffsetNano is the node's estimated wall-clock offset relative to
+	// the aggregator (remote − local); subtracted when shifting so that all
+	// nodes land on the aggregator's clock.
+	ClockOffsetNano int64
+}
+
+// MergeTraces merges per-node traces into one timeline. Node i gets pid i+1.
+// Span timestamps become microseconds since the earliest adjusted epoch
+// across the fleet; nodes without a clock_epoch anchor keep their relative
+// timestamps (best effort — their spans still merge, on their own origin).
+func MergeTraces(nodes []NodeTrace) []TraceEvent {
+	// First pass: adjusted epoch per node, and the fleet origin.
+	epochs := make([]int64, len(nodes))
+	var origin int64
+	for i, n := range nodes {
+		if e := TraceEpochUnixNano(n.Events); e != 0 {
+			epochs[i] = e - n.ClockOffsetNano
+			if origin == 0 || epochs[i] < origin {
+				origin = epochs[i]
+			}
+		}
+	}
+
+	var out []TraceEvent
+	for i, n := range nodes {
+		pid := i + 1
+		out = append(out, TraceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": n.Name},
+		})
+		out = append(out, TraceEvent{
+			Name: "clock_offset", Ph: "M", PID: pid,
+			Args: map[string]string{
+				"offset_nano": strconv.FormatInt(n.ClockOffsetNano, 10),
+			},
+		})
+		shiftUS := 0.0
+		if epochs[i] != 0 && origin != 0 {
+			shiftUS = float64(epochs[i]-origin) / 1e3
+		}
+		for _, ev := range n.Events {
+			if ev.Ph == "M" {
+				if ev.Name == "clock_epoch" {
+					continue // superseded by the merged timeline
+				}
+				ev.PID = pid
+				out = append(out, ev)
+				continue
+			}
+			ev.PID = pid
+			ev.TS += shiftUS
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ma, mb := out[a].Ph == "M", out[b].Ph == "M"
+		if ma != mb {
+			return ma
+		}
+		if ma {
+			return false
+		}
+		return out[a].TS < out[b].TS
+	})
+	return out
+}
+
+// CrossNodeChains counts parent→child span links that cross a process
+// boundary in a merged trace: a span whose parent_id names a span recorded
+// under a different pid with the same trace_id. This is the acceptance
+// quantity for trace propagation — ≥1 proves a client push span has a
+// server-side child.
+func CrossNodeChains(events []TraceEvent) int {
+	type spanKey struct {
+		trace string
+		span  string
+	}
+	owners := make(map[spanKey]int)
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Args == nil {
+			continue
+		}
+		tid, sid := ev.Args["trace_id"], ev.Args["span_id"]
+		if tid == "" || sid == "" {
+			continue
+		}
+		owners[spanKey{tid, sid}] = ev.PID
+	}
+	chains := 0
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Args == nil {
+			continue
+		}
+		tid, parent := ev.Args["trace_id"], ev.Args["parent_id"]
+		if tid == "" || parent == "" {
+			continue
+		}
+		if ownerPID, ok := owners[spanKey{tid, parent}]; ok && ownerPID != ev.PID {
+			chains++
+		}
+	}
+	return chains
+}
+
+// WriteMergedTraceFile writes merged events in the object trace form.
+func WriteMergedTraceFile(path string, events []TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create merged trace: %w", err)
+	}
+	if err := writeTraceEvents(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// twoNodeSample builds a worker trace and a server trace whose spans are
+// linked by trace args, with known epochs and a known clock skew.
+func twoNodeSample() []NodeTrace {
+	worker := []TraceEvent{
+		{Name: "clock_epoch", Ph: "M", Args: map[string]string{"epoch_unix_nano": "1000000000"}},
+		{Name: "T.A3", Ph: "X", TS: 100, Dur: 50, TID: 1,
+			Args: map[string]string{"trace_id": "aa", "span_id": "01"}},
+	}
+	server := []TraceEvent{
+		// Server clock runs 2ms ahead of the aggregator.
+		{Name: "clock_epoch", Ph: "M", Args: map[string]string{"epoch_unix_nano": "1002000000"}},
+		{Name: "srv.acc", Ph: "X", TS: 120, Dur: 30, TID: 7,
+			Args: map[string]string{"trace_id": "aa", "span_id": "02", "parent_id": "01"}},
+	}
+	return []NodeTrace{
+		{Name: "worker-0", Events: worker},
+		{Name: "smbserver", Events: server, ClockOffsetNano: 2_000_000},
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	merged := MergeTraces(twoNodeSample())
+
+	var workerSpan, serverSpan *TraceEvent
+	processNames := map[int]string{}
+	for i := range merged {
+		ev := &merged[i]
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			processNames[ev.PID] = ev.Args["name"]
+		}
+		if ev.Ph == "X" && ev.Name == "T.A3" {
+			workerSpan = ev
+		}
+		if ev.Ph == "X" && ev.Name == "srv.acc" {
+			serverSpan = ev
+		}
+	}
+	if processNames[1] != "worker-0" || processNames[2] != "smbserver" {
+		t.Fatalf("process names = %v", processNames)
+	}
+	if workerSpan == nil || serverSpan == nil {
+		t.Fatal("merged trace lost spans")
+	}
+	if workerSpan.PID == serverSpan.PID {
+		t.Error("nodes share a pid")
+	}
+	// Worker epoch 1000000000 is the origin (shift 0); server adjusted
+	// epoch is 1002000000 − 2000000 = 1000000000 too, so its spans keep
+	// their relative timestamps: the offset estimate has removed the skew.
+	if workerSpan.TS != 100 {
+		t.Errorf("worker span TS = %v, want 100", workerSpan.TS)
+	}
+	if serverSpan.TS != 120 {
+		t.Errorf("server span TS = %v, want 120 (skew removed)", serverSpan.TS)
+	}
+	// No node-local clock_epoch survives the merge.
+	for _, ev := range merged {
+		if ev.Name == "clock_epoch" {
+			t.Error("clock_epoch metadata leaked into merged trace")
+		}
+	}
+}
+
+func TestCrossNodeChains(t *testing.T) {
+	merged := MergeTraces(twoNodeSample())
+	if got := CrossNodeChains(merged); got != 1 {
+		t.Fatalf("CrossNodeChains = %d, want 1", got)
+	}
+	// Same-process parentage does not count.
+	same := []TraceEvent{
+		{Ph: "X", PID: 1, Args: map[string]string{"trace_id": "aa", "span_id": "01"}},
+		{Ph: "X", PID: 1, Args: map[string]string{"trace_id": "aa", "span_id": "02", "parent_id": "01"}},
+	}
+	if got := CrossNodeChains(same); got != 0 {
+		t.Fatalf("same-process chains = %d, want 0", got)
+	}
+	// A dangling parent_id counts nothing.
+	dangling := []TraceEvent{
+		{Ph: "X", PID: 2, Args: map[string]string{"trace_id": "aa", "span_id": "02", "parent_id": "ff"}},
+	}
+	if got := CrossNodeChains(dangling); got != 0 {
+		t.Fatalf("dangling chains = %d, want 0", got)
+	}
+}
+
+func TestWriteMergedTraceFile(t *testing.T) {
+	merged := MergeTraces(twoNodeSample())
+	path := filepath.Join(t.TempDir(), "merged.json")
+	if err := WriteMergedTraceFile(path, merged); err != nil {
+		t.Fatal(err)
+	}
+	events, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(merged) {
+		t.Fatalf("round trip lost events: %d != %d", len(events), len(merged))
+	}
+	if CrossNodeChains(events) != 1 {
+		t.Error("cross-node chain lost in file round trip")
+	}
+}

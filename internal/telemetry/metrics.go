@@ -227,7 +227,9 @@ const (
 // metric is one registered instrument plus its exposition metadata.
 type metric struct {
 	base   string // metric family name, no labels
-	labels string // `k="v",k2="v2"` or ""
+	labels string // `k="v",k2="v2"` or "" (raw, as registered)
+	pairs  []labelPair
+	parsed bool // labels parsed into pairs; exposition re-escapes values
 	help   string
 	kind   metricKind
 
@@ -236,6 +238,95 @@ type metric struct {
 	gauge   *Gauge
 	gfn     func() float64
 	hist    *Histogram
+}
+
+// labelPair is one parsed fixed-label pair; the value is held unescaped.
+type labelPair struct{ k, v string }
+
+// parseLabels parses `k="v",k2="v2"` with backslash escapes in values. ok is
+// false on malformed input, in which case exposition falls back to emitting
+// the raw registration string unchanged.
+func parseLabels(s string) (pairs []labelPair, ok bool) {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		k := s[:eq]
+		rest := s[eq+2:]
+		var v strings.Builder
+		i, closed := 0, false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					v.WriteByte('\n')
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				default:
+					v.WriteByte('\\')
+					v.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			v.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, labelPair{k: k, v: v.String()})
+		s = rest[i:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, false
+			}
+			s = s[1:]
+		}
+	}
+	return pairs, true
+}
+
+// labelEscaper escapes label values per the 0.0.4 text format; helpEscaper
+// does the same for HELP lines (where `"` needs no escape).
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+// renderLabels renders the metric's fixed labels with values escaped,
+// appending extra (an already-rendered pair like `le="0.5"`) if non-empty.
+func (m *metric) renderLabels(extra string) string {
+	fixed := m.labels
+	if m.parsed && len(m.pairs) > 0 {
+		var b strings.Builder
+		for i, p := range m.pairs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(p.k)
+			b.WriteString(`="`)
+			b.WriteString(labelEscaper.Replace(p.v))
+			b.WriteByte('"')
+		}
+		fixed = b.String()
+	}
+	if extra == "" {
+		return fixed
+	}
+	if fixed == "" {
+		return extra
+	}
+	return fixed + "," + extra
 }
 
 // Registry holds named instruments and renders them in Prometheus text
@@ -267,6 +358,11 @@ func splitName(name string) (base, labels string) {
 func (r *Registry) register(name, help string, kind metricKind) *metric {
 	base, labels := splitName(name)
 	m := &metric{base: base, labels: labels, help: help, kind: kind}
+	if labels != "" {
+		m.pairs, m.parsed = parseLabels(labels)
+	} else {
+		m.parsed = true
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.index[name]; dup {
@@ -324,10 +420,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i] <= buckets[i-1] {
+	for i, ub := range buckets {
+		if math.IsNaN(ub) || math.IsInf(ub, -1) {
+			panic(fmt.Sprintf("telemetry: histogram %q has non-finite bucket bound", name))
+		}
+		if i > 0 && ub <= buckets[i-1] {
 			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
 		}
+	}
+	// An explicit trailing +Inf bound is the implicit overflow bucket; strip
+	// it so exposition never emits a duplicate le="+Inf" series.
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], 1) {
+		buckets = buckets[:n-1]
 	}
 	m := r.register(name, help, kindHistogram)
 	upper := make([]float64, len(buckets))
@@ -336,20 +440,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return m.hist
 }
 
-// fnum renders a float64 the way Prometheus clients do.
+// fnum renders a float64 the way Prometheus clients do: +Inf/-Inf/NaN
+// spelled exactly as the text format expects, shortest round-trip otherwise.
 func fnum(v float64) string {
-	if math.IsInf(v, 1) {
+	switch {
+	case math.IsInf(v, 1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// withLabel joins a metric's fixed labels with one extra label pair.
-func withLabel(labels, extra string) string {
-	if labels == "" {
-		return extra
-	}
-	return labels + "," + extra
 }
 
 // WritePrometheus renders every registered metric in text exposition format
@@ -385,12 +487,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindHistogram:
 			typ = "histogram"
 		}
-		fmt.Fprintf(&b, "# HELP %s %s\n", base, fam[0].help)
+		fmt.Fprintf(&b, "# HELP %s %s\n", base, helpEscaper.Replace(fam[0].help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
 		for _, m := range fam {
+			rendered := m.renderLabels("")
 			series := base
-			if m.labels != "" {
-				series += "{" + m.labels + "}"
+			if rendered != "" {
+				series += "{" + rendered + "}"
 			}
 			switch m.kind {
 			case kindCounter:
@@ -406,14 +509,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				bounds := m.hist.Buckets()
 				for i, ub := range bounds {
 					fmt.Fprintf(&b, "%s_bucket{%s} %d\n",
-						base, withLabel(m.labels, `le="`+fnum(ub)+`"`), cum[i])
+						base, m.renderLabels(`le="`+fnum(ub)+`"`), cum[i])
 				}
 				fmt.Fprintf(&b, "%s_bucket{%s} %d\n",
-					base, withLabel(m.labels, `le="+Inf"`), cum[len(cum)-1])
+					base, m.renderLabels(`le="+Inf"`), cum[len(cum)-1])
 				sumName, countName := base+"_sum", base+"_count"
-				if m.labels != "" {
-					sumName += "{" + m.labels + "}"
-					countName += "{" + m.labels + "}"
+				if rendered != "" {
+					sumName += "{" + rendered + "}"
+					countName += "{" + rendered + "}"
 				}
 				fmt.Fprintf(&b, "%s %s\n", sumName, fnum(m.hist.Sum()))
 				fmt.Fprintf(&b, "%s %d\n", countName, m.hist.Count())

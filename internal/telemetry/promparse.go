@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format parsing — the consumer half of WritePrometheus,
+// used by shmtop to scrape a fleet without external dependencies. The parser
+// accepts the 0.0.4 subset this package emits (and what common exporters
+// produce): HELP/TYPE comments, `name{labels} value`, escaped label values.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string            // family name (h_bucket etc. kept verbatim)
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// Label returns the value of label k ("" when absent).
+func (s Sample) Label(k string) string {
+	if s.Labels == nil {
+		return ""
+	}
+	return s.Labels[k]
+}
+
+// ParsePrometheus parses a text exposition into samples, in input order.
+// Malformed lines fail the parse — a scrape is all-or-nothing.
+func ParsePrometheus(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine parses one `name{labels} value [timestamp]` line.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabelBlock(rest[1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabelBlock consumes `k="v",...}` returning the map and the remainder
+// after the closing brace.
+func parseLabelBlock(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label block near %q", s)
+		}
+		k := strings.TrimSpace(s[:eq])
+		rest := s[eq+2:]
+		var v strings.Builder
+		i, closed := 0, false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					v.WriteByte('\n')
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				default:
+					v.WriteByte('\\')
+					v.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			v.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("unterminated label value near %q", s)
+		}
+		labels[k] = v.String()
+		s = rest[i:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// matchLabels reports whether the sample carries every pair in want
+// (ignoring extra labels on the sample).
+func matchLabels(s Sample, want map[string]string) bool {
+	for k, v := range want {
+		if s.Label(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleValue returns the first sample named name whose labels cover want.
+func SampleValue(samples []Sample, name string, want map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name && matchLabels(s, want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramData is a scraped histogram reassembled from its _bucket/_sum/
+// _count series.
+type HistogramData struct {
+	Upper []float64 // ascending bucket bounds, +Inf last
+	Cum   []int64   // cumulative counts aligned with Upper
+	Count int64
+	Sum   float64
+}
+
+// ExtractHistogram reassembles family's histogram from a scrape, matching
+// the given fixed labels (le excluded). ok is false when no buckets match.
+func ExtractHistogram(samples []Sample, family string, want map[string]string) (*HistogramData, bool) {
+	type bound struct {
+		ub  float64
+		cum int64
+	}
+	var bounds []bound
+	h := &HistogramData{}
+	for _, s := range samples {
+		switch s.Name {
+		case family + "_bucket":
+			if !matchLabels(s, want) {
+				continue
+			}
+			le := s.Label("le")
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bounds = append(bounds, bound{ub: ub, cum: int64(s.Value)})
+		case family + "_sum":
+			if matchLabels(s, want) {
+				h.Sum = s.Value
+			}
+		case family + "_count":
+			if matchLabels(s, want) {
+				h.Count = int64(s.Value)
+			}
+		}
+	}
+	if len(bounds) == 0 {
+		return nil, false
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].ub < bounds[j].ub })
+	for _, b := range bounds {
+		h.Upper = append(h.Upper, b.ub)
+		h.Cum = append(h.Cum, b.cum)
+	}
+	return h, true
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket — the same estimator as Prometheus'
+// histogram_quantile. Returns NaN for an empty histogram; values landing in
+// the +Inf bucket clamp to the highest finite bound.
+func (h *HistogramData) Quantile(q float64) float64 {
+	if h == nil || len(h.Upper) == 0 {
+		return math.NaN()
+	}
+	total := h.Cum[len(h.Cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, cum := range h.Cum {
+		if float64(cum) < rank {
+			continue
+		}
+		ub := h.Upper[i]
+		if math.IsInf(ub, 1) {
+			// Open-ended bucket: clamp to the highest finite bound.
+			if i == 0 {
+				return math.NaN()
+			}
+			return h.Upper[i-1]
+		}
+		lo, prev := 0.0, int64(0)
+		if i > 0 {
+			lo = h.Upper[i-1]
+			prev = h.Cum[i-1]
+		}
+		inBucket := cum - prev
+		if inBucket == 0 {
+			return ub
+		}
+		return lo + (ub-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	return h.Upper[len(h.Upper)-1]
+}

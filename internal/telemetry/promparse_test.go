@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromParseRoundTrip feeds WritePrometheus output straight back through
+// ParsePrometheus — the two halves must agree, including escapes.
+func TestPromParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{op="read"}`, "ops").Add(41)
+	r.Counter(`ops_total{op="wr\"ite"}`, "ops").Add(2)
+	r.Gauge("temp", "t").Set(36.5)
+	r.Gauge("g_nan", "n").Set(math.NaN())
+	h := r.Histogram("lat_seconds", "l", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, b.String())
+	}
+
+	if v, ok := SampleValue(samples, "ops_total", map[string]string{"op": "read"}); !ok || v != 41 {
+		t.Errorf("ops_total{op=read} = %v %v", v, ok)
+	}
+	if v, ok := SampleValue(samples, "ops_total", map[string]string{"op": `wr"ite`}); !ok || v != 2 {
+		t.Errorf("escaped label round trip = %v %v", v, ok)
+	}
+	if v, ok := SampleValue(samples, "temp", nil); !ok || v != 36.5 {
+		t.Errorf("temp = %v %v", v, ok)
+	}
+	if v, ok := SampleValue(samples, "g_nan", nil); !ok || !math.IsNaN(v) {
+		t.Errorf("NaN gauge = %v %v", v, ok)
+	}
+
+	hd, ok := ExtractHistogram(samples, "lat_seconds", nil)
+	if !ok {
+		t.Fatal("histogram not extracted")
+	}
+	if hd.Count != 3 || len(hd.Upper) != 3 || !math.IsInf(hd.Upper[2], 1) {
+		t.Fatalf("histogram = %+v", hd)
+	}
+	if hd.Cum[0] != 1 || hd.Cum[1] != 2 || hd.Cum[2] != 3 {
+		t.Fatalf("cumulative counts = %v", hd.Cum)
+	}
+}
+
+func TestPromParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"novalue",
+		"x{unclosed=\"v 1",
+		"x{k=\"v\"} notafloat",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted malformed input", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	samples, err := ParsePrometheus(strings.NewReader("# HELP a b\n\na 1\n"))
+	if err != nil || len(samples) != 1 {
+		t.Errorf("comment handling: %v %v", samples, err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &HistogramData{
+		Upper: []float64{1, 2, 4, math.Inf(1)},
+		Cum:   []int64{10, 30, 40, 40},
+	}
+	// p50: rank 20 lands in (1,2] which holds cumulative 10→30:
+	// 1 + (2-1)*(20-10)/20 = 1.5.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	// p99: rank 39.6 in (2,4]: 2 + 2*(39.6-30)/10 = 3.92.
+	if got := h.Quantile(0.99); math.Abs(got-3.92) > 1e-9 {
+		t.Errorf("p99 = %v, want 3.92", got)
+	}
+	// Mass in the +Inf bucket clamps to the last finite bound.
+	hInf := &HistogramData{Upper: []float64{1, math.Inf(1)}, Cum: []int64{0, 5}}
+	if got := hInf.Quantile(0.5); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+	if !math.IsNaN((&HistogramData{}).Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}

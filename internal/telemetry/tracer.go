@@ -34,8 +34,20 @@ const (
 	// PhaseTA5 is the main thread blocked on the exchange lock.
 	PhaseTA5
 
+	// PhaseSrvDispatch is the SMB server handling one request frame
+	// (read to reply). With trace propagation it is the server-side
+	// child of the client span that sent the frame.
+	PhaseSrvDispatch
+	// PhaseSrvAcc is the server-side accumulate apply (Wg += ΔWx, Eq. 7).
+	PhaseSrvAcc
+	// PhaseSrvChunk is one chunk of a streamed WRITE+ACCUMULATE sequence
+	// being applied; overlapping srv.chunk spans render the pipeline depth.
+	PhaseSrvChunk
+	// PhaseSrvWait is a WaitUpdate parked on the server's version table.
+	PhaseSrvWait
+
 	// NumPhases is the number of named phases.
-	NumPhases = int(PhaseTA5) + 1
+	NumPhases = int(PhaseSrvWait) + 1
 )
 
 // phaseNames must match the paper's Fig. 6 labels: these exact strings
@@ -43,6 +55,7 @@ const (
 // benchtables -trace breakdown.
 var phaseNames = [NumPhases]string{
 	"T1", "T2", "T4+T5", "T.A1", "T.A2", "T.A3", "T.A4", "T.A5",
+	"srv.dispatch", "srv.acc", "srv.chunk", "srv.wait",
 }
 
 // String returns the Fig. 6 label.
@@ -75,18 +88,42 @@ func HiddenPhase(p Phase) bool {
 // the losing span is dropped data either way, but the stores must not race.
 // meta packs tid<<8 | phase.
 type slotRec struct {
-	start atomic.Int64 // ns since tracer epoch
-	dur   atomic.Int64 // ns
-	meta  atomic.Int64
+	start   atomic.Int64 // ns since tracer epoch
+	dur     atomic.Int64 // ns
+	meta    atomic.Int64
+	traceID atomic.Uint64
+	spanID  atomic.Uint64
+	parent  atomic.Uint64
 }
 
 // spanRec is one decoded span (snapshot/export path).
 type spanRec struct {
-	start int64 // ns since tracer epoch
-	dur   int64 // ns
-	tid   int32
-	phase Phase
+	start   int64 // ns since tracer epoch
+	dur     int64 // ns
+	tid     int32
+	phase   Phase
+	traceID uint64
+	spanID  uint64
+	parent  uint64
 }
+
+// TraceContext links a span into a cross-process trace. TraceID groups every
+// span of one logical operation (e.g. one worker push); SpanID identifies
+// this span within the trace; Parent is the SpanID of the causing span
+// (zero at the root). The zero TraceContext means "untraced".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64
+}
+
+// spanIDCounter backs NextSpanID. Process-local; distinct salts keep merged
+// multi-process traces collision-free.
+var spanIDCounter atomic.Uint64
+
+// NextSpanID returns a process-unique span id with salt OR'd into the high
+// bits. Workers conventionally salt with (rank+1)<<48, servers with 1<<63.
+func NextSpanID(salt uint64) uint64 { return salt | spanIDCounter.Add(1) }
 
 // Tracer records spans into a fixed-capacity ring preallocated at
 // construction. Begin/End are allocation-free and safe for concurrent use
@@ -142,6 +179,7 @@ type Span struct {
 	t     *Tracer
 	hist  *Histogram // optional: observed with the duration on End
 	start int64
+	tc    TraceContext
 	tid   int32
 	phase Phase
 }
@@ -152,6 +190,23 @@ func (t *Tracer) Begin(tid int32, p Phase) Span {
 		return Span{}
 	}
 	return Span{t: t, start: t.now(), tid: tid, phase: p}
+}
+
+// BeginTraced opens a span carrying a cross-process trace context. The
+// context is stored with the span on End and exported as trace_id /
+// span_id / parent_id args in the Chrome trace.
+func (t *Tracer) BeginTraced(tid int32, p Phase, tc TraceContext) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: t.now(), tid: tid, phase: p, tc: tc}
+}
+
+// ObserveInto attaches a histogram that receives the span's duration on
+// End, returning the updated span value.
+func (s Span) ObserveInto(h *Histogram) Span {
+	s.hist = h
+	return s
 }
 
 // End closes the span, recording it into the ring (and the attached
@@ -166,9 +221,22 @@ func (s Span) End() {
 	slot.start.Store(s.start)
 	slot.dur.Store(end - s.start)
 	slot.meta.Store(int64(s.tid)<<8 | int64(s.phase))
+	slot.traceID.Store(s.tc.TraceID)
+	slot.spanID.Store(s.tc.SpanID)
+	slot.parent.Store(s.tc.Parent)
 	if s.hist != nil {
 		s.hist.ObserveSeconds(end - s.start)
 	}
+}
+
+// EpochUnixNano returns the wall-clock time of the tracer's epoch. Exported
+// traces embed it as metadata so a fleet merger (shmtop) can place the
+// relative span timestamps of many processes on one absolute timeline.
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
 }
 
 // Len returns the number of spans currently held (≤ capacity).
@@ -203,10 +271,13 @@ func (t *Tracer) snapshot() []spanRec {
 	for i := 0; i < n; i++ {
 		meta := t.ring[i].meta.Load()
 		out[i] = spanRec{
-			start: t.ring[i].start.Load(),
-			dur:   t.ring[i].dur.Load(),
-			tid:   int32(meta >> 8),
-			phase: Phase(meta & 0xff),
+			start:   t.ring[i].start.Load(),
+			dur:     t.ring[i].dur.Load(),
+			tid:     int32(meta >> 8),
+			phase:   Phase(meta & 0xff),
+			traceID: t.ring[i].traceID.Load(),
+			spanID:  t.ring[i].spanID.Load(),
+			parent:  t.ring[i].parent.Load(),
 		}
 	}
 	return out

@@ -57,9 +57,10 @@ func TestTracerRingWrap(t *testing.T) {
 	if got := tr.Dropped(); got != total-64 {
 		t.Fatalf("Dropped = %d, want %d", got, total-64)
 	}
-	// No threads were named, so Events holds exactly the surviving spans.
-	if n := len(tr.Events()); n != 64 {
-		t.Fatalf("Events = %d, want 64", n)
+	// No threads were named, so Events holds the surviving spans plus the
+	// one clock_epoch metadata record.
+	if n := len(tr.Events()); n != 64+1 {
+		t.Fatalf("Events = %d, want 65", n)
 	}
 }
 

@@ -81,6 +81,19 @@ func (t *Trainer) Begin(tid int32, p Phase) Span {
 	return s
 }
 
+// BeginTraced opens a span like Begin but carrying a cross-process trace
+// context (zero tc behaves exactly like Begin). The worker push path uses it
+// to root each push's trace at the T.A3 span so the server-side spans join
+// the worker's timeline as children.
+func (t *Trainer) BeginTraced(tid int32, p Phase, tc TraceContext) Span {
+	if t == nil {
+		return Span{}
+	}
+	s := t.Tracer.BeginTraced(tid, p, tc)
+	s.hist = t.phase[p]
+	return s
+}
+
 // ObserveStaleness records one T1 read's staleness in iterations.
 func (t *Trainer) ObserveStaleness(iters int64) {
 	if t == nil {

@@ -55,7 +55,7 @@ tier2() {
 	# sequence, pooled wire scratch), the fused worker exchange step, and
 	# the pooled parallel.For/ForRanger dispatch.
 	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
-	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc' -count=1 ./internal/telemetry
+	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc|TestEventRecordZeroAlloc' -count=1 ./internal/telemetry
 	go test -run='TestFusedStepAndStreamZeroAlloc' -count=1 ./internal/core
 	go test -run='TestForRangerZeroAlloc|TestForZeroAlloc|TestFreelist' -count=1 ./internal/parallel
 	go test -run='ZeroAllocAcrossGC|TestDispatchedKernelsZeroAlloc' -count=1 ./internal/tensor
@@ -65,6 +65,8 @@ tier2() {
 	telemetry_smoke
 	echo "== tier 2: fault-injection smoke (chaos server + reconnecting workers) =="
 	fault_smoke
+	echo "== tier 2: observability smoke (chaos cluster scraped by shmtop) =="
+	obs_smoke
 }
 
 # telemetry_smoke runs a short 2-worker shmtrain with the telemetry surface
@@ -123,6 +125,7 @@ telemetry_smoke() {
 clean_smoke() {
 	[ -n "${tmpdir:-}" ] && rm -rf "$tmpdir"
 	[ -n "${tmpdir2:-}" ] && rm -rf "$tmpdir2"
+	[ -n "${tmpdir3:-}" ] && rm -rf "$tmpdir3"
 	:
 }
 
@@ -192,6 +195,124 @@ fault_smoke() {
 		return 1
 	fi
 	echo "fault smoke: OK (workers survived $(grep -c 'smb:' "$tmpdir2/server.log" || true) injected conn failures + 1 restart)"
+}
+
+# obs_smoke is ISSUE 8's acceptance drill: a 2-worker chaos cluster with the
+# full observability surface up (server /metrics+/debug/trace via -http,
+# workers via -telemetry), scraped by shmtop -snapshot. Proves (a) the merged
+# cross-node trace stitches a worker push span to its server-side child —
+# cross_node_chains >= 1 — and (b) the chaos crash dumped a readable flight
+# record that includes the injected faults.
+obs_smoke() {
+	tmpdir3="$(mktemp -d)"
+	trap 'clean_smoke' EXIT
+	go build -o "$tmpdir3/smbserver" ./cmd/smbserver
+	go build -o "$tmpdir3/shmtrain" ./cmd/shmtrain
+	go build -o "$tmpdir3/shmtop" ./cmd/shmtop
+
+	TMPDIR="$tmpdir3" "$tmpdir3/smbserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 -stats 0 \
+		-chaos-drop 0.02 -chaos-seed 7 \
+		-chaos-restart-after 1s -chaos-down 250ms \
+		>"$tmpdir3/server.log" 2>&1 &
+	server_pid=$!
+
+	smb="" http=""
+	for _ in $(seq 1 100); do
+		smb="$(sed -n 's/.*listening on tcp \([0-9.:]*\).*/\1/p' "$tmpdir3/server.log" | head -1)"
+		http="$(sed -n 's#.*SMB metrics on http://\([0-9.:]*\)/metrics.*#\1#p' "$tmpdir3/server.log" | head -1)"
+		[ -n "$smb" ] && [ -n "$http" ] && break
+		sleep 0.1
+	done
+	if [ -z "$smb" ] || [ -z "$http" ]; then
+		echo "obs smoke: smbserver never reported tcp + http addresses" >&2
+		cat "$tmpdir3/server.log" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	for r in 0 1; do
+		"$tmpdir3/shmtrain" -rank "$r" -world 2 -smb "$smb" -job obsdrill \
+			-epochs 150 -smb-timeout 5s -liveness-timeout 10s \
+			-telemetry 127.0.0.1:0 -telemetry-linger 15s \
+			>"$tmpdir3/w$r.log" 2>&1 &
+		eval "w${r}_pid=\$!"
+	done
+
+	# Wait for both workers to finish training; their telemetry servers stay
+	# up through the linger window, which is when shmtop scrapes.
+	done_workers=""
+	for _ in $(seq 1 600); do
+		if grep -q 'worker 0 finished' "$tmpdir3/w0.log" &&
+			grep -q 'worker 1 finished' "$tmpdir3/w1.log"; then
+			done_workers=1
+			break
+		fi
+		sleep 0.1
+	done
+	if [ -z "$done_workers" ]; then
+		echo "obs smoke: workers never finished" >&2
+		tail -n 5 "$tmpdir3/w0.log" "$tmpdir3/w1.log" "$tmpdir3/server.log" >&2
+		kill "$w0_pid" "$w1_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	w0url="$(sed -n 's#.*telemetry listening on http://\([^ ]*\).*#\1#p' "$tmpdir3/w0.log" | head -1)"
+	w1url="$(sed -n 's#.*telemetry listening on http://\([^ ]*\).*#\1#p' "$tmpdir3/w1.log" | head -1)"
+	if [ -z "$w0url" ] || [ -z "$w1url" ]; then
+		echo "obs smoke: workers never reported telemetry URLs" >&2
+		kill "$w0_pid" "$w1_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	"$tmpdir3/shmtop" -nodes "server=$http,worker0=$w0url,worker1=$w1url" \
+		-snapshot "$tmpdir3/fleet.json" -trace-out "$tmpdir3/fleet-trace.json" \
+		>"$tmpdir3/shmtop.log" 2>&1 || {
+		echo "obs smoke: shmtop failed" >&2
+		cat "$tmpdir3/shmtop.log" >&2
+		kill "$w0_pid" "$w1_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	}
+
+	wait "$w0_pid" "$w1_pid" || true
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+
+	# (a) The merged trace must contain at least one cross-process span chain.
+	chains="$(sed -n 's/.*"cross_node_chains": \([0-9]*\).*/\1/p' "$tmpdir3/fleet.json" | head -1)"
+	if [ -z "$chains" ] || [ "$chains" -lt 1 ]; then
+		echo "obs smoke: merged trace has no cross-node span chains (got '${chains:-none}')" >&2
+		cat "$tmpdir3/fleet.json" >&2
+		return 1
+	fi
+	# The merged trace file must load as a trace and name both sides.
+	grep -q '"worker0"' "$tmpdir3/fleet-trace.json" || {
+		echo "obs smoke: merged trace missing worker0 process" >&2
+		return 1
+	}
+	grep -q '"server"' "$tmpdir3/fleet-trace.json" || {
+		echo "obs smoke: merged trace missing server process" >&2
+		return 1
+	}
+
+	# (b) The chaos crash dumped a readable flight record with the injected
+	# faults and the crash marker (smbserver wrote it under TMPDIR).
+	dump="$(sed -n 's/.*flight recorder dumps to \([^ ]*\) on crash.*/\1/p' "$tmpdir3/server.log" | head -1)"
+	if [ -z "$dump" ] || [ ! -r "$dump" ]; then
+		echo "obs smoke: chaos crash left no readable dump at '${dump:-?}'" >&2
+		cat "$tmpdir3/server.log" >&2
+		return 1
+	fi
+	grep -q 'chaos_crash' "$dump" || {
+		echo "obs smoke: dump missing the chaos_crash event" >&2
+		cat "$dump" >&2
+		return 1
+	}
+	grep -q 'fault_injected' "$dump" || {
+		echo "obs smoke: dump missing injected-fault events" >&2
+		cat "$dump" >&2
+		return 1
+	}
+	echo "obs smoke: OK ($chains cross-node span chains; crash dump: $(grep -c 'fault_injected' "$dump") injected faults)"
 }
 
 case "$tier" in
