@@ -28,6 +28,9 @@ import (
 )
 
 func main() {
+	if bench.MaybeServeBenchChild() {
+		return // this invocation was a re-exec'd transport-bench server
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
@@ -117,6 +120,15 @@ func run(args []string, out io.Writer) error {
 		rep, err := bench.KernelBench(*kernQuick)
 		if err != nil {
 			return err
+		}
+		if rep.NumCPU != rep.GOMAXPROCS {
+			// A capped GOMAXPROCS (cgroup quota, taskset, explicit env) makes
+			// the parallel and transport rows measure a narrower machine than
+			// the hardware suggests — flag it so the provenance is read right.
+			fmt.Fprintf(os.Stderr,
+				"benchtables: warning: NumCPU=%d but GOMAXPROCS=%d disagree; "+
+					"parallel speedups reflect the GOMAXPROCS cap, not the hardware\n",
+				rep.NumCPU, rep.GOMAXPROCS)
 		}
 		if *kernOut == "" {
 			return rep.WriteJSON(out)

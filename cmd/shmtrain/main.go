@@ -54,9 +54,10 @@ func run(args []string, out io.Writer) (err error) {
 		interval     = fs.Int("update-interval", 1, "SEASGD update_interval")
 		seed         = fs.Uint64("seed", 42, "experiment seed")
 		smbAddr      = fs.String("smb", "", "external SMB server address (shmcaffe platforms)")
-		smbTransport = fs.String("smb-transport", "tcp", "SMB wire: tcp | rds")
+		smbTransport = fs.String("smb-transport", "tcp", "SMB wire: tcp | tcp_sg | shm | auto | rds")
 		smbTimeout   = fs.Duration("smb-timeout", 10*time.Second, "per-op SMB deadline for TCP clients (0 = no deadlines)")
 		liveness     = fs.Duration("liveness-timeout", 0, "exclude workers silent this long from termination alignment (0 = fault-free protocol)")
+		noOverlap    = fs.Bool("no-overlap", false, "multi-process mode: push global updates inline instead of overlapping them with compute (deterministic; the Fig. 6 ablation)")
 		jobName      = fs.String("job", "", "SMB job name (needed when sharing an external server)")
 		savePath     = fs.String("save", "", "write the trained model as a checkpoint file")
 		dataPath     = fs.String("data", "", "train from a corpus database built by mkcorpus instead of generating data")
@@ -112,7 +113,7 @@ func run(args []string, out io.Writer) (err error) {
 			job: job, epochs: *epochs, batch: *batch,
 			classes: *classes, perClass: *perClass, noise: *noise,
 			lr: *lr, movingRate: *movingRate, interval: *interval, seed: *seed,
-			opTimeout: opTimeout, liveness: *liveness,
+			opTimeout: opTimeout, liveness: *liveness, noOverlap: *noOverlap,
 			tel: sink.trainer(), reg: sink.registry(),
 		})
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -29,15 +30,17 @@ type singleWorkerOpts struct {
 	seed               uint64
 	opTimeout          time.Duration // per-op SMB deadline (negative = none)
 	liveness           time.Duration // crash-aware termination (0 = off)
-	tel                *telemetry.Trainer
-	reg                *telemetry.Registry
+	noOverlap          bool          // inline pushes: deterministic given one worker
+
+	tel *telemetry.Trainer
+	reg *telemetry.Registry
 }
 
 // runSingleWorker runs this process's share of a multi-process SEASGD job.
 // Every participating process must use identical -seed/-classes/-per-class
 // so they regenerate the same corpus and shard it disjointly.
 func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
-	client, cleanup, err := dialSMB(o.smbAddr, o.transport, o.rank, o.opTimeout)
+	client, cleanup, negotiated, err := dialSMB(o.smbAddr, o.transport, o.rank, o.opTimeout)
 	if err != nil {
 		return err
 	}
@@ -97,9 +100,10 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 		Loader:          loader,
 		Telemetry:       o.tel,
 		LivenessTimeout: o.liveness,
+		DisableOverlap:  o.noOverlap,
 	}
 	fmt.Fprintf(out, "worker %d/%d joining job %q on %s (%s)\n",
-		o.rank, o.world, o.job, o.smbAddr, transportName(o.transport))
+		o.rank, o.world, o.job, o.smbAddr, negotiated)
 	w, err := core.NewWorkerPolling(cfg, o.rank, o.world, core.BootstrapOptions{})
 	if err != nil {
 		return err
@@ -117,6 +121,10 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 		if err := w.Buffers().ReadGlobal(global); err != nil {
 			return err
 		}
+		// Content hash of the final Wg bytes: lets a harness assert that two
+		// runs with the same seed converged bitwise-identically regardless
+		// of which transport carried the pushes (check.sh shm_smoke).
+		fmt.Fprintf(out, "Wg sha256: %x\n", sha256.Sum256(tensor.Float32Bytes(global)))
 		evalNet, err := nn.MLP("eval", 8, 16, o.classes)
 		if err != nil {
 			return err
@@ -138,47 +146,65 @@ func runSingleWorker(out io.Writer, o singleWorkerOpts) error {
 	return nil
 }
 
-// dialSMB opens one SMB connection over the selected transport. The TCP
-// path gets the fault-tolerant supervised client: per-op deadlines plus
-// reconnect with sequence-stamped pushes, keyed by rank so the server-side
-// dedup table distinguishes processes. RDS stays a bare stream client —
-// its endpoint cannot be re-dialed without tearing down the local socket.
-func dialSMB(addr, transport string, rank int, opTimeout time.Duration) (smb.Client, func(), error) {
-	switch transport {
-	case "", "tcp":
-		c := smb.NewSupervisedClient(smb.SupervisedConfig{
-			Addr:      addr,
-			OpTimeout: opTimeout,
-			Seed:      uint64(rank)*7919 + 1,
-			ClientID:  uint64(rank + 1),
-		})
-		// The supervised client dials lazily; probe now so a bad address
-		// fails here instead of deep inside the bootstrap key exchange.
+// dialSMB opens one SMB connection over the selected transport and reports
+// what was actually negotiated. The TCP paths get the fault-tolerant
+// supervised client: per-op deadlines plus reconnect with sequence-stamped
+// pushes, keyed by rank so the server-side dedup table distinguishes
+// processes. "shm" maps segments of a co-located server, "auto" negotiates
+// shm and falls back to tcp. RDS stays a bare stream client — its endpoint
+// cannot be re-dialed without tearing down the local socket.
+func dialSMB(addr, transport string, rank int, opTimeout time.Duration) (smb.Client, func(), string, error) {
+	opts := smb.DialOptions{
+		Addr:      addr,
+		OpTimeout: opTimeout,
+		Seed:      uint64(rank)*7919 + 1,
+		ClientID:  uint64(rank + 1),
+	}
+	probe := func(c smb.Client) error {
+		// Supervised clients dial lazily; probe now so a bad address fails
+		// here instead of deep inside the bootstrap key exchange.
 		if _, err := c.Lookup("\x00reachability-probe"); err != nil && !errors.Is(err, smb.ErrUnknownSegment) {
 			c.Close()
-			return nil, nil, err
+			return err
 		}
-		return c, func() { c.Close() }, nil
+		return nil
+	}
+	switch transport {
+	case "", "tcp", "tcp_sg", "shm":
+		name := transport
+		if name == "" {
+			name = "tcp"
+		}
+		c, err := smb.DialTransport(name, opts)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if err := probe(c); err != nil {
+			return nil, nil, "", err
+		}
+		return c, func() { c.Close() }, name, nil
+	case "auto":
+		c, name, err := smb.DialAuto(opts)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if err := probe(c); err != nil {
+			return nil, nil, "", err
+		}
+		return c, func() { c.Close() }, name + ", auto-negotiated", nil
 	case "rds":
 		ep, err := rds.ListenUDP("127.0.0.1:0")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		conn, err := ep.Dial(addr)
 		if err != nil {
 			ep.Close()
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		c := smb.NewStreamClient(conn)
-		return c, func() { c.Close(); ep.Close() }, nil
+		return c, func() { c.Close(); ep.Close() }, "rds", nil
 	default:
-		return nil, nil, fmt.Errorf("unknown SMB transport %q", transport)
+		return nil, nil, "", fmt.Errorf("unknown SMB transport %q", transport)
 	}
-}
-
-func transportName(t string) string {
-	if t == "" {
-		return "tcp"
-	}
-	return t
 }

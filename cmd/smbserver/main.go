@@ -45,6 +45,7 @@ func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7700", "TCP listen address")
 		rdsAddr  = flag.String("rds", "", "additionally serve the RDS datagram transport on this UDP address")
+		shmPath  = flag.String("shm", "", "offer the zero-copy shared-memory transport on this unix control socket (co-located clients only)")
 		httpAddr = flag.String("http", "", "serve Prometheus metrics on this HTTP address (GET /metrics; JSON at /metrics.json; liveness at /healthz)")
 		statsSec = flag.Int("stats", 10, "seconds between traffic stat lines (0 disables)")
 
@@ -61,6 +62,12 @@ func run() error {
 	}
 
 	if *chaosDrop > 0 || *chaosRestart > 0 {
+		if *shmPath != "" {
+			// The shm control socket hands out memfd mappings that bypass the
+			// restartable serving plane entirely — crashing the frontend would
+			// not interrupt mapped traffic, which defeats the drill.
+			return fmt.Errorf("chaos mode does not support -shm")
+		}
 		return runChaos(store, *addr, *httpAddr, *rdsAddr, chaosOpts{
 			drop: *chaosDrop, seed: *chaosSeed,
 			restartAfter: *chaosRestart, down: *chaosDown,
@@ -78,6 +85,35 @@ func run() error {
 	tracer := telemetry.NewTracer(1 << 16)
 	srv.SetTracer(tracer)
 	fmt.Printf("SMB server listening on tcp %s\n", srv.Addr())
+
+	if *shmPath != "" {
+		// Offer the zero-copy path: new segments get memfd backing, the unix
+		// control socket carries the fd-pass handshake, and the TCP endpoint
+		// advertises the socket so "auto" clients can negotiate it.
+		if err := store.EnableShm(); err != nil {
+			srv.Close()
+			return fmt.Errorf("-shm: %w", err)
+		}
+		_ = os.Remove(*shmPath) // stale socket from a previous run
+		uln, err := net.Listen("unix", *shmPath)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer os.Remove(*shmPath)
+		defer uln.Close()
+		srv.SetShmAddr(*shmPath)
+		fmt.Printf("SMB server shm control socket on unix %s\n", *shmPath)
+		go func() { //lint:ignore goleak accept loop exits when the deferred uln.Close runs at shutdown
+			for {
+				conn, err := uln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()

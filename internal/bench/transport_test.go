@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the re-exec'd bench server child take over the test binary:
+// any test that reaches transportClient spawns os.Executable() — this
+// binary — with benchServeEnv set, and without this hook the child would
+// run the whole test suite instead of serving.
+func TestMain(m *testing.M) {
+	if MaybeServeBenchChild() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestTransportRows is a manual harness for the transport benchmark rows:
+// it runs the full cross-process measurement without the rest of the
+// kernel suite, which takes minutes. Enable with SHMCAFFE_TRANSPORT_ROWS=1
+// and -v to read the table; CI skips it.
+func TestTransportRows(t *testing.T) {
+	if os.Getenv("SHMCAFFE_TRANSPORT_ROWS") == "" {
+		t.Skip("manual: set SHMCAFFE_TRANSPORT_ROWS=1 to run the cross-process transport rows")
+	}
+	rep := &KernelReport{Speedups: map[string]float64{}}
+	if err := transportKernelRows(rep, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		t.Logf("%-44s %10.0f ns", r.Name, r.NsPerOp)
+	}
+	for k, v := range rep.Speedups {
+		t.Logf("%-44s %.3f", k, v)
+	}
+}
+
+// TestTransportClientSpawnsServer exercises the re-exec seam itself: spawn
+// a tcp bench server child, run one verb through it, and tear it down.
+// This is the piece of the transport rows cheap enough for CI.
+func TestTransportClientSpawnsServer(t *testing.T) {
+	c, cleanup, err := transportClient("tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	key, err := c.Create("spawned", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := c.Write(h, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if err := c.Read(h, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != buf[i] {
+			t.Fatalf("readback mismatch at %d: got %d want %d", i, got[i], buf[i])
+		}
+	}
+}

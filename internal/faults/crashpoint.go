@@ -1,0 +1,19 @@
+package faults
+
+import "os"
+
+// armedCrashPoint names the single crash point armed for this process, read
+// once at startup from SHMCAFFE_CRASHPOINT. Fault-injection tests re-exec a
+// helper with the variable set to make it die at a precise place — e.g.
+// "shm-mid-accumulate" kills a mapped client while it holds a shared stripe
+// lock, which is how the server's dead-lease reap is exercised.
+var armedCrashPoint = os.Getenv("SHMCAFFE_CRASHPOINT")
+
+// CrashPoint terminates the process (exit 137, mimicking SIGKILL) when the
+// named point is armed. Unarmed it is a single branch on a package-level
+// string — cheap enough to sit on hot paths.
+func CrashPoint(point string) {
+	if armedCrashPoint != "" && armedCrashPoint == point {
+		os.Exit(137)
+	}
+}

@@ -46,19 +46,29 @@ func runLockOrder(pass *ProgramPass) error {
 	//   paramLocks[f]: parameter indices f (transitively) locks,
 	//   trans[f]:      every lock class f's call tree may acquire,
 	//   escaping[f]:   locks f still holds when it returns (the
-	//                  lockWait(&seg.locks[i]) helper pattern).
+	//                  lockWait(&seg.locks[i]) helper pattern),
+	//   netRelease[f]: classes f releases without having acquired them —
+	//                  the unlockStripe(ci) wrapper pattern, where the
+	//                  matching acquire happened in the caller. Without
+	//                  this, a caller using acquire/release *methods* looks
+	//                  like it holds the class forever: every later acquire
+	//                  becomes a phantom self-edge and the class leaks into
+	//                  escaping[caller], fabricating order cycles in
+	//                  whatever calls *that*.
 	paramLocks := make(map[*types.Func]map[int]bool)
 	trans := make(map[*types.Func]map[string]bool)
 	escaping := make(map[*types.Func][]heldLock)
+	netRelease := make(map[*types.Func]map[string]bool)
 	for _, fi := range funcs {
 		paramLocks[fi.Obj] = make(map[int]bool)
 		trans[fi.Obj] = make(map[string]bool)
+		netRelease[fi.Obj] = make(map[string]bool)
 	}
 	for iter := 0; iter <= len(funcs)+1; iter++ {
 		changed := false
 		for _, fi := range funcs {
 			fn := fi.Obj
-			pl, tr := paramLocks[fn], trans[fn]
+			pl, tr, nr := paramLocks[fn], trans[fn], netRelease[fn]
 			var held, deferred []heldLock
 			for _, ev := range fi.Sum.Locks {
 				switch ev.Kind {
@@ -75,7 +85,14 @@ func runLockOrder(pass *ProgramPass) error {
 						held = append(held, heldLock{ev.Class, ev.Param})
 					}
 				case lockRelease:
-					held = popHeld(held, ev.Class, ev.Param)
+					after := popHeld(held, ev.Class, ev.Param)
+					if len(after) == len(held) && ev.Class != "" && !nr[ev.Class] {
+						// Released without a matching acquire: the caller
+						// holds it — this function is a release wrapper.
+						nr[ev.Class] = true
+						changed = true
+					}
+					held = after
 				case lockDeferRelease:
 					deferred = append(deferred, heldLock{ev.Class, ev.Param})
 				case lockCall:
@@ -100,6 +117,14 @@ func runLockOrder(pass *ProgramPass) error {
 							pl[al.Param] = true
 							changed = true
 						}
+					}
+					for c := range netRelease[ev.Callee] {
+						after := popHeld(held, c, -1)
+						if len(after) == len(held) && !nr[c] {
+							nr[c] = true // wrapper-of-wrapper: propagate up
+							changed = true
+						}
+						held = after
 					}
 					held = append(held, resolveEscaping(escaping[ev.Callee], ev.ArgLocks)...)
 				}
@@ -165,6 +190,9 @@ func runLockOrder(pass *ProgramPass) error {
 					for _, c := range sortedKeys(acquired) {
 						addEdge(h.class, c, ev.Pos, name)
 					}
+				}
+				for c := range netRelease[ev.Callee] {
+					held = popHeld(held, c, -1)
 				}
 				held = append(held, resolveEscaping(escaping[ev.Callee], ev.ArgLocks)...)
 			}

@@ -254,7 +254,8 @@ func smbClients(cfg *Config, n int) (clients []smb.Client, closeAll func(), err 
 		}
 		return nil, nil, err
 	}
-	if cfg.SMBTransport == "" || cfg.SMBTransport == "tcp" {
+	switch cfg.SMBTransport {
+	case "", "tcp", "tcp_sg", "auto":
 		// One bounded probe verifies the server is reachable before any MPI
 		// collective starts. Supervised clients connect lazily, so without
 		// this a misconfigured address would fail inside rank 0's bootstrap
@@ -274,17 +275,27 @@ func smbClients(cfg *Config, n int) (clients []smb.Client, closeAll func(), err 
 	}
 	for i := range clients {
 		switch cfg.SMBTransport {
-		case "", "tcp":
-			// The fault-tolerant data path: per-op deadlines, supervised
-			// reconnect, sequence-stamped pushes. ClientID is rank-derived
-			// so the server-side dedup keys stay distinct per worker.
-			clients[i] = smb.NewSupervisedClient(smb.SupervisedConfig{
+		case "", "tcp", "tcp_sg", "shm", "auto":
+			// The registry resolves the wire: supervised TCP (plain or
+			// scatter-gather) with per-op deadlines, reconnect, and
+			// sequence-stamped pushes, the negotiated shared-memory path,
+			// or auto-negotiation between them. ClientID is rank-derived so
+			// dedup keys stay distinct per worker on every transport.
+			name := cfg.SMBTransport
+			if name == "" {
+				name = "tcp"
+			}
+			c, err := smb.DialTransport(name, smb.DialOptions{
 				Addr:        cfg.SMBAddr,
 				OpTimeout:   cfg.SMBOpTimeout,
 				WaitTimeout: cfg.SMBWaitTimeout,
 				Seed:        cfg.Seed + uint64(i)*7919,
 				ClientID:    uint64(i + 1),
 			})
+			if err != nil {
+				return fail(i, fmt.Errorf("dial SMB transport %s: %w", name, err))
+			}
+			clients[i] = c
 		case "rds":
 			ep, err := rds.ListenUDP("127.0.0.1:0")
 			if err != nil {

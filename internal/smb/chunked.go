@@ -66,6 +66,7 @@ type WriteAccumulator interface {
 // Version bumps and the per-operation counters are deferred to
 // FinishWriteAccumulate so an N-chunk sequence counts as exactly one Write
 // plus one Accumulate; only the byte counters advance per chunk.
+//
 //shm:hotpath
 func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
 	dseg, err := s.lookupHandle(dst)
@@ -106,26 +107,33 @@ func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
 		part := data[covered : covered+(hi-start)]
 		if dseg == sseg {
 			// Self-target: one lock; the write lands and is doubled in place.
-			waitNs += lockWait(&dseg.locks[ci], timed)
+			waitNs += dseg.lockStripe(ci, timed)
 			copy(sseg.data[start:hi], part)
 			err = accumulateChunk(dseg.data[start:hi], dseg.data[start:hi])
-			dseg.locks[ci].Unlock()
+			dseg.unlockStripe(ci)
 		} else {
 			// Both stripes exclusively — the copy mutates src, the add
 			// mutates dst — in segment-key order (same discipline as
-			// Accumulate, so mixed chunked/unfused traffic cannot deadlock).
+			// Accumulate, so mixed chunked/unfused traffic cannot deadlock;
+			// mapped clients order their shared lock words the same way).
 			if dseg.key < sseg.key {
-				waitNs += lockWait(&dseg.locks[ci], timed)
+				waitNs += dseg.lockStripe(ci, timed)
 				//lint:ignore lockorder second stripe of the same class is taken in segment-key order (dseg.key < sseg.key here, the mirror branch below), so concurrent pairs cannot cross
-				waitNs += lockWait(&sseg.locks[ci], timed)
+				waitNs += sseg.lockStripe(ci, timed)
 			} else {
-				waitNs += lockWait(&sseg.locks[ci], timed)
-				waitNs += lockWait(&dseg.locks[ci], timed)
+				waitNs += sseg.lockStripe(ci, timed)
+				waitNs += dseg.lockStripe(ci, timed)
 			}
+			// copy+add rather than the mapped path's fused NT kernel: this
+			// fold overlaps the next chunk's wire transfer (T.A2/A3), so its
+			// latency is off the critical path, and the ERMSB copy keeps the
+			// folded stripes cache-resident for the Reads the server is about
+			// to serve — the opposite tradeoff from ShmClient.WriteAccumulate,
+			// whose fold IS the whole op (see copyAccumulateChunk).
 			copy(sseg.data[start:hi], part)
 			err = accumulateChunk(dseg.data[start:hi], sseg.data[start:hi])
-			sseg.locks[ci].Unlock()
-			dseg.locks[ci].Unlock()
+			sseg.unlockStripe(ci)
+			dseg.unlockStripe(ci)
 		}
 		if err != nil {
 			return err
@@ -194,12 +202,19 @@ var writeAccPadding [writeAccPad]byte
 // final End round trip collects the sequence's status. Request staging uses
 // the client's grow-only scratch, so the steady-state path allocates
 // nothing.
+//
 //shm:hotpath
 func (c *StreamClient) WriteAccumulate(dst, src Handle, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
 		return fmt.Errorf("smb: connection poisoned: %w", c.broken)
+	}
+	if c.sg && len(data) >= sgMinPayload {
+		// Scatter-gather: every chunk header is staged in one slab and the
+		// whole sequence — chunk frames plus the End frame — goes out as a
+		// single vectored write (sg.go). Wire bytes are identical.
+		return c.writeAccumulateSGLocked(dst, src, data)
 	}
 	dc, deadlines := c.conn.(deadlineConn)
 	deadlines = deadlines && c.opTimeout > 0

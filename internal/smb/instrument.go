@@ -44,6 +44,34 @@ func (s *Store) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("smb_segments", "live segments in the store", func() float64 {
 		return float64(s.SegmentCount())
 	})
+	// Shared-memory transport counters live on the store (not the server)
+	// so chaos frontends that cycle server incarnations over one store keep
+	// a continuous view. The op counters are scrape-time sums over each
+	// exported segment's control page — mapped clients bump those words
+	// directly, so this is the only place the server can see their traffic.
+	reg.CounterFunc("smb_shm_fd_passed_total",
+		"segment file descriptors passed to mapping clients", s.shmc.fdPassed.Load)
+	reg.GaugeFunc("smb_shm_map_bytes",
+		"bytes of segment+control currently handed out to client mappings",
+		func() float64 { return float64(s.shmc.mapBytes.Load()) })
+	reg.CounterFunc("smb_shm_leases_total",
+		"shared-memory leases granted to control connections", s.shmc.leases.Load)
+	reg.CounterFunc("smb_shm_reaped_locks_total",
+		"shared stripe-lock words force-released after a mapped peer died", s.shmc.reapedLocks.Load)
+	reg.CounterFunc("smb_shm_reaps_total",
+		"dead-lease reap sweeps that cleared at least one lock word", s.shmc.reaps.Load)
+	reg.CounterFunc("smb_shm_alloc_fallbacks_total",
+		"memfd segment allocations that fell back to heap backing", s.shmc.allocFails.Load)
+	reg.GaugeFunc("smb_shm_segments", "live memfd-backed segments",
+		func() float64 { return float64(s.ShmStats().Exported) })
+	reg.CounterFunc(`smb_shm_ops_total{op="accumulate"}`,
+		"accumulates applied through client mappings", func() int64 { return s.shmCtlSum(shmOffAccumulates) })
+	reg.CounterFunc(`smb_shm_ops_total{op="write"}`,
+		"writes applied through client mappings", func() int64 { return s.shmCtlSum(shmOffWrites) })
+	reg.CounterFunc(`smb_shm_ops_total{op="read"}`,
+		"reads served through client mappings", func() int64 { return s.shmCtlSum(shmOffReads) })
+	reg.CounterFunc("smb_shm_bytes_accumulated_total",
+		"payload bytes accumulated through client mappings", func() int64 { return s.shmCtlSum(shmOffBytesAcc) })
 	s.inst.Store(&storeInstruments{
 		readLatency: reg.Histogram("smb_read_seconds",
 			"server-side Read latency", telemetry.DefLatencyBuckets),
@@ -129,6 +157,17 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("smb_server_connections", "live connection handlers", func() float64 {
 		return float64(s.active.Load())
 	})
+	// Per-transport split of the same gauge: a connection that negotiated a
+	// shared-memory lease counts as shm, everything else as tcp (the
+	// unlabeled total above stays for dashboards that predate the split).
+	reg.GaugeFunc(`smb_server_connections{transport="tcp"}`,
+		"live connection handlers without a shared-memory lease", func() float64 {
+			return float64(s.active.Load() - s.activeShm.Load())
+		})
+	reg.GaugeFunc(`smb_server_connections{transport="shm"}`,
+		"live control connections holding a shared-memory lease", func() float64 {
+			return float64(s.activeShm.Load())
+		})
 	reg.CounterFunc("smb_seq_duplicates_total",
 		"sequence-stamped accumulates acknowledged as already-applied duplicates",
 		s.store.stats.seqDups.Load)

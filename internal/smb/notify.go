@@ -52,6 +52,14 @@ func newVersionTable() *versionTable {
 }
 
 func (t *versionTable) bump(seg *segment) {
+	if seg.shm != nil {
+		// Exported segments keep their version in the shared control page —
+		// the one place both the server and every mapping process can bump
+		// and futex-wait on. The local table still advances so in-process
+		// channel waiters (none today for exported segments, but harmless)
+		// stay live.
+		seg.shm.bumpVersion()
+	}
 	t.mu.Lock()
 	//lint:ignore hotalloc the insert happens once per segment lifetime; steady-state bumps overwrite an existing key and do not grow the table
 	t.v[seg]++
@@ -101,6 +109,9 @@ func (s *Store) Version(h Handle) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if seg.shm != nil {
+		return seg.shm.version(), nil
+	}
 	return s.versions.get(seg), nil
 }
 
@@ -118,7 +129,17 @@ func (s *Store) WaitUpdateCancel(h Handle, since uint64, cancel <-chan struct{})
 	if err != nil {
 		return 0, err
 	}
-	v, blocked, err := s.versions.wait(seg, since, cancel)
+	var (
+		v       uint64
+		blocked bool
+	)
+	if seg.shm != nil {
+		// Cross-process bumps arrive by futex wake, never by the local
+		// channel — exported segments must wait on the shared word.
+		v, blocked, err = seg.shm.waitVersion(since, cancel)
+	} else {
+		v, blocked, err = s.versions.wait(seg, since, cancel)
+	}
 	if blocked {
 		s.stats.notifyWakeups.Add(1)
 	}
@@ -213,6 +234,6 @@ func (s *Server) dispatchNotify(op opcode, payload []byte, cs *connState) ([]byt
 		}
 		return cs.fw.u64(v).buf, nil
 	default:
-		return nil, fmt.Errorf("smb: unknown opcode %d", op)
+		return s.dispatchShm(op, payload, cs)
 	}
 }

@@ -53,6 +53,7 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 // Write. Local byte arrays escape when passed through the io.Writer
 // interface, so the reusable scratch is what keeps the steady-state wire
 // path allocation-free (and it halves the syscalls per frame).
+//
 //shm:hotpath
 func writeFrameInto(w io.Writer, op byte, payload []byte, scratch *[]byte) error {
 	if len(payload)+1 > maxFrame {
@@ -80,6 +81,7 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 // with the same scratch. The server's connection loop and the stream
 // client reuse one scratch per connection, so steady-state frame reads do
 // not allocate.
+//
 //shm:hotpath
 func readFrameInto(r io.Reader, scratch *[]byte) (op byte, payload []byte, err error) {
 	// The length header is read into the scratch too: a local [4]byte array

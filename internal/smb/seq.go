@@ -104,6 +104,7 @@ var _ SeqAccumulator = (*LocalClient)(nil)
 var _ SeqAccumulator = (*StreamClient)(nil)
 
 // SeqAccumulate implements SeqAccumulator over the wire.
+//
 //shm:hotpath
 func (c *StreamClient) SeqAccumulate(dst, src Handle, client, seq uint64) (bool, error) {
 	c.mu.Lock()

@@ -41,6 +41,13 @@ type Server struct {
 	tracer      atomic.Pointer[telemetry.Tracer]
 	dispatchLat atomic.Pointer[telemetry.Histogram]
 	traceTIDs   atomic.Int32 // connection track ids handed out, see serverTIDBase
+
+	// Shared-memory control plane (shmctl.go): the advertised unix socket
+	// path, the lease counter (client leases start at 2), and how many live
+	// connections negotiated the zero-copy transport.
+	shmPath   atomic.Value
+	shmLeases atomic.Uint32
+	activeShm atomic.Int64
 }
 
 // serverTIDBase offsets server connection tracks away from the worker
@@ -183,6 +190,7 @@ type connState struct {
 	out  []byte      // opRead response scratch, grow-only
 	fw   frameWriter // outbound payload builder, reset per frame
 	wire []byte      // outbound frame staging (writeFrameInto)
+	vw   vecWriter   // registered iovec list for vectored bulk replies (sg.go)
 
 	// chunkErr poisons the current chunked WRITE+ACCUMULATE sequence: the
 	// first chunk failure is recorded here (later chunks are skipped) and
@@ -200,6 +208,16 @@ type connState struct {
 	// tid is the telemetry track assigned to this connection (0 = none yet;
 	// assigned lazily on the first dispatch with a tracer installed).
 	tid int32
+
+	// conn is the live connection, visible to dispatch arms that care about
+	// the transport's capabilities (fd passing needs a unix socket).
+	conn io.ReadWriteCloser
+	// lease is the shm lease granted by opShmHello (0 = none). A connection
+	// dying with a lease gets its shared stripe-lock words reaped.
+	lease uint32
+	// passFD, when ≥ 0, is a segment fd the handler must send as ancillary
+	// data immediately after the current reply frame (opShmMap).
+	passFD int
 }
 
 var connStatePool = sync.Pool{New: func() any { return new(connState) }}
@@ -214,7 +232,11 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	cs.tc = TraceContext{}
 	cs.cur = telemetry.TraceContext{}
 	cs.tid = 0
+	cs.conn = conn
+	cs.lease = 0
+	cs.passFD = -1
 	defer connStatePool.Put(cs)
+	defer func() { cs.conn = nil }()
 	for {
 		op, payload, err := readFrameInto(conn, &cs.in)
 		if err != nil {
@@ -247,9 +269,27 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 			}
 			continue
 		}
-		if werr := writeFrameInto(conn, statusOK, resp, &cs.wire); werr != nil {
+		var werr error
+		if len(resp) >= sgMinPayload && connWritev(conn) {
+			// Bulk replies (vectored stripe reads) go out as header+payload
+			// in one writev instead of staging the payload a second time.
+			werr = writeFrameVec(conn, statusOK, resp, &cs.vw, &cs.wire)
+		} else {
+			werr = writeFrameInto(conn, statusOK, resp, &cs.wire)
+		}
+		if werr != nil {
 			s.connDone(cs, werr)
 			return
+		}
+		if cs.passFD >= 0 {
+			// The fd announced by the reply just written goes out before the
+			// next request is read — the client is blocked on recvmsg for it.
+			fd := cs.passFD
+			cs.passFD = -1
+			if err := sendConnFD(conn, fd); err != nil {
+				s.connDone(cs, err)
+				return
+			}
 		}
 	}
 }
@@ -264,6 +304,17 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 // chunks already applied stay applied — see DESIGN.md §12 for why that is
 // safe only because supervised retries go through SeqAccumulate).
 func (s *Server) connDone(cs *connState, err error) {
+	if cs.lease != 0 {
+		// Crash-safety of the shared locks: whatever stripe words the dead
+		// peer still holds are force-released so the job keeps making
+		// progress (the half-applied push is a partial gradient, which
+		// SEASGD tolerates — DESIGN.md §16).
+		if n := s.store.ReapShmLease(cs.lease); n > 0 {
+			telemetry.RecordEvent(telemetry.EvShmLeaseReaped, int64(cs.lease), int64(n), 0)
+		}
+		s.activeShm.Add(-1)
+		cs.lease = 0
+	}
 	mid := cs.chunkOpen || cs.chunkErr != nil
 	if mid {
 		total := s.reapedSeqs.Add(1)
@@ -529,6 +580,14 @@ type StreamClient struct {
 	waitTimeout time.Duration // guarded by mu; WaitUpdate budget, 0 = block forever
 	broken      error         // guarded by mu; first transport failure latches here
 
+	// Scatter-gather state (sg.go): sg enables vectored writes and
+	// direct-landing reads; vw and hdrs are the registered buffers those
+	// paths reuse — an iovec list and a chunk-header slab, both grow-only
+	// so the steady state stays allocation-free. All guarded by mu.
+	sg   bool
+	vw   vecWriter
+	hdrs []byte
+
 	// traceOK is set by NegotiateTrace when the server granted the trace
 	// feature; tc is the context stamped on outgoing requests while nonzero.
 	// Both guarded by mu. Requests are only ever trace-flagged when both
@@ -598,7 +657,7 @@ func (c *StreamClient) poisonLocked(err error) error {
 
 // NewStreamClient wraps an established connection of any transport.
 func NewStreamClient(rwc io.ReadWriteCloser) *StreamClient {
-	return &StreamClient{conn: rwc}
+	return &StreamClient{conn: rwc} //lint:ignore hotalloc one allocation per established connection; hot paths reach this only through the cold redial recovery branch
 }
 
 // Close implements Client.
@@ -623,6 +682,14 @@ func (c *StreamClient) beginLocked() *frameWriter {
 // poisons the client: the framing state of the connection is unknown, so
 // reuse could pair a stale response with a fresh request.
 func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
+	return c.roundTripBodyLocked(op, nil)
+}
+
+// roundTripBodyLocked is roundTripLocked with an optional bulk body: when
+// body is non-nil the frame goes out as one vectored write of the staged
+// header+head and the caller's body — header and payload in a single
+// writev, no staging copy of the bulk bytes (sg.go).
+func (c *StreamClient) roundTripBodyLocked(op opcode, body []byte) ([]byte, error) {
 	if c.broken != nil {
 		return nil, fmt.Errorf("smb: connection poisoned: %w", c.broken)
 	}
@@ -636,9 +703,12 @@ func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
 		dc.SetWriteDeadline(time.Now().Add(timeout))
 	}
 	var err error
-	if c.traceOK && c.tc.TraceID != 0 && op != opHello {
+	switch {
+	case body != nil:
+		err = c.writeFrameVecLocked(byte(op), body)
+	case c.traceOK && c.tc.TraceID != 0 && op != opHello:
 		err = writeFrameTracedInto(c.conn, byte(op), c.req.buf, c.tc, &c.wire)
-	} else {
+	default:
 		err = writeFrameInto(c.conn, byte(op), c.req.buf, &c.wire)
 	}
 	if err != nil {
@@ -646,6 +716,17 @@ func (c *StreamClient) roundTripLocked(op opcode) ([]byte, error) {
 	}
 	if deadlines {
 		dc.SetWriteDeadline(time.Time{})
+	}
+	return c.readReplyLocked(timeout)
+}
+
+// readReplyLocked reads and classifies one reply frame — the shared tail
+// of every round trip, including the scatter-gather paths that write their
+// requests out of band. Caller holds c.mu.
+func (c *StreamClient) readReplyLocked(timeout time.Duration) ([]byte, error) {
+	dc, deadlines := c.conn.(deadlineConn)
+	deadlines = deadlines && timeout > 0
+	if deadlines {
 		dc.SetReadDeadline(time.Now().Add(timeout))
 	}
 	status, resp, err := readFrameInto(c.conn, &c.in)
@@ -749,6 +830,7 @@ func (c *StreamClient) Free(key SHMKey) error {
 
 // Read implements Client. The response payload is copied into dst straight
 // from the connection scratch — no intermediate allocation.
+//
 //shm:hotpath
 func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 	c.mu.Lock()
@@ -758,6 +840,15 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 		t0 = time.Now()
 	}
 	c.beginLocked().u64(uint64(h)).u64(uint64(off)).u64(uint64(len(dst)))
+	if c.sg && len(dst) >= sgMinPayload {
+		// Direct landing: the reply payload is read straight into dst,
+		// skipping the response-scratch staging copy (sg.go).
+		err := c.roundTripReadIntoLocked(opRead, dst)
+		if err == nil && c.inst != nil {
+			c.inst.read.ObserveSeconds(time.Since(t0).Nanoseconds())
+		}
+		return err
+	}
 	resp, err := c.roundTripLocked(opRead)
 	if err != nil {
 		return err
@@ -773,6 +864,7 @@ func (c *StreamClient) Read(h Handle, off int, dst []byte) error {
 }
 
 // Write implements Client.
+//
 //shm:hotpath
 func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 	c.mu.Lock()
@@ -781,8 +873,17 @@ func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 	if c.inst != nil {
 		t0 = time.Now()
 	}
-	c.beginLocked().u64(uint64(h)).u64(uint64(off)).bytes(src)
-	_, err := c.roundTripLocked(opWrite)
+	var err error
+	if c.sg && len(src) >= sgMinPayload {
+		// Vectored request: header+head staged once, src goes out of the
+		// caller's buffer in the same writev — wire bytes identical to the
+		// staged path, minus the payload copy (sg.go).
+		c.beginLocked().u64(uint64(h)).u64(uint64(off))
+		_, err = c.roundTripBodyLocked(opWrite, src)
+	} else {
+		c.beginLocked().u64(uint64(h)).u64(uint64(off)).bytes(src)
+		_, err = c.roundTripLocked(opWrite)
+	}
 	if err == nil && c.inst != nil {
 		c.inst.write.ObserveSeconds(time.Since(t0).Nanoseconds())
 	}
@@ -790,6 +891,7 @@ func (c *StreamClient) Write(h Handle, off int, src []byte) error {
 }
 
 // Accumulate implements Client.
+//
 //shm:hotpath
 func (c *StreamClient) Accumulate(dst, src Handle) error {
 	c.mu.Lock()

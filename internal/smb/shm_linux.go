@@ -1,0 +1,209 @@
+//go:build linux && !noshm && (amd64 || arm64)
+
+package smb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Linux backend of the shared-memory transport: memfd allocation, mmap,
+// cross-process futexes, and SCM_RIGHTS fd passing. Compiled out with the
+// noshm tag (mirroring the tensor package's noasm escape hatch); every
+// other platform gets the stubs in shm_stub.go and the transport reports
+// ErrShmUnsupported.
+
+const shmBuildSupported = true
+
+const (
+	mfdCloexec = 0x0001
+
+	// No FUTEX_PRIVATE_FLAG: these words live in a MAP_SHARED file mapped
+	// by multiple processes, which is exactly the case the private-futex
+	// optimization is not allowed to assume away.
+	futexOpWait = 0
+	futexOpWake = 1
+)
+
+// shmCreateOS allocates a sealed-size shared file of total bytes and maps
+// it. memfd_create is preferred (anonymous, CLOEXEC, no filesystem litter);
+// kernels without it (ENOSYS) fall back to an unlinked tmpfile, which is
+// the same object with a less tidy birth.
+func shmCreateOS(total int) (int, []byte, error) {
+	fd, err := memfdCreate("shmcaffe-seg")
+	if err != nil {
+		if err != syscall.ENOSYS {
+			return -1, nil, fmt.Errorf("smb: memfd_create: %w", err)
+		}
+		fd, err = unlinkedTmpFD()
+		if err != nil {
+			return -1, nil, fmt.Errorf("smb: shm tmpfile fallback: %w", err)
+		}
+	}
+	if err := syscall.Ftruncate(fd, int64(total)); err != nil {
+		syscall.Close(fd)
+		return -1, nil, fmt.Errorf("smb: shm ftruncate: %w", err)
+	}
+	m, err := shmMapOS(fd, total)
+	if err != nil {
+		syscall.Close(fd)
+		return -1, nil, err
+	}
+	return fd, m, nil
+}
+
+func memfdCreate(name string) (int, error) {
+	p, err := syscall.BytePtrFromString(name)
+	if err != nil {
+		return -1, err
+	}
+	r0, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(p)), mfdCloexec, 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(r0), nil
+}
+
+func unlinkedTmpFD() (int, error) {
+	f, err := os.CreateTemp("", "shmcaffe-seg-*")
+	if err != nil {
+		return -1, err
+	}
+	name := f.Name()
+	// Dup out of the os.File before closing it: the File's finalizer would
+	// otherwise close the fd behind the mapping's back on a later GC.
+	fd, err := syscall.Dup(int(f.Fd()))
+	f.Close()
+	os.Remove(name)
+	if err != nil {
+		return -1, err
+	}
+	syscall.CloseOnExec(fd)
+	return fd, nil
+}
+
+// shmMapOS maps total bytes of fd shared read-write.
+func shmMapOS(fd, total int) ([]byte, error) {
+	m, err := syscall.Mmap(fd, 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("smb: shm mmap %d bytes: %w", total, err)
+	}
+	return m, nil
+}
+
+func shmCloseOS(fd int, m []byte) {
+	if m != nil {
+		syscall.Munmap(m)
+	}
+	if fd >= 0 {
+		syscall.Close(fd)
+	}
+}
+
+// futexWait parks until *w changes from val, another process wakes the
+// word, or timeoutNs elapses. Spurious returns are fine — every caller
+// re-checks its predicate in a loop.
+//
+//shm:hotpath
+func futexWait(w *atomic.Uint32, val uint32, timeoutNs int64) {
+	ts := syscall.Timespec{Sec: timeoutNs / 1e9, Nsec: timeoutNs % 1e9}
+	syscall.Syscall6(syscall.SYS_FUTEX, uintptr(unsafe.Pointer(w)), futexOpWait,
+		uintptr(val), uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWakeAll wakes every waiter parked on the word.
+//
+//shm:hotpath
+func futexWakeAll(w *atomic.Uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX, uintptr(unsafe.Pointer(w)), futexOpWake,
+		uintptr(int(^uint32(0)>>1)), 0, 0, 0)
+}
+
+// canPassFD reports whether conn supports SCM_RIGHTS.
+func canPassFD(conn io.ReadWriteCloser) bool {
+	_, ok := conn.(*net.UnixConn)
+	return ok
+}
+
+// sendConnFD passes fd over the unix stream as ancillary data on a one-byte
+// carrier message. Stream ordering makes delivery deterministic: the peer
+// reads the carrier byte (and with it the fd) exactly after the reply frame
+// that announced it.
+func sendConnFD(conn io.ReadWriteCloser, fd int) error {
+	uc, ok := conn.(*net.UnixConn)
+	if !ok {
+		return errFDTransport
+	}
+	rights := syscall.UnixRights(fd)
+	var carrier [1]byte
+	_, _, err := uc.WriteMsgUnix(carrier[:], rights, nil)
+	return err
+}
+
+// recvConnFD receives one fd passed by sendConnFD.
+func recvConnFD(conn io.ReadWriteCloser) (int, error) {
+	uc, ok := conn.(*net.UnixConn)
+	if !ok {
+		return -1, errFDTransport
+	}
+	var carrier [1]byte
+	oob := make([]byte, 64)
+	_, oobn, _, _, err := uc.ReadMsgUnix(carrier[:], oob)
+	if err != nil {
+		return -1, err
+	}
+	msgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil {
+		return -1, fmt.Errorf("smb: fd pass control message: %w", err)
+	}
+	if len(msgs) == 0 {
+		return -1, errors.New("smb: fd pass carried no control message")
+	}
+	fds, err := syscall.ParseUnixRights(&msgs[0])
+	if err != nil {
+		return -1, fmt.Errorf("smb: fd pass rights: %w", err)
+	}
+	if len(fds) == 0 {
+		return -1, errors.New("smb: fd pass carried no rights")
+	}
+	for _, fd := range fds[1:] {
+		syscall.Close(fd) // defensive: only one fd is ever sent
+	}
+	syscall.CloseOnExec(fds[0])
+	return fds[0], nil
+}
+
+var (
+	bootIDOnce sync.Once
+	bootIDVal  uint64
+)
+
+// localBootID fingerprints this boot of this machine (FNV-1a of the kernel
+// boot_id). Two processes observing the same nonzero value share a kernel,
+// so a memfd mapping between them is meaningful; 0 means "unknown" and
+// vetoes shm negotiation.
+func localBootID() uint64 {
+	bootIDOnce.Do(func() {
+		b, err := os.ReadFile("/proc/sys/kernel/random/boot_id")
+		if err != nil || len(b) == 0 {
+			return
+		}
+		h := uint64(14695981039346656037)
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+		if h == 0 {
+			h = 1
+		}
+		bootIDVal = h
+	})
+	return bootIDVal
+}

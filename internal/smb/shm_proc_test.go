@@ -1,0 +1,325 @@
+//go:build linux && !noshm && (amd64 || arm64)
+
+package smb
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"shmcaffe/internal/tensor"
+)
+
+// Cross-process drills for the shared-memory transport: the parent test
+// process runs the SMB server and re-execs its own binary as worker
+// helpers, so mapped Accumulates genuinely cross an address-space boundary
+// (the in-process tests in shm_test.go cannot exercise the futex wake or
+// the crash-reap path for real).
+//
+// TestMain intercepts the re-exec: when SHMCAFFE_SHM_HELPER names a mode,
+// the process runs that worker loop instead of the test suite. The crash
+// mode additionally arms SHMCAFFE_CRASHPOINT=shm-mid-accumulate, so the
+// helper dies inside WriteAccumulate with stripe locks held — the exact
+// scenario the server's dead-lease reap exists for.
+
+const (
+	shmHelperEnv = "SHMCAFFE_SHM_HELPER"
+	shmSockEnv   = "SHMCAFFE_SHM_SOCK"
+	shmIDEnv     = "SHMCAFFE_SHM_ID"
+
+	shmProcSegBytes = 4 * chunkBytes // 4 stripes: pushes span lock words
+	shmProcPushes   = 50
+)
+
+func TestMain(m *testing.M) {
+	mode := os.Getenv(shmHelperEnv)
+	if mode == "" {
+		os.Exit(m.Run())
+	}
+	if err := runShmHelper(mode); err != nil {
+		fmt.Fprintln(os.Stderr, "shm helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runShmHelper is the worker side of the drills.
+func runShmHelper(mode string) error {
+	sock := os.Getenv(shmSockEnv)
+	id, _ := strconv.Atoi(os.Getenv(shmIDEnv))
+	c, err := DialShmConfig(ShmConfig{Path: sock, ClientID: uint64(id)})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	attach := func(name string) (Handle, error) {
+		key, err := c.Lookup(name)
+		if err != nil {
+			return 0, err
+		}
+		h, err := c.Attach(key)
+		if err != nil {
+			return 0, err
+		}
+		if !c.Mapped(h) {
+			return 0, fmt.Errorf("segment %q did not map in the helper", name)
+		}
+		return h, nil
+	}
+
+	switch mode {
+	case "hammer", "crash":
+		// N fused pushes of all-ones into the shared Wg. Both hammer
+		// children target the same wg/dw pair, so every stripe lock word is
+		// genuinely contended across processes. In crash mode the armed
+		// crashpoint kills the process inside the first push, locks held.
+		wg, err := attach("wg")
+		if err != nil {
+			return err
+		}
+		dw, err := attach("dw")
+		if err != nil {
+			return err
+		}
+		ones := make([]float32, shmProcSegBytes/4)
+		for i := range ones {
+			ones[i] = 1
+		}
+		data := tensor.Float32Bytes(ones)
+		for i := 0; i < shmProcPushes; i++ {
+			if err := c.WriteAccumulate(wg, dw, data); err != nil {
+				return fmt.Errorf("push %d: %w", i, err)
+			}
+		}
+		return nil
+	case "crossed":
+		// Crossed accumulates: helper 1 runs a += b while helper 2 runs
+		// b += a on the same stripes. Key-ordered shared locking is what
+		// keeps this from deadlocking; the parent asserts completion.
+		a, err := attach("a")
+		if err != nil {
+			return err
+		}
+		b, err := attach("b")
+		if err != nil {
+			return err
+		}
+		dst, src := a, b
+		if id%2 == 0 {
+			dst, src = b, a
+		}
+		for i := 0; i < shmProcPushes; i++ {
+			if err := c.Accumulate(dst, src); err != nil {
+				return fmt.Errorf("accumulate %d: %w", i, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown helper mode %q", mode)
+	}
+}
+
+// startShmHelper re-execs the test binary as one worker helper.
+func startShmHelper(t *testing.T, mode, sock string, id int, extraEnv ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		shmHelperEnv+"="+mode,
+		shmSockEnv+"="+sock,
+		shmIDEnv+"="+strconv.Itoa(id),
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() && out.Len() > 0 {
+			t.Logf("helper %s/%d output:\n%s", mode, id, out.String())
+		}
+	})
+	return cmd
+}
+
+// waitHelper joins a helper with a watchdog (a deadlocked mapped Accumulate
+// would otherwise hang the whole suite).
+func waitHelper(t *testing.T, cmd *exec.Cmd, timeout time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("helper did not finish (cross-process deadlock?)")
+		return nil
+	}
+}
+
+// shmProcServer stands up the server side of a drill: an shm-enabled store
+// behind a unix control socket, plus a local client for seeding/asserting.
+func shmProcServer(t *testing.T) (*Store, *LocalClient, string) {
+	t.Helper()
+	if !ShmSupported() {
+		t.Skip("shm transport not supported on this platform/build")
+	}
+	store := NewStore()
+	if err := store.EnableShm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "smb.sock")
+	uln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetShmAddr(sock)
+	go srv.Serve()
+	go func() {
+		for {
+			conn, err := uln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	t.Cleanup(func() { uln.Close(); srv.Close() })
+	return store, NewLocalClient(store), sock
+}
+
+// TestShmProcHammer crosses two OS processes over the same wg/dw mapped
+// pair: 2 × shmProcPushes all-ones pushes later, every element of Wg must
+// be exactly 2 × shmProcPushes — the shared stripe locks made each fused
+// copy+add atomic despite the cross-process contention.
+func TestShmProcHammer(t *testing.T) {
+	_, local, sock := shmProcServer(t)
+	kw, err := local.Create("wg", shmProcSegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Create("dw", shmProcSegBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	h1 := startShmHelper(t, "hammer", sock, 1)
+	h2 := startShmHelper(t, "hammer", sock, 2)
+	if err := waitHelper(t, h1, 60*time.Second); err != nil {
+		t.Fatalf("helper 1: %v", err)
+	}
+	if err := waitHelper(t, h2, 60*time.Second); err != nil {
+		t.Fatalf("helper 2: %v", err)
+	}
+
+	wg, err := local.Attach(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, local, wg, shmProcSegBytes/4)
+	want := float32(2 * shmProcPushes)
+	for i, v := range got {
+		if v != want {
+			t.Fatalf("wg[%d] = %v, want %v (a push was lost or torn)", i, v, want)
+		}
+	}
+}
+
+// TestShmProcCrossedAccumulate runs a += b against b += a from two
+// processes: the key-ordered shared stripe locking must let both finish
+// (an ordering bug here is a cross-process deadlock, caught by the
+// watchdog, not a wrong sum).
+func TestShmProcCrossedAccumulate(t *testing.T) {
+	_, local, sock := shmProcServer(t)
+	if _, err := local.Create("a", shmProcSegBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Create("b", shmProcSegBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	h1 := startShmHelper(t, "crossed", sock, 1)
+	h2 := startShmHelper(t, "crossed", sock, 2)
+	if err := waitHelper(t, h1, 60*time.Second); err != nil {
+		t.Fatalf("helper 1: %v", err)
+	}
+	if err := waitHelper(t, h2, 60*time.Second); err != nil {
+		t.Fatalf("helper 2: %v", err)
+	}
+}
+
+// TestShmProcCrashReap kills a mapping peer inside WriteAccumulate — exit
+// 137 with both segments' stripe locks held — and asserts the server reaps
+// the dead lease when the control connection drops, after which its own
+// kernels make progress on the poisoned stripes again (the PR 5 exactly-
+// once chaos drill, extended to the shm transport).
+func TestShmProcCrashReap(t *testing.T) {
+	store, local, sock := shmProcServer(t)
+	kw, err := local.Create("wg", shmProcSegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := local.Create("dw", shmProcSegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := startShmHelper(t, "crash", sock, 1, "SHMCAFFE_CRASHPOINT=shm-mid-accumulate")
+	err = waitHelper(t, crash, 60*time.Second)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 137 {
+		t.Fatalf("crash helper exited %v, want exit status 137 (armed crashpoint)", err)
+	}
+
+	// The kernel closed the helper's control socket on exit; the server's
+	// connDone must sweep the lease's lock words.
+	deadline := time.Now().Add(10 * time.Second)
+	for store.ShmStats().ReapedLocks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no lock words reaped after the crash (stats %+v)", store.ShmStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Progress proof: a server-side accumulate over every stripe — which
+	// must take each shared lock word the dead helper was holding —
+	// completes instead of parking forever on a corpse's lease.
+	wg, err := local.Attach(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := local.Attach(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- local.Accumulate(wg, dw) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server-side accumulate still blocked after the reap")
+	}
+	if store.ShmStats().Reaps < 1 {
+		t.Fatalf("stats %+v, want at least one reap sweep", store.ShmStats())
+	}
+}

@@ -1,0 +1,39 @@
+//go:build !linux || noshm || (!amd64 && !arm64)
+
+package smb
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Stubs compiled in when the shared-memory transport is unavailable
+// (non-linux, the noshm tag, or an arch without a known memfd number).
+// ShmSupported() is false, so no shmShared is ever constructed and the
+// create/map stubs are unreachable except as defensive errors; the futex
+// stubs exist only to satisfy the portable layer's references.
+
+const shmBuildSupported = false
+
+func shmCreateOS(total int) (int, []byte, error) { return -1, nil, ErrShmUnsupported }
+
+func shmMapOS(fd, total int) ([]byte, error) { return nil, ErrShmUnsupported }
+
+func shmCloseOS(fd int, m []byte) {}
+
+func futexWait(w *atomic.Uint32, val uint32, timeoutNs int64) {
+	// Unreachable in practice (no mappings exist); sleep briefly so a bug
+	// cannot spin a core.
+	time.Sleep(time.Millisecond)
+}
+
+func futexWakeAll(w *atomic.Uint32) {}
+
+func canPassFD(conn io.ReadWriteCloser) bool { return false }
+
+func sendConnFD(conn io.ReadWriteCloser, fd int) error { return ErrShmUnsupported }
+
+func recvConnFD(conn io.ReadWriteCloser) (int, error) { return -1, ErrShmUnsupported }
+
+func localBootID() uint64 { return 0 }

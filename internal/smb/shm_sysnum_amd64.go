@@ -1,0 +1,7 @@
+//go:build linux && !noshm
+
+package smb
+
+// memfd_create is newer than the frozen syscall package, so its number is
+// spelled out per architecture (SYS_FUTEX is old enough to be in stdlib).
+const sysMemfdCreate = 319

@@ -1,0 +1,525 @@
+package smb
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"shmcaffe/internal/tensor"
+)
+
+// startShmServer launches a server exporting memfd segments: TCP for the
+// frame protocol plus a unix-domain control socket for the fd-pass
+// handshake, with the socket path advertised for auto-negotiation. Skips
+// where the build has the transport compiled out.
+func startShmServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	if !ShmSupported() {
+		t.Skip("shm transport not supported on this platform/build")
+	}
+	store := NewStore()
+	if err := store.EnableShm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "smb.sock")
+	uln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetShmAddr(path)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve()
+	}()
+	var uwg sync.WaitGroup
+	uwg.Add(1)
+	go func() {
+		defer uwg.Done()
+		for {
+			conn, err := uln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	t.Cleanup(func() {
+		uln.Close()
+		uwg.Wait()
+		srv.Close()
+		<-done
+	})
+	return srv, path
+}
+
+// readF32 reads the first n float32s of h into a fresh slice.
+func readF32(t *testing.T, c Client, h Handle, n int) []float32 {
+	t.Helper()
+	buf := make([]byte, n*4)
+	if err := c.Read(h, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tensor.Float32FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func dialShmT(t *testing.T, path string) *ShmClient {
+	t.Helper()
+	c, err := DialShm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestShmClientRoundTrip drives every verb through mapped stripes: the
+// segment is created over the control socket, mapped via the passed fd, and
+// the data verbs never touch the wire.
+func TestShmClientRoundTrip(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	const n = 3 * chunkBytes / 4 // 3 stripes of float32s
+	key, err := c.Create("wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Lookup("wg"); err != nil || got != key {
+		t.Fatalf("lookup = %v, %v, want %v", got, err, key)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(h) {
+		t.Fatal("memfd segment did not map")
+	}
+	if c.Lease() < 2 {
+		t.Fatalf("client lease %d, want >= 2", c.Lease())
+	}
+
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i % 101)
+	}
+	if err := c.Write(h, 0, tensor.Float32Bytes(src)); err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, c, h, n)
+	for i := range got {
+		if got[i] != src[i] {
+			t.Fatalf("readback[%d] = %v, want %v", i, got[i], src[i])
+		}
+	}
+
+	// Accumulate across two mapped segments.
+	kd, err := c.Create("dw", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := c.Attach(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float32, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := c.Write(hd, 0, tensor.Float32Bytes(ones)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accumulate(h, hd); err != nil {
+		t.Fatal(err)
+	}
+	got = readF32(t, c, h, n)
+	for i := range got {
+		if got[i] != src[i]+1 {
+			t.Fatalf("accumulate[%d] = %v, want %v", i, got[i], src[i]+1)
+		}
+	}
+
+	// Fused push: Wg += data with data landing in dw.
+	if err := c.WriteAccumulate(h, hd, tensor.Float32Bytes(ones)); err != nil {
+		t.Fatal(err)
+	}
+	got = readF32(t, c, h, n)
+	for i := range got {
+		if got[i] != src[i]+2 {
+			t.Fatalf("write+accumulate[%d] = %v, want %v", i, got[i], src[i]+2)
+		}
+	}
+	if st := c.Stats(); st.MappedOps == 0 || st.MappedSegments != 2 {
+		t.Fatalf("stats %+v, want mapped traffic on 2 segments", st)
+	}
+	if err := c.Detach(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Detach(hd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShmHeapSegmentWireFallback attaches a segment created before
+// EnableShm: it cannot be mapped, so its data verbs ride the control socket
+// while mapped segments on the same client stay zero-copy.
+func TestShmHeapSegmentWireFallback(t *testing.T) {
+	if !ShmSupported() {
+		t.Skip("shm transport not supported on this platform/build")
+	}
+	store := NewStore()
+	local := NewLocalClient(store)
+	if _, err := local.Create("old", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.EnableShm(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "smb.sock")
+	uln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	go func() {
+		for {
+			conn, err := uln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	t.Cleanup(func() { uln.Close(); srv.Close() })
+
+	c := dialShmT(t, path)
+	key, err := c.Lookup("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mapped(h) {
+		t.Fatal("heap segment mapped, want wire fallback")
+	}
+	want := []float32{1, 2, 3, 4}
+	if err := c.Write(h, 0, tensor.Float32Bytes(want)); err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, c, h, 4)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("wire readback %v, want %v", got, want)
+		}
+	}
+	if st := c.Stats(); st.CtlOps == 0 {
+		t.Fatalf("stats %+v, want wire-fallback traffic", st)
+	}
+}
+
+// TestShmAutoNegotiate covers the transport registry's decision making:
+// against an offering server "auto" yields shm; against a plain TCP server
+// it falls back to tcp; forcing "shm" there is a hard error; forcing "tcp"
+// against an offering server stays on the wire.
+func TestShmAutoNegotiate(t *testing.T) {
+	srv, _ := startShmServer(t)
+	opts := DialOptions{Addr: srv.Addr(), OpTimeout: 5 * time.Second}
+	c, name, err := DialAuto(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if name != "shm" {
+		t.Fatalf("negotiated %q, want shm", name)
+	}
+	if _, ok := c.(*ShmClient); !ok {
+		t.Fatalf("negotiated client is %T, want *ShmClient", c)
+	}
+
+	// Forced tcp against the same offering server.
+	ct, err := DialTransport("tcp", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if _, ok := ct.(*SupervisedClient); !ok {
+		t.Fatalf("forced tcp client is %T, want *SupervisedClient", ct)
+	}
+	if _, err := ct.Create("tcp-side", 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain server: auto degrades to tcp, forced shm errors.
+	plain := startServer(t)
+	popts := DialOptions{Addr: plain.Addr(), OpTimeout: 5 * time.Second}
+	cp, name, err := DialAuto(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if name != "tcp" {
+		t.Fatalf("negotiated %q against plain server, want tcp", name)
+	}
+	if _, err := DialTransport("shm", popts); err == nil {
+		t.Fatal("forced shm against a non-offering server succeeded")
+	}
+}
+
+// TestShmSeqAccumulateDedup extends the exactly-once contract to the mapped
+// path: the dedup table lives client-side (a mapped push has no ambiguous
+// outcome), and a replayed sequence is acknowledged without re-applying.
+func TestShmSeqAccumulateDedup(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	kw, err := c.Create("wg", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := c.Create("dw", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := c.Attach(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := c.Attach(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(wg) || !c.Mapped(dw) {
+		t.Fatal("segments did not map")
+	}
+	if err := c.Write(dw, 0, tensor.Float32Bytes([]float32{1, 1, 1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := c.SeqAccumulate(wg, dw, 42, 1)
+	if err != nil || !applied {
+		t.Fatalf("first SeqAccumulate = (%v, %v), want (true, nil)", applied, err)
+	}
+	applied, err = c.SeqAccumulate(wg, dw, 42, 1) // the retry replay
+	if err != nil || applied {
+		t.Fatalf("replayed SeqAccumulate = (%v, %v), want (false, nil)", applied, err)
+	}
+	if applied, err := c.SeqAccumulate(wg, dw, 43, 1); err != nil || !applied {
+		t.Fatalf("other client's seq 1 = (%v, %v), want (true, nil)", applied, err)
+	}
+	got := readF32(t, c, wg, 4)
+	for i, v := range got {
+		if v != 2 { // two distinct pushes applied, the replay skipped
+			t.Fatalf("wg[%d] = %v, want 2", i, v)
+		}
+	}
+}
+
+// TestShmCtlReconnect kills the control socket out from under the client:
+// the next control verb redials, gets a fresh lease, and mapped segments
+// keep working across the blip (the memfd is the process's reference, not
+// the socket's).
+func TestShmCtlReconnect(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	key, err := c.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLease := c.Lease()
+
+	c.mu.Lock()
+	c.ctl.conn.Close() // yank the socket mid-session
+	c.mu.Unlock()
+
+	// Control verbs supervise: redial, fresh lease, lazy re-attach.
+	if _, err := c.Lookup("wg"); err != nil {
+		t.Fatalf("lookup after control-socket loss: %v", err)
+	}
+	if c.Lease() == oldLease || c.Lease() < 2 {
+		t.Fatalf("lease %d after redial, want fresh lease != %d", c.Lease(), oldLease)
+	}
+	if st := c.Stats(); st.Reconnects < 1 {
+		t.Fatalf("stats %+v, want at least one reconnect", st)
+	}
+	// The mapping survived the whole affair.
+	if err := c.Write(h, 0, tensor.Float32Bytes([]float32{7})); err != nil {
+		t.Fatal(err)
+	}
+	got := readF32(t, c, h, 1)
+	if got[0] != 7 {
+		t.Fatalf("mapped readback %v after reconnect, want 7", got[0])
+	}
+}
+
+// TestShmWaitUpdateCrossClient parks one mapped client on the shared
+// version futex and wakes it with another client's mapped Write — the
+// cross-process notification path, exercised across two mappings of one
+// segment in one process.
+func TestShmWaitUpdateCrossClient(t *testing.T) {
+	_, path := startShmServer(t)
+	a := dialShmT(t, path)
+	b := dialShmT(t, path)
+
+	key, err := a.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mapped(ha) || !b.Mapped(hb) {
+		t.Fatal("segments did not map")
+	}
+	v0, err := a.Version(ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		v   uint64
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := a.WaitUpdate(ha, v0)
+		ch <- res{v, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	if err := b.Write(hb, 0, tensor.Float32Bytes([]float32{1})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil || r.v <= v0 {
+			t.Fatalf("WaitUpdate = (%d, %v), want version > %d", r.v, r.err, v0)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitUpdate did not wake on the shared version bump")
+	}
+}
+
+// TestShmLeaseReapOnConnClose is the in-process half of the crash drill
+// (shm_proc_test.go does it across real processes): a stripe lock word left
+// held by a dying control connection is reaped by the server, after which
+// the server's own kernels make progress on that stripe again.
+func TestShmLeaseReapOnConnClose(t *testing.T) {
+	srv, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	key, err := c.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	m := c.maps[h]
+	lease := c.lease
+	c.mu.Unlock()
+	if m == nil {
+		t.Fatal("segment did not map")
+	}
+	// Simulate a crash mid-accumulate: take the stripe word, then die
+	// without unlocking (Close unmaps but never touches lock words — and
+	// the mapping object keeps the word reachable for the assertion).
+	m.sh.lockStripe(0, lease)
+	c.Close()
+
+	store := srv.Store()
+	deadline := time.Now().Add(5 * time.Second)
+	for store.ShmStats().ReapedLocks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not reap the dead lease's lock word")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The stripe is usable again: a server-side Write (which takes the
+	// shared word with the server lease) completes instead of deadlocking.
+	local := NewLocalClient(store)
+	lh, err := local.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- local.Write(lh, 0, tensor.Float32Bytes([]float32{1})) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server-side write still blocked after the reap")
+	}
+}
+
+// TestShmWriteAccumulateZeroAlloc holds the transport's headline contract:
+// a mapped push is copy+add straight against the shared stripes — zero
+// allocations per op (ISSUE 9 acceptance: 0 allocs/op on the shm path).
+func TestShmWriteAccumulateZeroAlloc(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	const n = 1 << 18 // 1 MiB of float32s: the benchmarked push size
+	kw, err := c.Create("wg", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := c.Create("dw", n*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := c.Attach(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := c.Attach(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(wg) || !c.Mapped(dw) {
+		t.Fatal("segments did not map")
+	}
+	data := tensor.Float32Bytes(make([]float32, n))
+	for i := 0; i < 4; i++ { // warm every lazily-allocated path
+		if err := c.WriteAccumulate(wg, dw, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.WriteAccumulate(wg, dw, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("mapped WriteAccumulate allocates %.1f per op, want 0", allocs)
+	}
+}

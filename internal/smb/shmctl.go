@@ -1,0 +1,245 @@
+package smb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"shmcaffe/internal/telemetry"
+)
+
+// Unix-domain control verbs of the shared-memory transport (DESIGN.md §16).
+// The control socket speaks the ordinary frame protocol; only the data path
+// is mapped. Five verbs:
+//
+//   - opShmHello   grants the connection a lease — the identity its shared
+//     stripe-lock acquisitions carry, and what the server reaps when the
+//     connection dies.
+//   - opShmMap     exports one segment: the reply carries the geometry, and
+//     the memfd follows as SCM_RIGHTS ancillary data on a one-byte carrier
+//     message (stream ordering makes the hand-off deterministic).
+//   - opShmUnmap   retires a mapping (accounting only; the client's munmap
+//     is what actually releases memory).
+//   - opShmLease   renews/validates the lease — the heartbeat a client can
+//     use to distinguish "server gone" from "socket idle".
+//   - opShmQuery   answers "is the zero-copy path on offer, and are we on
+//     the same kernel?" — served over TCP too, which is how a worker
+//     auto-negotiates: query over TCP, compare boot ids, then dial the
+//     advertised unix socket. Old servers answer with a clean unknown-
+//     opcode error and the client falls back to TCP, exactly like trace
+//     negotiation.
+const (
+	opShmHello opcode = 15
+	opShmMap   opcode = 16
+	opShmUnmap opcode = 17
+	opShmLease opcode = 18
+	opShmQuery opcode = 19
+)
+
+// shmQueryOffered is the opShmQuery reply flag: the server exports memfd
+// segments and advertises a control socket path.
+const shmQueryOffered uint64 = 1 << 0
+
+// errNoShmLease reports a map/lease verb issued before opShmHello.
+var errNoShmLease = errors.New("smb: no shm lease on this connection (hello first)")
+
+// errShmNotOffered reports that the server is not exporting segments.
+var errShmNotOffered = errors.New("smb: shm transport not offered by this server")
+
+// dispatchShm serves the shared-memory control verbs; chained from
+// dispatchNotify's default arm so unknown opcodes still error there.
+func (s *Server) dispatchShm(op opcode, payload []byte, cs *connState) ([]byte, error) {
+	fr := frameReader{buf: payload}
+	switch op {
+	//lint:ignore wireproto control-plane verb: one frame per control connection, not a data-path latency
+	case opShmHello:
+		_ = fr.u64() // feature flags, reserved
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if !ShmSupported() || !s.store.ShmEnabled() {
+			return nil, errShmNotOffered
+		}
+		if cs.lease == 0 {
+			cs.lease = s.shmLeases.Add(1) + 1 // leases start at 2; 1 is the server
+			s.store.shmc.leases.Add(1)
+			s.activeShm.Add(1)
+		}
+		return cs.fw.u64(uint64(cs.lease)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per mapped segment, not a data-path latency
+	case opShmMap:
+		h := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if cs.lease == 0 {
+			return nil, errNoShmLease
+		}
+		if !canPassFD(cs.conn) {
+			return nil, errFDTransport
+		}
+		sh, seg, err := s.store.shmSegment(Handle(h))
+		if err != nil {
+			return nil, err
+		}
+		// The fd goes out as ancillary data right after this OK reply —
+		// handleConn sends it before reading the next request frame.
+		cs.passFD = sh.fd
+		s.store.shmc.fdPassed.Add(1)
+		s.store.shmc.mapBytes.Add(int64(len(sh.m)))
+		telemetry.RecordEvent(telemetry.EvShmMap, int64(seg.key), int64(len(sh.m)), 0)
+		return cs.fw.u64(uint64(seg.key)).u64(uint64(sh.ctlBytes)).
+			u64(uint64(len(sh.dat))).u64(uint64(sh.stripes)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per unmapped segment, not a data-path latency
+	case opShmUnmap:
+		h := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		sh, _, err := s.store.shmSegment(Handle(h))
+		if err != nil {
+			return nil, err
+		}
+		s.store.shmc.mapBytes.Add(-int64(len(sh.m)))
+		return nil, nil
+	//lint:ignore wireproto control-plane verb: a heartbeat frame, not a data-path latency
+	case opShmLease:
+		lease := fr.u64()
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		if cs.lease == 0 || uint64(cs.lease) != lease {
+			return nil, errNoShmLease
+		}
+		return cs.fw.u64(uint64(cs.lease)).buf, nil
+	//lint:ignore wireproto control-plane verb: one frame per dial, not a data-path latency
+	case opShmQuery:
+		_ = fr.u64() // client boot id; informational
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		var flags uint64
+		path := s.ShmAddr()
+		if ShmSupported() && s.store.ShmEnabled() && path != "" {
+			flags |= shmQueryOffered
+		}
+		return cs.fw.u64(flags).u64(localBootID()).str(path).buf, nil
+	default:
+		return nil, fmt.Errorf("smb: unknown opcode %d", op)
+	}
+}
+
+// SetShmAddr advertises the unix-domain control socket path in opShmQuery
+// replies; cmd/smbserver sets it when serving with -shm.
+func (s *Server) SetShmAddr(path string) { s.shmPath.Store(path) }
+
+// ShmAddr returns the advertised control socket path ("" = none).
+func (s *Server) ShmAddr() string {
+	p, _ := s.shmPath.Load().(string)
+	return p
+}
+
+// Client-side control verbs.
+
+// shmGeometry is the opShmMap reply: where the data region lives inside the
+// mapped file.
+type shmGeometry struct {
+	key      SHMKey
+	ctlBytes int
+	size     int
+	stripes  int
+}
+
+// ShmHello requests a lease on this control connection. The server must be
+// exporting segments; against a non-shm or old server the remote error
+// surfaces directly (DialShm treats it as "not offered").
+func (c *StreamClient) ShmHello() (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(0)
+	resp, err := c.roundTripLocked(opShmHello)
+	if err != nil {
+		return 0, err
+	}
+	fr := frameReader{buf: resp}
+	lease := fr.u64()
+	return uint32(lease), fr.err
+}
+
+// shmMap maps the segment behind h: one round trip for the geometry, then
+// the fd arrives as ancillary data and the file is mmapped. Only valid on a
+// unix-domain connection.
+func (c *StreamClient) shmMap(h Handle) (*shmShared, shmGeometry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var g shmGeometry
+	c.beginLocked().u64(uint64(h))
+	resp, err := c.roundTripLocked(opShmMap)
+	if err != nil {
+		return nil, g, err
+	}
+	fr := frameReader{buf: resp}
+	g.key = SHMKey(fr.u64())
+	g.ctlBytes = int(fr.u64())
+	g.size = int(fr.u64())
+	g.stripes = int(fr.u64())
+	if fr.err != nil {
+		return nil, g, fr.err
+	}
+	// The fd's carrier byte is the next thing on the stream; a failure here
+	// desyncs the framing, so it poisons like any transport error.
+	if dc, ok := c.conn.(deadlineConn); ok && c.opTimeout > 0 {
+		dc.SetReadDeadline(time.Now().Add(c.opTimeout))
+		defer dc.SetReadDeadline(time.Time{})
+	}
+	fd, err := recvConnFD(c.conn)
+	if err != nil {
+		return nil, g, c.poisonLocked(fmt.Errorf("smb shm fd pass: %w: %w", ErrTransport, err))
+	}
+	sh, err := mapShmShared(fd, g.ctlBytes, g.size)
+	if err != nil {
+		shmCloseOS(fd, nil)
+		return nil, g, err
+	}
+	return sh, g, nil
+}
+
+// ShmUnmap retires the server-side accounting of one mapping.
+func (c *StreamClient) ShmUnmap(h Handle) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(h))
+	_, err := c.roundTripLocked(opShmUnmap)
+	return err
+}
+
+// ShmLease validates/renews the connection's lease.
+func (c *StreamClient) ShmLease(lease uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(uint64(lease))
+	_, err := c.roundTripLocked(opShmLease)
+	return err
+}
+
+// ShmQuery asks whether the server offers the zero-copy path. Like
+// NegotiateTrace, an old server's unknown-opcode reply is a clean "no":
+// (0, 0, "", nil) with the connection fully usable. Only transport
+// failures surface as errors.
+func (c *StreamClient) ShmQuery() (flags, serverBootID uint64, path string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.beginLocked().u64(localBootID())
+	resp, err := c.roundTripLocked(opShmQuery)
+	if err != nil {
+		if errors.Is(err, ErrTransport) {
+			return 0, 0, "", err
+		}
+		return 0, 0, "", nil // old or non-shm server: framing intact
+	}
+	fr := frameReader{buf: resp}
+	flags = fr.u64()
+	serverBootID = fr.u64()
+	path = fr.str()
+	return flags, serverBootID, path, fr.err
+}

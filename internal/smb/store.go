@@ -95,6 +95,10 @@ type segment struct {
 	name  string
 	locks []sync.RWMutex
 	data  []byte
+	// shm is the memfd backing when the segment is exported for
+	// cross-process mapping (shmseg.go); nil for heap segments. Immutable
+	// after Create, like data — data aliases shm's data region when set.
+	shm *shmShared
 }
 
 // numChunks returns the stripe count for a segment of size bytes.
@@ -131,6 +135,11 @@ type Store struct {
 
 	// seqs backs the at-most-once accumulate dedup (seq.go).
 	seqs seqTable
+
+	// shmOn switches Create to memfd-backed segments (shmseg.go); shmc
+	// counts the shared-memory transport's control-plane traffic.
+	shmOn atomic.Bool
+	shmc  shmCounters
 }
 
 // NewStore returns an empty segment store.
@@ -160,7 +169,20 @@ func (s *Store) Create(name string, size int) (SHMKey, error) {
 		key:   key,
 		name:  name,
 		locks: make([]sync.RWMutex, numChunks(size)),
-		data:  make([]byte, size),
+	}
+	if s.shmOn.Load() {
+		sh, err := newShmShared(size)
+		if err != nil {
+			// Heap fallback: the segment still works over every wire verb,
+			// it just cannot be mapped (opShmMap reports as much).
+			s.shmc.allocFails.Add(1)
+		} else {
+			seg.shm = sh
+			seg.data = sh.dat
+		}
+	}
+	if seg.data == nil {
+		seg.data = make([]byte, size)
 	}
 	s.segments[key] = seg
 	s.byName[name] = key
@@ -221,6 +243,10 @@ func (s *Store) Free(key SHMKey) error {
 			delete(s.handles, h)
 		}
 	}
+	// A freed memfd segment keeps its mapping and fd until process exit:
+	// in-flight handlers may still touch seg.data, and remote mappings hold
+	// their own fd references anyway. Segments live for the job in every
+	// caller today, so this leaks only on Free-heavy synthetic workloads.
 	return nil
 }
 
@@ -249,6 +275,7 @@ func (s *Store) SegmentSize(h Handle) (int, error) {
 // the update, which is exactly the relaxed visibility the asynchronous
 // SEASGD read of Wg tolerates (paper Eq. 6: workers train on slightly
 // stale weights by design).
+//
 //shm:hotpath
 func (s *Store) Read(h Handle, off int, dst []byte) error {
 	seg, err := s.lookupHandle(h)
@@ -271,9 +298,9 @@ func (s *Store) Read(h Handle, off int, dst []byte) error {
 		if end := off + len(dst); hi > end {
 			hi = end
 		}
-		seg.locks[ci].RLock()
+		seg.rlockStripe(ci)
 		copy(dst[covered:covered+(hi-start)], seg.data[start:hi])
-		seg.locks[ci].RUnlock()
+		seg.runlockStripe(ci)
 		covered += hi - start
 	}
 	s.stats.reads.Add(1)
@@ -286,6 +313,7 @@ func (s *Store) Read(h Handle, off int, dst []byte) error {
 
 // Write copies src into the segment at off — the RDMA Write verb. Like
 // Read, the copy is atomic per stripe.
+//
 //shm:hotpath
 func (s *Store) Write(h Handle, off int, src []byte) error {
 	seg, err := s.lookupHandle(h)
@@ -308,9 +336,9 @@ func (s *Store) Write(h Handle, off int, src []byte) error {
 		if end := off + len(src); hi > end {
 			hi = end
 		}
-		seg.locks[ci].Lock()
+		seg.lockStripe(ci, false)
 		copy(seg.data[start:hi], src[covered:covered+(hi-start)])
-		seg.locks[ci].Unlock()
+		seg.unlockStripe(ci)
 		covered += hi - start
 	}
 	s.versions.bump(seg)
@@ -348,6 +376,7 @@ var accScratchPool = sync.Pool{New: func() any { return new([]float32) }}
 //
 // Lock ordering: for each stripe the two locks are taken in segment-key
 // order, so crossed accumulates (A: X+=Y, B: Y+=X) cannot deadlock.
+//
 //shm:hotpath
 func (s *Store) Accumulate(dst, src Handle) error {
 	dseg, err := s.lookupHandle(dst)
@@ -377,24 +406,24 @@ func (s *Store) Accumulate(dst, src Handle) error {
 		lo, hi := dseg.chunkRange(ci)
 		if dseg == sseg {
 			// Self-accumulate: one lock, double in place.
-			waitNs += lockWait(&dseg.locks[ci], timed)
+			waitNs += dseg.lockStripe(ci, timed)
 			if err := accumulateChunk(dseg.data[lo:hi], dseg.data[lo:hi]); err != nil {
-				dseg.locks[ci].Unlock()
+				dseg.unlockStripe(ci)
 				return err
 			}
-			dseg.locks[ci].Unlock()
+			dseg.unlockStripe(ci)
 			continue
 		}
 		if dseg.key < sseg.key {
-			waitNs += lockWait(&dseg.locks[ci], timed)
-			sseg.locks[ci].RLock()
+			waitNs += dseg.lockStripe(ci, timed)
+			sseg.rlockStripe(ci)
 		} else {
-			sseg.locks[ci].RLock()
-			waitNs += lockWait(&dseg.locks[ci], timed)
+			sseg.rlockStripe(ci)
+			waitNs += dseg.lockStripe(ci, timed)
 		}
 		err := accumulateChunk(dseg.data[lo:hi], sseg.data[lo:hi])
-		sseg.locks[ci].RUnlock()
-		dseg.locks[ci].Unlock()
+		sseg.runlockStripe(ci)
+		dseg.unlockStripe(ci)
 		if err != nil {
 			return err
 		}
@@ -440,6 +469,33 @@ func accumulateChunk(dst, src []byte) error {
 		return fmt.Errorf("accumulate encode: %w", err)
 	}
 	return nil
+}
+
+// copyAccumulateChunk applies the fused WRITE+ACCUMULATE body to one
+// mapped stripe: data lands in src (the WRITE half) and folds into dst
+// (the ACCUMULATE half) in a single sweep, without the separate copy pass
+// re-reading src. On the SIMD backend the src stores are non-temporal —
+// the whole point is to avoid the read-for-ownership stream a cached
+// store would add. That is the right trade only where the fold is the
+// entire operation (ShmClient.WriteAccumulate, whose caller is blocked on
+// it); the server's wire fold keeps copy + add, which overlaps the next
+// chunk's transfer and leaves the stripes cache-resident for the serves
+// that follow. Falls back to copy + accumulateChunk when any buffer is
+// not float32-viewable (misaligned or big-endian). dst and src must not
+// alias each other or data — callers route the self-target case through
+// the copy + in-place-double path instead.
+//
+//shm:hotpath
+func copyAccumulateChunk(dst, src, data []byte) error {
+	dv, dok := tensor.Float32View(dst)
+	sv, sok := tensor.Float32View(src)
+	xv, xok := tensor.Float32View(data)
+	if dok && sok && xok {
+		tensor.FusedCopyAdd(xv, sv, dv)
+		return nil
+	}
+	copy(src, data)
+	return accumulateChunk(dst, src)
 }
 
 // Stats returns a snapshot of the traffic counters. Counters are updated

@@ -67,6 +67,7 @@ type TraceCarrier interface {
 // writeFrameTracedInto is writeFrameInto plus the trace extension header:
 // the opcode byte gets traceFlagBit and the 24-byte header is staged
 // between it and the payload, all in one buffer and one Write.
+//
 //shm:hotpath
 func writeFrameTracedInto(w io.Writer, op byte, payload []byte, tc TraceContext, scratch *[]byte) error {
 	if len(payload)+1+traceHeaderLen > maxFrame {

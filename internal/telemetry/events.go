@@ -54,16 +54,20 @@ const (
 	EvWaitCanceled
 	// EvCrashDump: the recorder itself was dumped on a fatal signal. a=signal number.
 	EvCrashDump
+	// EvShmMap: a segment fd was passed to a mapping client. a=shm key b=mapped bytes.
+	EvShmMap
+	// EvShmLeaseReaped: a dead client's shm lease was reaped. a=lease b=lock words cleared.
+	EvShmLeaseReaped
 
 	// NumEventKinds is the number of named kinds.
-	NumEventKinds = int(EvCrashDump) + 1
+	NumEventKinds = int(EvShmLeaseReaped) + 1
 )
 
 var eventNames = [NumEventKinds]string{
 	"none", "reconnect", "deadline_fired", "retries_exhausted",
 	"conn_error", "seq_reaped", "worker_dead", "re_election",
 	"group_shrink", "chaos_crash", "chaos_restart", "fault_injected",
-	"wait_canceled", "crash_dump",
+	"wait_canceled", "crash_dump", "shm_map", "shm_lease_reaped",
 }
 
 // eventArgNames labels the A/B/C payload slots per kind ("" = unused).
@@ -81,6 +85,8 @@ var eventArgNames = [NumEventKinds][3]string{
 	EvFaultInjected:    {"fault", "", ""},
 	EvWaitCanceled:     {"", "", ""},
 	EvCrashDump:        {"signal", "", ""},
+	EvShmMap:           {"key", "bytes", ""},
+	EvShmLeaseReaped:   {"lease", "locks", ""},
 }
 
 // String returns the snake_case event name.

@@ -20,6 +20,7 @@ var (
 	fusedElasticStepImpl     = fusedElasticStepUnrolled
 	fusedElasticExchangeImpl = fusedElasticExchangeUnrolled
 	fusedAxpyCopyImpl        = fusedAxpyCopyUnrolled
+	fusedCopyAddImpl         = fusedCopyAddUnrolled
 
 	// gemmInner4 is the quad-row gemm microkernel; nil means the blocked
 	// kernel runs its pure-Go inner loop (see gemmRows).
@@ -35,6 +36,7 @@ func init() {
 	fusedElasticStepImpl = simd.FusedElasticStep
 	fusedElasticExchangeImpl = simd.FusedElasticExchange
 	fusedAxpyCopyImpl = simd.FusedAxpyCopy
+	fusedCopyAddImpl = simd.FusedCopyAdd
 	gemmInner4 = simd.GemmInner4
 }
 

@@ -238,3 +238,61 @@ func fusedAxpyCopyScalar(alpha float32, x, y, dst []float32) {
 		dst[i] = y[i] + alpha*x[i]
 	}
 }
+
+// FusedCopyAdd performs the fused WRITE+ACCUMULATE data plane in one sweep
+// over the pushed values:
+//
+//	v := x[i]; src[i] = v; dst[i] += v
+//
+// The increment lands in the src segment (the WRITE half) and folds into
+// dst (the ACCUMULATE half) without the separate copy pass re-reading src.
+// Pure adds, no contraction, element order identical to copy-then-add — so
+// the SIMD and portable backends are bitwise-identical and the fusion is
+// invisible to readers. src and dst must not alias x or each other.
+//shm:hotpath
+func FusedCopyAdd(x, src, dst []float32) {
+	fusedCopyAddImpl(x, src, dst)
+}
+
+// fusedCopyAddUnrolled is the portable FusedCopyAdd kernel and the
+// dispatch default.
+func fusedCopyAddUnrolled(x, src, dst []float32) {
+	n := minLen3(len(x), len(src), len(dst))
+	i := 0
+	for ; i+fusedLanes <= n; i += fusedLanes {
+		xv := (*lanes8)(x[i:])
+		sv := (*lanes8)(src[i:])
+		dv := (*lanes8)(dst[i:])
+		sv[0] = xv[0]
+		dv[0] = dv[0] + xv[0]
+		sv[1] = xv[1]
+		dv[1] = dv[1] + xv[1]
+		sv[2] = xv[2]
+		dv[2] = dv[2] + xv[2]
+		sv[3] = xv[3]
+		dv[3] = dv[3] + xv[3]
+		sv[4] = xv[4]
+		dv[4] = dv[4] + xv[4]
+		sv[5] = xv[5]
+		dv[5] = dv[5] + xv[5]
+		sv[6] = xv[6]
+		dv[6] = dv[6] + xv[6]
+		sv[7] = xv[7]
+		dv[7] = dv[7] + xv[7]
+	}
+	for ; i < n; i++ {
+		v := x[i]
+		src[i] = v
+		dst[i] = dst[i] + v
+	}
+}
+
+// fusedCopyAddScalar is the scalar reference for FusedCopyAdd.
+func fusedCopyAddScalar(x, src, dst []float32) {
+	n := minLen3(len(x), len(src), len(dst))
+	for i := 0; i < n; i++ {
+		v := x[i]
+		src[i] = v
+		dst[i] = dst[i] + v
+	}
+}

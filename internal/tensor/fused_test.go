@@ -245,6 +245,72 @@ func TestFusedAxpyCopyAliased(t *testing.T) {
 	}
 }
 
+// TestFusedCopyAddMatchesScalar pins the fused WRITE+ACCUMULATE body
+// (src[i] = x[i]; dst[i] += x[i]) against its scalar reference and against
+// the unfused copy-then-add sequence it replaces. The kernel is pure adds
+// in the same element order, so every backend must be bitwise-identical —
+// the transport's bitwise-convergence guarantee rests on this.
+func TestFusedCopyAddMatchesScalar(t *testing.T) {
+	for _, n := range fusedSizes {
+		for _, off := range []int{0, 1, 7} {
+			x := make([]float32, off+n)
+			src := make([]float32, off+n)
+			dst := make([]float32, off+n)
+			fillPattern(x, 17)
+			fillPattern(src, 18)
+			fillPattern(dst, 19)
+			wantSrc := cloneSlice(src)
+			wantDst := cloneSlice(dst)
+			fbSrc := cloneSlice(src)
+			fbDst := cloneSlice(dst)
+			// The unfused sequence this kernel replaces: copy, then add.
+			twoSrc := cloneSlice(src)
+			twoDst := cloneSlice(dst)
+
+			FusedCopyAdd(unaligned(x, off, n), unaligned(src, off, n), unaligned(dst, off, n))
+			fusedCopyAddScalar(unaligned(x, off, n), unaligned(wantSrc, off, n), unaligned(wantDst, off, n))
+			fusedCopyAddUnrolled(unaligned(x, off, n), unaligned(fbSrc, off, n), unaligned(fbDst, off, n))
+			copy(unaligned(twoSrc, off, n), unaligned(x, off, n))
+			AxpySliceScalar(1, unaligned(twoSrc, off, n), unaligned(twoDst, off, n))
+
+			if !bitsEqual(src, wantSrc) || !bitsEqual(dst, wantDst) {
+				t.Fatalf("FusedCopyAdd n=%d off=%d diverges from scalar", n, off)
+			}
+			if !bitsEqual(fbSrc, wantSrc) || !bitsEqual(fbDst, wantDst) {
+				t.Fatalf("fusedCopyAddUnrolled n=%d off=%d diverges from scalar", n, off)
+			}
+			if !bitsEqual(twoSrc, wantSrc) || !bitsEqual(twoDst, wantDst) {
+				t.Fatalf("FusedCopyAdd n=%d off=%d diverges from copy-then-add", n, off)
+			}
+		}
+	}
+}
+
+// TestFusedCopyAddSpecialValues runs the fused WRITE+ACCUMULATE body over
+// NaN, ±Inf, subnormals and signed zeros.
+func TestFusedCopyAddSpecialValues(t *testing.T) {
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)), math.SmallestNonzeroFloat32,
+		-math.SmallestNonzeroFloat32, math.MaxFloat32, -math.MaxFloat32, 1, -1,
+	}
+	n := 3*fusedLanes + 5
+	x := make([]float32, n)
+	dst := make([]float32, n)
+	for i := range x {
+		x[i] = specials[i%len(specials)]
+		dst[i] = specials[(i+4)%len(specials)]
+	}
+	src := make([]float32, n)
+	wantSrc := make([]float32, n)
+	wantDst := cloneSlice(dst)
+	FusedCopyAdd(x, src, dst)
+	fusedCopyAddScalar(x, wantSrc, wantDst)
+	if !bitsEqual(src, wantSrc) || !bitsEqual(dst, wantDst) {
+		t.Fatal("FusedCopyAdd diverges from scalar on IEEE special values")
+	}
+}
+
 func TestAxpySliceMatchesScalar(t *testing.T) {
 	for _, n := range fusedSizes {
 		for _, alpha := range fusedAlphas {
@@ -371,6 +437,16 @@ func FuzzFusedKernels(f *testing.F) {
 			copy(delta, wantDelta)
 		} else if !bitsEqual(delta, wantDelta) {
 			t.Fatalf("FusedAxpyCopy n=%d off=%d alpha=%x diverges", n, off, alphaBits)
+		}
+
+		FusedCopyAdd(delta[off:], local[off:], global[off:])
+		fusedCopyAddScalar(wantDelta[off:], wantLocal[off:], wantGlobal[off:])
+		fusedCopyAddUnrolled(fbDelta[off:], fbLocal[off:], fbGlobal[off:])
+		if !bitsEqual(local, wantLocal) || !bitsEqual(global, wantGlobal) {
+			t.Fatalf("FusedCopyAdd n=%d off=%d diverges", n, off)
+		}
+		if !bitsEqual(fbLocal, wantLocal) || !bitsEqual(fbGlobal, wantGlobal) {
+			t.Fatalf("fusedCopyAddUnrolled n=%d off=%d diverges", n, off)
 		}
 
 		copy(fbLocal, local)

@@ -56,6 +56,18 @@ func FusedElasticExchange(alpha float32, delta, local, global []float32)
 //go:noescape
 func FusedAxpyCopy(alpha float32, x, y, dst []float32)
 
+// FusedCopyAdd computes, per element over the min length:
+//
+//	v := x[i]; src[i] = v; dst[i] += v
+//
+// — the fused WRITE+ACCUMULATE stripe body: the pushed values land in the
+// src segment and fold into dst in the same sweep. Pure adds in the same
+// element order as copy-then-add, so bitwise-equal to the portable body.
+// src and dst must not alias x or each other.
+//
+//go:noescape
+func FusedCopyAdd(x, src, dst []float32)
+
 // GemmInner4 is the quad-row gemm microkernel: with a pointing at four
 // consecutive A values a0..a3 and b at the first of four B rows spaced
 // ldb floats apart, it computes for j < n:

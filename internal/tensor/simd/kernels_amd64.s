@@ -411,6 +411,137 @@ fac_done:
 	VZEROUPPER
 	RET
 
+// func FusedCopyAdd(x, src, dst []float32)
+//
+// v := x[i]; src[i] = v; dst[i] += v — the fused WRITE+ACCUMULATE stripe
+// body. Pure adds in the same element order as copy-then-add, so this is
+// bitwise-identical to the portable kernel. src and dst must not alias x
+// or each other.
+TEXT ·FusedCopyAdd(SB), NOSPLIT, $0-72
+	MOVQ x_len+8(FP), CX
+	MOVQ src_len+32(FP), DX
+	CMPQ DX, CX
+	JGE  fca_min1
+	MOVQ DX, CX
+
+fca_min1:
+	MOVQ dst_len+56(FP), DX
+	CMPQ DX, CX
+	JGE  fca_min2
+	MOVQ DX, CX
+
+fca_min2:
+	MOVQ x_base+0(FP), SI
+	MOVQ src_base+24(FP), R8
+	MOVQ dst_base+48(FP), DI
+	XORQ BX, BX
+
+	// The src stream is write-only here, so its stores go non-temporal:
+	// a regular store would read each src cache line for ownership first,
+	// and that extra read stream is exactly what the fusion exists to
+	// avoid (it is also why plain copy+add, whose memmove half gets the
+	// same effect from ERMSB, beats a naive fused loop). VMOVNTPS needs
+	// 32-byte alignment, so peel scalar elements until src is aligned;
+	// float32 slice bases are always 4-byte aligned, so the peel
+	// terminates within 7 elements.
+	MOVQ R8, AX
+	ANDQ $31, AX
+	JZ   fca_vec
+	MOVQ $32, DX
+	SUBQ AX, DX
+	SHRQ $2, DX
+	CMPQ DX, CX
+	JLE  fca_peel
+	MOVQ CX, DX
+
+fca_peel:
+	CMPQ BX, DX
+	JGE  fca_vec
+	VMOVSS (SI)(BX*4), X1
+	VMOVSS (DI)(BX*4), X3
+	VADDSS X1, X3, X3
+	VMOVSS X1, (R8)(BX*4)
+	VMOVSS X3, (DI)(BX*4)
+	INCQ   BX
+	JMP    fca_peel
+
+fca_vec:
+	// R10 = BX + ((CX-BX) & ~31): end of the 32-element main loop.
+	MOVQ CX, R10
+	SUBQ BX, R10
+	ANDQ $-32, R10
+	ADDQ BX, R10
+	CMPQ BX, R10
+	JGE  fca_blk8
+
+fca_loop32:
+	VMOVUPS  (SI)(BX*4), Y1
+	VMOVUPS  32(SI)(BX*4), Y2
+	VMOVUPS  64(SI)(BX*4), Y3
+	VMOVUPS  96(SI)(BX*4), Y4
+	VMOVUPS  (DI)(BX*4), Y5
+	VMOVUPS  32(DI)(BX*4), Y6
+	VMOVUPS  64(DI)(BX*4), Y7
+	VMOVUPS  96(DI)(BX*4), Y8
+	VADDPS   Y1, Y5, Y5
+	VADDPS   Y2, Y6, Y6
+	VADDPS   Y3, Y7, Y7
+	VADDPS   Y4, Y8, Y8
+	VMOVNTPS Y1, (R8)(BX*4)
+	VMOVNTPS Y2, 32(R8)(BX*4)
+	VMOVNTPS Y3, 64(R8)(BX*4)
+	VMOVNTPS Y4, 96(R8)(BX*4)
+	VMOVUPS  Y5, (DI)(BX*4)
+	VMOVUPS  Y6, 32(DI)(BX*4)
+	VMOVUPS  Y7, 64(DI)(BX*4)
+	VMOVUPS  Y8, 96(DI)(BX*4)
+	ADDQ     $32, BX
+	CMPQ     BX, R10
+	JLT      fca_loop32
+
+fca_blk8:
+	// 8-element steps keep the 32-byte src alignment, so these stores
+	// stay non-temporal too.
+	MOVQ CX, R10
+	SUBQ BX, R10
+	ANDQ $-8, R10
+	ADDQ BX, R10
+	CMPQ BX, R10
+	JGE  fca_tail
+
+fca_loop8:
+	VMOVUPS  (SI)(BX*4), Y1
+	VMOVUPS  (DI)(BX*4), Y5
+	VADDPS   Y1, Y5, Y5
+	VMOVNTPS Y1, (R8)(BX*4)
+	VMOVUPS  Y5, (DI)(BX*4)
+	ADDQ     $8, BX
+	CMPQ     BX, R10
+	JLT      fca_loop8
+
+fca_tail:
+	CMPQ BX, CX
+	JGE  fca_done
+
+fca_tail_loop:
+	VMOVSS (SI)(BX*4), X1
+	VMOVSS (DI)(BX*4), X3
+	VADDSS X1, X3, X3
+	VMOVSS X1, (R8)(BX*4)
+	VMOVSS X3, (DI)(BX*4)
+	INCQ   BX
+	CMPQ   BX, CX
+	JLT    fca_tail_loop
+
+fca_done:
+	// Drain the non-temporal stores: callers publish src under a lock
+	// word immediately after this returns, and NT stores are weakly
+	// ordered — without the fence another process could acquire the
+	// stripe and read stale src bytes.
+	SFENCE
+	VZEROUPPER
+	RET
+
 // func GemmInner4(a *float32, b *float32, ldb int, c *float32, n int)
 //
 // Quad-row gemm microkernel: c[j] accumulates a0*b0[j], a1*b1[j],

@@ -26,5 +26,8 @@ func FusedElasticExchange(alpha float32, delta, local, global []float32) { unrea
 // FusedAxpyCopy panics; the portable build has no assembly backend.
 func FusedAxpyCopy(alpha float32, x, y, dst []float32) { unreachable() }
 
+// FusedCopyAdd panics; the portable build has no assembly backend.
+func FusedCopyAdd(x, src, dst []float32) { unreachable() }
+
 // GemmInner4 panics; the portable build has no assembly backend.
 func GemmInner4(a *float32, b *float32, ldb int, c *float32, n int) { unreachable() }

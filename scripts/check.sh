@@ -28,6 +28,12 @@ tier1() {
 	# Second pass with the assembly backend compiled out: the portable
 	# unrolled kernels must pass the same suite bitwise (DESIGN.md §14).
 	go test -tags noasm ./...
+	echo "== tier 1: build (noshm) =="
+	go build -tags noshm ./...
+	echo "== tier 1: tests (noshm — shared-memory transport compiled out) =="
+	# The smb suite must pass with the mmap transport stubbed: shm tests
+	# skip, every wire path still works, and auto-negotiation falls back.
+	go test -tags noshm ./internal/smb
 	echo "== tier 1: shmlint (baseline-aware) =="
 	go run ./cmd/shmlint -baseline .shmlint-baseline.json ./...
 }
@@ -67,6 +73,8 @@ tier2() {
 	fault_smoke
 	echo "== tier 2: observability smoke (chaos cluster scraped by shmtop) =="
 	obs_smoke
+	echo "== tier 2: shm smoke (zero-copy transport negotiation + cross-transport determinism) =="
+	shm_smoke
 }
 
 # telemetry_smoke runs a short 2-worker shmtrain with the telemetry surface
@@ -126,6 +134,7 @@ clean_smoke() {
 	[ -n "${tmpdir:-}" ] && rm -rf "$tmpdir"
 	[ -n "${tmpdir2:-}" ] && rm -rf "$tmpdir2"
 	[ -n "${tmpdir3:-}" ] && rm -rf "$tmpdir3"
+	[ -n "${tmpdir4:-}" ] && rm -rf "$tmpdir4"
 	:
 }
 
@@ -313,6 +322,123 @@ obs_smoke() {
 		return 1
 	}
 	echo "obs smoke: OK ($chains cross-node span chains; crash dump: $(grep -c 'fault_injected' "$dump") injected faults)"
+}
+
+# shm_smoke is ISSUE 9's acceptance drill for the zero-copy transport.
+# Part (a): an shm-enabled server with two co-located -smb-transport auto
+# workers — both must negotiate the mapped path and /metrics must report the
+# passed segment fds. Part (b): three 1-worker runs of the same seed against
+# fresh servers — auto (maps shm), forced tcp (clean fallback while shm is
+# offered), and tcp_sg — must print bitwise-identical final Wg hashes
+# (-no-overlap removes the one scheduling race so the comparison is exact).
+shm_smoke() {
+	tmpdir4="$(mktemp -d)"
+	trap 'clean_smoke' EXIT
+	go build -o "$tmpdir4/smbserver" ./cmd/smbserver
+	go build -o "$tmpdir4/shmtrain" ./cmd/shmtrain
+
+	# start_shm_server <dir-suffix>: launches a fresh shm-enabled server and
+	# sets smb= (tcp addr), http= (metrics addr), server_pid=.
+	start_shm_server() {
+		"$tmpdir4/smbserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 -stats 0 \
+			-shm "$tmpdir4/smb$1.sock" >"$tmpdir4/server$1.log" 2>&1 &
+		server_pid=$!
+		smb="" http=""
+		for _ in $(seq 1 100); do
+			smb="$(sed -n 's/.*listening on tcp \([0-9.:]*\).*/\1/p' "$tmpdir4/server$1.log" | head -1)"
+			http="$(sed -n 's#.*SMB metrics on http://\([0-9.:]*\)/metrics.*#\1#p' "$tmpdir4/server$1.log" | head -1)"
+			[ -n "$smb" ] && [ -n "$http" ] && break
+			sleep 0.1
+		done
+		if [ -z "$smb" ] || [ -z "$http" ]; then
+			echo "shm smoke: smbserver never reported tcp + http addresses" >&2
+			cat "$tmpdir4/server$1.log" >&2
+			kill "$server_pid" 2>/dev/null || true
+			return 1
+		fi
+	}
+
+	# (a) Co-located 2-worker run: both auto-negotiate shm.
+	start_shm_server a || return 1
+	for r in 0 1; do
+		"$tmpdir4/shmtrain" -rank "$r" -world 2 -smb "$smb" -job shmdrill \
+			-epochs 40 -per-class 40 -smb-transport auto -smb-timeout 5s \
+			>"$tmpdir4/w$r.log" 2>&1 &
+		eval "w${r}_pid=\$!"
+	done
+	fail=""
+	wait "$w0_pid" || fail="worker 0 exited nonzero"
+	wait "$w1_pid" || fail="worker 1 exited nonzero"
+	if [ -n "$fail" ]; then
+		echo "shm smoke: $fail" >&2
+		tail -n 5 "$tmpdir4/w0.log" "$tmpdir4/w1.log" "$tmpdir4/servera.log" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+	for r in 0 1; do
+		if ! grep -q '(shm, auto-negotiated)' "$tmpdir4/w$r.log"; then
+			echo "shm smoke: worker $r did not negotiate the shm transport" >&2
+			cat "$tmpdir4/w$r.log" >&2
+			kill "$server_pid" 2>/dev/null || true
+			return 1
+		fi
+	done
+	# The server's metrics must show segment fds crossing to mapping clients.
+	curl -fsS "http://$http/metrics" >"$tmpdir4/metrics.txt" 2>/dev/null || {
+		echo "shm smoke: /metrics scrape failed" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	}
+	fd_passed="$(sed -n 's/^smb_shm_fd_passed_total \([0-9]*\).*/\1/p' "$tmpdir4/metrics.txt" | head -1)"
+	if [ -z "$fd_passed" ] || [ "$fd_passed" -lt 1 ]; then
+		echo "shm smoke: smb_shm_fd_passed_total = '${fd_passed:-missing}', want >= 1" >&2
+		grep 'smb_shm' "$tmpdir4/metrics.txt" >&2 || true
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+	grep -q 'smb_server_connections{transport="shm"}' "$tmpdir4/metrics.txt" || {
+		echo "shm smoke: /metrics missing the transport-labeled connection gauge" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	}
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+
+	# (b) Bitwise cross-transport determinism: same seed, fresh server per
+	# run (reusing one server would trip the exactly-once dedup table, which
+	# silently drops a new run's replayed sequence numbers).
+	sha=""
+	for t in auto tcp tcp_sg; do
+		start_shm_server "$t" || return 1
+		"$tmpdir4/shmtrain" -rank 0 -world 1 -smb "$smb" -job detdrill \
+			-epochs 10 -per-class 40 -smb-transport "$t" -no-overlap \
+			>"$tmpdir4/det-$t.log" 2>&1 || {
+			echo "shm smoke: deterministic $t run failed" >&2
+			cat "$tmpdir4/det-$t.log" >&2
+			kill "$server_pid" 2>/dev/null || true
+			return 1
+		}
+		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+		h="$(sed -n 's/^Wg sha256: \([0-9a-f]*\)$/\1/p' "$tmpdir4/det-$t.log" | head -1)"
+		if [ -z "$h" ]; then
+			echo "shm smoke: $t run printed no Wg hash" >&2
+			cat "$tmpdir4/det-$t.log" >&2
+			return 1
+		fi
+		if [ "$t" = auto ] && ! grep -q '(shm, auto-negotiated)' "$tmpdir4/det-auto.log"; then
+			echo "shm smoke: deterministic auto run did not negotiate shm" >&2
+			cat "$tmpdir4/det-auto.log" >&2
+			return 1
+		fi
+		if [ -z "$sha" ]; then
+			sha="$h"
+		elif [ "$h" != "$sha" ]; then
+			echo "shm smoke: $t final Wg $h != shm run's $sha (transports diverged)" >&2
+			return 1
+		fi
+	done
+	echo "shm smoke: OK (2 workers mapped, $fd_passed fds passed; Wg $sha identical on shm/tcp/tcp_sg)"
 }
 
 case "$tier" in
