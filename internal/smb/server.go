@@ -218,6 +218,12 @@ type connState struct {
 	// passFD, when ≥ 0, is a segment fd the handler must send as ancillary
 	// data immediately after the current reply frame (opShmMap).
 	passFD int
+	// shmMaps tracks the mapped-file bytes this connection handed out via
+	// opShmMap (remote handle → bytes, accumulated across re-maps). It is
+	// what makes opShmUnmap reject unmaps of handles this connection never
+	// mapped, and what connDone reconciles out of the map-bytes gauge when
+	// a peer dies without unmapping. Single handler goroutine; no lock.
+	shmMaps map[Handle]int64
 }
 
 var connStatePool = sync.Pool{New: func() any { return new(connState) }}
@@ -235,6 +241,7 @@ func (s *Server) handleConn(conn io.ReadWriteCloser) {
 	cs.conn = conn
 	cs.lease = 0
 	cs.passFD = -1
+	clear(cs.shmMaps)
 	defer connStatePool.Put(cs)
 	defer func() { cs.conn = nil }()
 	for {
@@ -314,6 +321,17 @@ func (s *Server) connDone(cs *connState, err error) {
 		}
 		s.activeShm.Add(-1)
 		cs.lease = 0
+	}
+	if len(cs.shmMaps) != 0 {
+		// Mappings the peer never unmapped: the memory itself is released
+		// by the dead process's munmap (or its exit), but the gauge share
+		// this connection handed out is reconciled here.
+		var b int64
+		for _, n := range cs.shmMaps {
+			b += n
+		}
+		s.store.shmc.mapBytes.Add(-b)
+		clear(cs.shmMaps)
 	}
 	mid := cs.chunkOpen || cs.chunkErr != nil
 	if mid {

@@ -1,6 +1,7 @@
 package smb
 
 import (
+	"errors"
 	"net"
 	"path/filepath"
 	"sync"
@@ -422,6 +423,195 @@ func TestShmWaitUpdateCrossClient(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("WaitUpdate did not wake on the shared version bump")
+	}
+}
+
+// TestShmWaitUpdateCanceledByClose parks a mapped WaitUpdate and closes the
+// client under it: the waiter must return ErrWaitCanceled, and Close must
+// drain it before the munmap — the use-after-unmap regression where a
+// parked waiter's version load hit unmapped memory.
+func TestShmWaitUpdateCanceledByClose(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	key, err := c.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(h) {
+		t.Fatal("segment did not map")
+	}
+	v0, err := c.Version(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.WaitUpdate(h, v0)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	c.Close()                         // returns only after the waiter left the mapping
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrWaitCanceled) {
+			t.Fatalf("parked WaitUpdate after Close = %v, want ErrWaitCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitUpdate still parked after Close")
+	}
+}
+
+// TestShmWaitUpdateCanceledByDetach is the Detach half of the same drill:
+// detaching the watched handle cancels the park (it used to leave the
+// waiter parked on a freshly unmapped segment).
+func TestShmWaitUpdateCanceledByDetach(t *testing.T) {
+	_, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	key, err := c.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(h) {
+		t.Fatal("segment did not map")
+	}
+	v0, err := c.Version(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.WaitUpdate(h, v0)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	if err := c.Detach(h); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrWaitCanceled) {
+			t.Fatalf("parked WaitUpdate after Detach = %v, want ErrWaitCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitUpdate still parked after Detach")
+	}
+}
+
+// TestShmUnmapAccounting pins the map-bytes gauge to per-connection truth:
+// unmapping a handle the connection never mapped is rejected, a real unmap
+// retires exactly what was mapped, and a duplicate unmap cannot drive the
+// gauge negative.
+func TestShmUnmapAccounting(t *testing.T) {
+	srv, path := startShmServer(t)
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStreamClient(conn)
+	t.Cleanup(func() { sc.Close() })
+	if _, err := sc.ShmHello(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := sc.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sc.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := sc.shmMap(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.close()
+
+	store := srv.Store()
+	if mb := store.ShmStats().MapBytes; mb <= 0 {
+		t.Fatalf("map bytes %d after map, want > 0", mb)
+	}
+	h2, err := sc.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.ShmUnmap(h2); err == nil {
+		t.Fatal("unmap of a never-mapped handle succeeded")
+	}
+	if err := sc.ShmUnmap(h); err != nil {
+		t.Fatal(err)
+	}
+	if mb := store.ShmStats().MapBytes; mb != 0 {
+		t.Fatalf("map bytes %d after unmap, want 0", mb)
+	}
+	if err := sc.ShmUnmap(h); err == nil {
+		t.Fatal("duplicate unmap succeeded")
+	}
+	if mb := store.ShmStats().MapBytes; mb != 0 {
+		t.Fatalf("map bytes %d after duplicate unmap, want 0", mb)
+	}
+}
+
+// TestShmMapBytesReconcileOnConnDeath kills a client that mapped a segment
+// and never sent the unmap verb: the server reconciles that connection's
+// share out of the map-bytes gauge when the control connection dies.
+func TestShmMapBytesReconcileOnConnDeath(t *testing.T) {
+	srv, path := startShmServer(t)
+	c := dialShmT(t, path)
+
+	key, err := c.Create("wg", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Attach(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Mapped(h) {
+		t.Fatal("segment did not map")
+	}
+	store := srv.Store()
+	if mb := store.ShmStats().MapBytes; mb <= 0 {
+		t.Fatalf("map bytes %d after map, want > 0", mb)
+	}
+	c.Close() // munmaps locally but never sends opShmUnmap
+	deadline := time.Now().Add(5 * time.Second)
+	for store.ShmStats().MapBytes != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("map bytes %d after connection death, want 0", store.ShmStats().MapBytes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShmTimeoutDefaults pins the shared control-plane timeout defaulting
+// used by both DialShmConfig and negotiateShm: 0 means 10s (never "no
+// deadline"), negative disables, wait inherits op.
+func TestShmTimeoutDefaults(t *testing.T) {
+	cases := []struct {
+		op, wait         time.Duration
+		wantOp, wantWait time.Duration
+	}{
+		{0, 0, 10 * time.Second, 10 * time.Second},
+		{-1, 0, 0, 0},
+		{2 * time.Second, 0, 2 * time.Second, 2 * time.Second},
+		{2 * time.Second, 5 * time.Second, 2 * time.Second, 5 * time.Second},
+	}
+	for _, tc := range cases {
+		op, wait := shmTimeouts(tc.op, tc.wait)
+		if op != tc.wantOp || wait != tc.wantWait {
+			t.Errorf("shmTimeouts(%v, %v) = (%v, %v), want (%v, %v)",
+				tc.op, tc.wait, op, wait, tc.wantOp, tc.wantWait)
+		}
 	}
 }
 

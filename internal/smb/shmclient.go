@@ -54,8 +54,7 @@ type ShmClient struct {
 	wantTrace bool         // guarded by mu
 	tc        TraceContext // guarded by mu
 
-	closed bool          // guarded by mu
-	done   chan struct{} // closed by Close; cancels mapped WaitUpdate parks
+	closed bool // guarded by mu
 
 	mappedSegs atomic.Int64 // live mappings
 	mappedOps  atomic.Int64 // data verbs served from mapped stripes
@@ -68,9 +67,26 @@ type ShmClient struct {
 // shmMapped is one mapped segment plus the key its stripe locks order by
 // (two mapped clients accumulating A+=B and B+=A lock stripes in the same
 // key order the server uses, so crossed pushes cannot deadlock).
+//
+// done/waiters fence the munmap against parked WaitUpdate callers: a waiter
+// registers in the WaitGroup under c.mu while the mapping is still in
+// c.maps, and release() closes done, drains the group, and only then
+// unmaps — so a park in waitVersion can never touch unmapped memory.
 type shmMapped struct {
-	sh  *shmShared
-	key SHMKey
+	sh      *shmShared
+	key     SHMKey
+	done    chan struct{}  // closed by release(); cancels parked WaitUpdate calls
+	waiters sync.WaitGroup // WaitUpdate calls currently inside waitVersion
+}
+
+// release retires a mapping removed from c.maps: cancel parked waiters,
+// wait for them to leave the mapping, then munmap. Called with c.mu NOT
+// held — waiters re-check done within shmVersionWaitNs and never need the
+// client mutex to return, so the drain is bounded.
+func (m *shmMapped) release() {
+	close(m.done)
+	m.waiters.Wait()
+	m.sh.close()
 }
 
 // ShmConfig configures DialShmConfig.
@@ -106,14 +122,7 @@ func DialShmConfig(cfg ShmConfig) (*ShmClient, error) {
 	if !ShmSupported() {
 		return nil, ErrShmUnsupported
 	}
-	if cfg.OpTimeout == 0 {
-		cfg.OpTimeout = 10 * time.Second
-	} else if cfg.OpTimeout < 0 {
-		cfg.OpTimeout = 0
-	}
-	if cfg.WaitTimeout <= 0 {
-		cfg.WaitTimeout = cfg.OpTimeout
-	}
+	cfg.OpTimeout, cfg.WaitTimeout = shmTimeouts(cfg.OpTimeout, cfg.WaitTimeout)
 	if cfg.ClientID == 0 {
 		cfg.ClientID = supervisedClientIDs.Add(1)
 	}
@@ -123,7 +132,6 @@ func DialShmConfig(cfg ShmConfig) (*ShmClient, error) {
 		remote: make(map[Handle]Handle),
 		maps:   make(map[Handle]*shmMapped),
 		seqs:   make(map[uint64]uint64),
-		done:   make(chan struct{}),
 	}
 	c.mu.Lock()
 	err := c.redialLocked()
@@ -133,6 +141,23 @@ func DialShmConfig(cfg ShmConfig) (*ShmClient, error) {
 	}
 	c.reconnects.Store(0) // the first dial is not a reconnect
 	return c, nil
+}
+
+// shmTimeouts applies the shm control-plane timeout defaults shared by
+// DialShmConfig and negotiateShm: op 0 → 10s, op < 0 → no deadline; wait
+// defaults to op. Keeping both dial paths on one helper means DialAuto's
+// negotiation probe can never hang forever where a direct DialShm would
+// have timed out.
+func shmTimeouts(op, wait time.Duration) (time.Duration, time.Duration) {
+	if op == 0 {
+		op = 10 * time.Second
+	} else if op < 0 {
+		op = 0
+	}
+	if wait <= 0 {
+		wait = op
+	}
+	return op, wait
 }
 
 var _ Client = (*ShmClient)(nil)
@@ -262,7 +287,7 @@ func (c *ShmClient) Attach(key SHMKey) (Handle, error) {
 		c.remote[h] = rh
 		sh, g, merr := ctl.shmMap(rh)
 		if merr == nil {
-			mapped = &shmMapped{sh: sh, key: g.key}
+			mapped = &shmMapped{sh: sh, key: g.key, done: make(chan struct{})}
 			return nil
 		}
 		if errors.Is(merr, ErrTransport) {
@@ -285,22 +310,24 @@ func (c *ShmClient) Attach(key SHMKey) (Handle, error) {
 
 // Detach implements Client. Local state always goes; the server-side unmap
 // accounting and detach are best-effort single shots (a dead control
-// socket reaps them anyway when it redials or the server notices).
+// socket reaps them anyway when it redials or the server notices). A
+// WaitUpdate parked on the mapping returns ErrWaitCanceled — the munmap is
+// deferred (outside c.mu) until every parked waiter has left the mapping.
 func (c *ShmClient) Detach(h Handle) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.keys[h]; !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("smb shm client: %w: handle %d", ErrUnknownHandle, h)
 	}
 	rh, haveRemote := c.remote[h]
-	if m := c.maps[h]; m != nil {
+	m := c.maps[h]
+	if m != nil {
 		if haveRemote && c.ctl != nil {
 			if err := c.ctl.ShmUnmap(rh); err != nil && errors.Is(err, ErrTransport) {
 				c.dropCtlLocked()
 				haveRemote = false
 			}
 		}
-		m.sh.close()
 		delete(c.maps, h)
 		c.mappedSegs.Add(-1)
 	}
@@ -311,6 +338,10 @@ func (c *ShmClient) Detach(h Handle) error {
 	}
 	delete(c.remote, h)
 	delete(c.keys, h)
+	c.mu.Unlock()
+	if m != nil {
+		m.release()
+	}
 	return nil
 }
 
@@ -322,23 +353,28 @@ func (c *ShmClient) Free(key SHMKey) error {
 }
 
 // Close unmaps every segment and closes the control connection. Blocked
-// mapped WaitUpdate calls return ErrWaitCanceled.
+// mapped WaitUpdate calls return ErrWaitCanceled; each munmap waits
+// (outside c.mu) for the mapping's parked waiters to drain first.
 func (c *ShmClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	close(c.done)
+	maps := make([]*shmMapped, 0, len(c.maps))
 	for h, m := range c.maps {
-		m.sh.close()
+		maps = append(maps, m)
 		delete(c.maps, h)
 	}
 	c.mappedSegs.Store(0)
 	if c.ctl != nil {
 		c.ctl.Close()
 		c.ctl = nil
+	}
+	c.mu.Unlock()
+	for _, m := range maps {
+		m.release()
 	}
 	return nil
 }
@@ -717,24 +753,26 @@ func (c *ShmClient) Version(h Handle) (uint64, error) {
 
 // WaitUpdate implements Notifier. Mapped segments park on the shared
 // version futex without holding the client mutex, so watchers do not
-// starve the data path; Close cancels the park.
+// starve the data path; Close and Detach cancel the park. The waiter
+// registers in the mapping's WaitGroup while still under c.mu (the mapping
+// is provably not yet released), which is what lets release() order every
+// parked waiter's exit strictly before the munmap.
 func (c *ShmClient) WaitUpdate(h Handle, since uint64) (uint64, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return 0, errShmClientClosed
 	}
-	m := c.maps[h]
-	done := c.done
-	c.mu.Unlock()
-	if m != nil {
-		v, _, err := m.sh.waitVersion(since, done)
+	if m := c.maps[h]; m != nil {
+		m.waiters.Add(1)
+		c.mu.Unlock()
+		v, _, err := m.sh.waitVersion(since, m.done)
+		m.waiters.Done()
 		if err != nil {
 			return 0, fmt.Errorf("smb shm wait since %d: %w", since, err)
 		}
 		return v, nil
 	}
-	c.mu.Lock()
 	defer c.mu.Unlock()
 	var v uint64
 	err := c.withCtlLocked(func(ctl *StreamClient) error {

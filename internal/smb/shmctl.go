@@ -87,6 +87,10 @@ func (s *Server) dispatchShm(op opcode, payload []byte, cs *connState) ([]byte, 
 		cs.passFD = sh.fd
 		s.store.shmc.fdPassed.Add(1)
 		s.store.shmc.mapBytes.Add(int64(len(sh.m)))
+		if cs.shmMaps == nil {
+			cs.shmMaps = make(map[Handle]int64)
+		}
+		cs.shmMaps[Handle(h)] += int64(len(sh.m))
 		telemetry.RecordEvent(telemetry.EvShmMap, int64(seg.key), int64(len(sh.m)), 0)
 		return cs.fw.u64(uint64(seg.key)).u64(uint64(sh.ctlBytes)).
 			u64(uint64(len(sh.dat))).u64(uint64(sh.stripes)).buf, nil
@@ -96,11 +100,14 @@ func (s *Server) dispatchShm(op opcode, payload []byte, cs *connState) ([]byte, 
 		if fr.err != nil {
 			return nil, fr.err
 		}
-		sh, _, err := s.store.shmSegment(Handle(h))
-		if err != nil {
-			return nil, err
+		// Only retire mappings this connection made: a duplicate or
+		// unsolicited unmap must not drive the map-bytes gauge negative.
+		b, ok := cs.shmMaps[Handle(h)]
+		if !ok {
+			return nil, fmt.Errorf("smb: handle %d was not mapped on this connection", h)
 		}
-		s.store.shmc.mapBytes.Add(-int64(len(sh.m)))
+		delete(cs.shmMaps, Handle(h))
+		s.store.shmc.mapBytes.Add(-b)
 		return nil, nil
 	//lint:ignore wireproto control-plane verb: a heartbeat frame, not a data-path latency
 	case opShmLease:

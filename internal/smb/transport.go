@@ -117,7 +117,11 @@ func negotiateShm(opts DialOptions) (string, error) {
 		return "", err
 	}
 	defer sc.Close()
-	sc.SetTimeouts(opts.OpTimeout, opts.WaitTimeout)
+	// Same defaulting as DialShmConfig (0 → 10s, <0 → none): a default-
+	// options DialAuto must not hang forever in ShmQuery against an
+	// unresponsive server.
+	opT, waitT := shmTimeouts(opts.OpTimeout, opts.WaitTimeout)
+	sc.SetTimeouts(opT, waitT)
 	flags, serverBoot, path, err := sc.ShmQuery()
 	if err != nil {
 		return "", err
