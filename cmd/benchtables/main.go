@@ -51,7 +51,8 @@ func run(args []string, out io.Writer) error {
 		perClass  = fs.Int("per-class", 0, "override per-class sample count for the convergence exhibits")
 		kernels   = fs.Bool("kernels", false, "run the kernel microbenchmarks (gemm, im2col, SMB) and emit JSON")
 		kernOut   = fs.String("kernels-out", "", "with -kernels: write the JSON report here instead of stdout")
-		kernQuick = fs.Bool("kernels-quick", false, "with -kernels: shorter size list for smoke runs")
+		kernQuick = fs.Bool("kernels-quick", false, "with -kernels/-serve: shorter size and sample lists for smoke runs")
+		serve     = fs.Bool("serve", false, "run the serving benchmark (read p50/p99 under an accumulate storm) and render the table")
 		traceFile = fs.String("trace", "", "print the per-phase breakdown of a Chrome trace written by shmtrain -trace-out")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +117,12 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *traceFile != "":
 		return traceReport(out, *traceFile, *csv)
+	case *serve:
+		rep := &bench.KernelReport{Speedups: map[string]float64{}}
+		if err := bench.ServeBench(rep, *kernQuick); err != nil {
+			return err
+		}
+		return emit(bench.ServeTable(rep))
 	case *kernels:
 		rep, err := bench.KernelBench(*kernQuick)
 		if err != nil {

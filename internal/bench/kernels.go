@@ -431,6 +431,13 @@ func KernelBench(quick bool) (*KernelReport, error) {
 		return nil, err
 	}
 
+	// Serving rows: live-read vs snapshot-read p50/p99 under an
+	// accumulate storm, plus the snapshot-read zero-alloc contract
+	// (serve.go).
+	if err := ServeBench(rep, quick); err != nil {
+		return nil, err
+	}
+
 	return rep, nil
 }
 

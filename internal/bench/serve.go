@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shmcaffe/internal/smb"
+	"shmcaffe/internal/tensor"
+	"shmcaffe/internal/trace"
+)
+
+// Serving benchmark (DESIGN.md §17): read latency under an accumulate-heavy
+// write storm — the train-and-serve-from-one-buffer scenario. A separate
+// server process hosts a 1 MiB Wg; one connection storms fused
+// WRITE+ACCUMULATE pushes at it flat out while a second connection samples
+// two read disciplines:
+//
+//   - live Read: the seed's only option — fast, but per-stripe atomic, so
+//     a multi-stripe read under this storm is routinely torn;
+//   - snapshot read: Snapshot + SnapRead of the pinned cut — the
+//     consistent path the inference frontend (cmd/shmserve) actually uses.
+//
+// p50/p99 come from raw latency samples (the telemetry histograms bucket
+// too coarsely for tail comparison at microsecond scale). A final
+// in-process row pins the hot-path allocation contract: SnapRead against a
+// COW-backed snapshot is 0 allocs/op even while a writer storms.
+
+// serveBenchVals sizes the served segment: 1 MiB spans 16 lock stripes —
+// enough that a torn live read is not a corner case.
+const serveBenchVals = 1 << 18
+
+// serveSamples is the per-discipline sample count (quick mode trims it).
+const serveSamples = 400
+
+// percentileNs returns the p-th percentile (0..100) of the sorted samples.
+func percentileNs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds())
+}
+
+// sampleLatencies runs fn n times, returning the sorted per-call latencies.
+func sampleLatencies(n int, fn func() error) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return nil, err
+		}
+		out = append(out, time.Since(t0))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// serveRows appends the serve/* percentile rows for one discipline.
+func serveRows(rep *KernelReport, name string, logicalBytes int64, sorted []time.Duration) {
+	for _, pt := range []struct {
+		label string
+		p     float64
+	}{{"p50", 50}, {"p99", 99}} {
+		ns := percentileNs(sorted, pt.p)
+		kr := KernelResult{
+			Name:    fmt.Sprintf("serve/%s/1MiB/%s", name, pt.label),
+			NsPerOp: ns,
+		}
+		if logicalBytes > 0 && ns > 0 {
+			kr.MBPerSec = float64(logicalBytes) / ns * 1e9 / (1 << 20)
+		}
+		rep.Results = append(rep.Results, kr)
+	}
+}
+
+// ServeBench appends the serving rows to rep: live-read and snapshot-read
+// p50/p99 under a separate-process accumulate storm, the snapshot-cycle
+// cost, and the local zero-alloc row. quick trims the sample counts.
+func ServeBench(rep *KernelReport, quick bool) error {
+	samples := serveSamples
+	if quick {
+		samples = 120
+	}
+	addr, _, stop, err := spawnBenchServer("tcp")
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	reader, err := smb.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	writer, err := smb.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer writer.Close()
+
+	size := serveBenchVals * 4
+	gKey, err := reader.Create("serve/wg", size)
+	if err != nil {
+		return err
+	}
+	hg, err := reader.Attach(gKey)
+	if err != nil {
+		return err
+	}
+	dKey, err := reader.Create("serve/dw", size)
+	if err != nil {
+		return err
+	}
+	whg, err := writer.Attach(gKey)
+	if err != nil {
+		return err
+	}
+	whd, err := writer.Attach(dKey)
+	if err != nil {
+		return err
+	}
+
+	grad := make([]float32, serveBenchVals)
+	kernelFill(grad, 13)
+	raw := tensor.Float32Bytes(grad)
+
+	// The storm: fused 1 MiB pushes, back to back, on their own connection.
+	var stormStop atomic.Bool
+	var stormErr atomic.Pointer[error]
+	var stormWG sync.WaitGroup
+	stormWG.Add(1)
+	go func() {
+		defer stormWG.Done()
+		for !stormStop.Load() {
+			if err := writer.WriteAccumulate(whg, whd, raw); err != nil {
+				stormErr.Store(&err)
+				return
+			}
+		}
+	}()
+	defer func() { stormStop.Store(true); stormWG.Wait() }()
+
+	buf := make([]byte, size)
+
+	// Live reads: the torn baseline.
+	live, err := sampleLatencies(samples, func() error {
+		return reader.Read(hg, 0, buf)
+	})
+	if err != nil {
+		return err
+	}
+	serveRows(rep, "live_read", int64(size), live)
+
+	// Snapshot reads against a pinned cut, re-cut every 50 reads — the
+	// refresh cadence an inference frontend runs at.
+	info, err := reader.Snapshot(hg)
+	if err != nil {
+		return err
+	}
+	reads := 0
+	snap, err := sampleLatencies(samples, func() error {
+		if reads > 0 && reads%50 == 0 {
+			if err := reader.SnapRelease(info.ID); err != nil {
+				return err
+			}
+			if info, err = reader.Snapshot(hg); err != nil {
+				return err
+			}
+		}
+		reads++
+		return reader.SnapRead(info.ID, 0, buf)
+	})
+	if err != nil {
+		return err
+	}
+	if err := reader.SnapRelease(info.ID); err != nil {
+		return err
+	}
+	serveRows(rep, "snap_read", int64(size), snap)
+
+	// The cut itself: Snapshot + SnapRelease, no reads.
+	cycle, err := sampleLatencies(samples/4, func() error {
+		in, err := reader.Snapshot(hg)
+		if err != nil {
+			return err
+		}
+		return reader.SnapRelease(in.ID)
+	})
+	if err != nil {
+		return err
+	}
+	serveRows(rep, "snapshot_cycle", 0, cycle)
+	if e := stormErr.Load(); e != nil {
+		return fmt.Errorf("serve bench storm: %w", *e)
+	}
+
+	if tornP99, snapP99 := percentileNs(live, 99), percentileNs(snap, 99); tornP99 > 0 && snapP99 > 0 {
+		rep.Speedups["serve/snap_read_vs_live_read/p99"] = tornP99 / snapP99
+	}
+
+	// Local zero-alloc row: SnapRead of a COW-backed snapshot while a
+	// writer storms in-process. AllocsPerOp lands in the JSON — 0 is the
+	// serving contract (check.sh tier 2 pins the same property by test).
+	store := smb.NewStore()
+	key, err := store.Create("serve/local", size)
+	if err != nil {
+		return err
+	}
+	h, err := store.Attach(key)
+	if err != nil {
+		return err
+	}
+	if err := store.Write(h, 0, raw); err != nil {
+		return err
+	}
+	in, err := store.Snapshot(h)
+	if err != nil {
+		return err
+	}
+	var localStop atomic.Bool
+	var localWG sync.WaitGroup
+	localWG.Add(1)
+	go func() {
+		defer localWG.Done()
+		for !localStop.Load() {
+			if err := store.Write(h, 0, raw); err != nil {
+				return
+			}
+		}
+	}()
+	r := testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if err := store.SnapRead(in.ID, 0, buf); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	})
+	localStop.Store(true)
+	localWG.Wait()
+	if err := store.SnapRelease(in.ID); err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, benchResult("serve/snap_read_local/1MiB", int64(size), r))
+	return nil
+}
+
+// ServeTable renders the serve/* rows of a report as the README's
+// "Serving" exhibit.
+func ServeTable(rep *KernelReport) *trace.Table {
+	t := trace.New("Serving: read latency under a 1 MiB accumulate storm (separate-process server)",
+		"row", "ns/op", "MB/s", "allocs/op")
+	for _, r := range rep.Results {
+		if len(r.Name) < 6 || r.Name[:6] != "serve/" {
+			continue
+		}
+		mb := ""
+		if r.MBPerSec > 0 {
+			mb = fmt.Sprintf("%.1f", r.MBPerSec)
+		}
+		t.Add(r.Name, fmt.Sprintf("%.0f", r.NsPerOp), mb, fmt.Sprintf("%d", r.AllocsPerOp))
+	}
+	return t
+}

@@ -97,6 +97,27 @@ func (s *Store) WriteAccumulateAt(dst, src Handle, off int, data []byte) error {
 	}
 	var waitNs int64
 
+	// Snapshot fence: one chunk mutates both segments (copy into src, add
+	// into dst), so each chunk is one cut-atomic unit against snapshots of
+	// either. Both gates in segment-key order — the same discipline as the
+	// stripe locks — so concurrent chunk streams crossing in opposite
+	// directions cannot deadlock. A snapshot can land between chunks of an
+	// N-chunk streamed sequence; DESIGN.md §17 documents that granularity.
+	if dseg == sseg {
+		dseg.gate.RLock()
+		defer dseg.gate.RUnlock()
+	} else if dseg.key < sseg.key {
+		//lint:ignore lockorder the two gates of this class are taken in segment-key order (this branch and its mirror below), so concurrent chunk streams cannot cross
+		dseg.gate.RLock()
+		defer dseg.gate.RUnlock()
+		sseg.gate.RLock()
+		defer sseg.gate.RUnlock()
+	} else {
+		sseg.gate.RLock()
+		defer sseg.gate.RUnlock()
+		dseg.gate.RLock()
+		defer dseg.gate.RUnlock()
+	}
 	for covered := 0; covered < len(data); {
 		start := off + covered
 		ci := start / chunkBytes

@@ -771,7 +771,7 @@ func (c *StreamClient) readReplyLocked(timeout time.Duration) ([]byte, error) {
 var knownRemoteErrors = []error{
 	ErrSegmentExists, ErrUnknownSegment, ErrUnknownHandle,
 	ErrOutOfRange, ErrSizeMismatch, ErrNotFloatAligned,
-	ErrWaitCanceled,
+	ErrWaitCanceled, ErrUnknownSnapshot,
 }
 
 // remoteError reconstructs well-known errors from their messages so callers

@@ -24,6 +24,8 @@ type ShardedClient struct {
 	mu         sync.Mutex
 	nextHandle Handle                    // guarded by mu
 	handles    map[Handle]*shardedHandle // guarded by mu
+	nextSnap   SnapID                    // guarded by mu
+	snaps      map[SnapID]*shardedSnap   // guarded by mu
 	inst       *clientInstruments        // optional fan-out timing, guarded by mu
 }
 

@@ -475,6 +475,9 @@ func (c *ShmClient) Write(h Handle, off int, src []byte) error {
 		return fmt.Errorf("smb shm write [%d,%d) of %d-byte segment: %w",
 			off, off+len(src), len(sh.dat), ErrOutOfRange)
 	}
+	// Hold the shared snapshot gate in read mode across the whole op so a
+	// server-side Snapshot cannot cut between stripes of one mapped write.
+	sh.snapGateRLock()
 	for covered := 0; covered < len(src); {
 		ci := (off + covered) / chunkBytes
 		lo, hi := stripeSpan(sh, ci, off+covered, off+len(src))
@@ -485,6 +488,7 @@ func (c *ShmClient) Write(h Handle, off int, src []byte) error {
 	}
 	sh.addOp(shmOffWrites, 1)
 	sh.bumpVersion()
+	sh.snapGateRUnlock()
 	c.mappedOps.Add(1)
 	return nil
 }
@@ -530,18 +534,24 @@ func (c *ShmClient) accumulateLocked(dst, src Handle) error {
 			len(dsh.dat), len(ssh.dat), ErrSizeMismatch)
 	}
 	lease := c.lease
+	// Gate the destination only: src is read, not mutated, so a snapshot of
+	// src cannot be torn by this op, and single-gate acquisition keeps the
+	// mapped accumulate deadlock-free against cross-segment gate holders.
+	dsh.snapGateRLock()
 	for ci := 0; ci < dsh.stripes; ci++ {
 		lo, hi := stripeSpan(dsh, ci, 0, len(dsh.dat))
 		lockStripePair(dsh, dm.key, ssh, sm.key, ci, lease)
 		err := accumulateChunk(dsh.dat[lo:hi], ssh.dat[lo:hi])
 		unlockStripePair(dsh, dm.key, ssh, sm.key, ci, lease)
 		if err != nil {
+			dsh.snapGateRUnlock()
 			return err
 		}
 	}
 	dsh.addOp(shmOffAccumulates, 1)
 	dsh.addOp(shmOffBytesAcc, uint64(len(dsh.dat)))
 	dsh.bumpVersion()
+	dsh.snapGateRUnlock()
 	c.mappedOps.Add(1)
 	return nil
 }
@@ -580,6 +590,32 @@ func lockStripePair(a *shmShared, ak SHMKey, b *shmShared, bk SHMKey, ci int, le
 		b.lockStripe(ci, lease)
 		a.lockStripe(ci, lease)
 	}
+}
+
+// snapGateRLockPair takes two segments' shared snapshot gates in read mode,
+// in key order. Ordering matters even for shared acquisition: a pending
+// snapshot writer blocks new readers, so two fused ops acquiring opposite
+// orders while snapshots pend on both gates would otherwise cycle.
+func snapGateRLockPair(a *shmShared, ak SHMKey, b *shmShared, bk SHMKey) {
+	switch {
+	case a == b:
+		a.snapGateRLock()
+	case ak < bk:
+		a.snapGateRLock()
+		b.snapGateRLock()
+	default:
+		b.snapGateRLock()
+		a.snapGateRLock()
+	}
+}
+
+func snapGateRUnlockPair(a, b *shmShared) {
+	if a == b {
+		a.snapGateRUnlock()
+		return
+	}
+	a.snapGateRUnlock()
+	b.snapGateRUnlock()
 }
 
 //shm:hotpath
@@ -637,6 +673,12 @@ func (c *ShmClient) WriteAccumulate(dst, src Handle, data []byte) error {
 			len(data), ErrSizeMismatch)
 	}
 	lease := c.lease
+	// Both segments are mutated, so both snapshot gates are held for the
+	// whole fused op — in key order, matching every other multi-gate
+	// acquisition (server WriteAccumulateAt, snapshot cuts), so gates cannot
+	// deadlock across processes.
+	snapGateRLockPair(dsh, dm.key, ssh, sm.key)
+	defer snapGateRUnlockPair(dsh, ssh)
 	for covered := 0; covered < len(data); {
 		ci := covered / chunkBytes
 		lo, hi := stripeSpan(ssh, ci, covered, len(data))

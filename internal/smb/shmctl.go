@@ -132,7 +132,7 @@ func (s *Server) dispatchShm(op opcode, payload []byte, cs *connState) ([]byte, 
 		}
 		return cs.fw.u64(flags).u64(localBootID()).str(path).buf, nil
 	default:
-		return nil, fmt.Errorf("smb: unknown opcode %d", op)
+		return s.dispatchSnap(op, payload, cs)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -30,6 +31,9 @@ import (
 //	off 56  u64  reads served through mappings
 //	off 64  u32  version-futex waiter count (own cache line: written by
 //	             waiters, read by every bump)
+//	off 72  u32  snapshot gate: mapped clients hold it in read mode for
+//	             each whole mutating op, the server takes it exclusively
+//	             to cut a consistent snapshot (layout v3; snapshot.go)
 //	off 128 [stripes] × { u32 lock word, u32 reserved }
 //
 // The per-stripe lock words mirror the server's 64 KiB stripe locks into
@@ -51,8 +55,12 @@ var ErrShmUnsupported = errors.New("smb: shared-memory transport unsupported on 
 var errFDTransport = errors.New("smb: transport cannot carry file descriptors")
 
 const (
-	shmMagic         uint64 = 0x31454641434d4853 // "SHMCAFE1" little-endian
-	shmLayoutVersion uint32 = 2
+	shmMagic uint64 = 0x31454641434d4853 // "SHMCAFE1" little-endian
+	// v3 added the snapshot gate word at offset 72. The version is
+	// validated exactly on map, so a v2 client refuses a v3 segment (and
+	// vice versa) and falls back to the wire verbs — the same clean
+	// degradation as a non-shm server.
+	shmLayoutVersion uint32 = 3
 
 	shmHdrBytes   = 128
 	shmLockStride = 8
@@ -72,7 +80,30 @@ const (
 	// data path" being a design claim and being true. It starts the second
 	// cache line so waiter arrivals do not bounce the line every bump reads.
 	shmOffVersionWaiters = 64
+	// shmOffSnapGate is the cross-process snapshot gate (snapshot.go): a
+	// reader-count word mapped clients hold in read mode around each whole
+	// mutating op, write-locked by the serving process to drain them before
+	// copying a consistent cut. Same cache line as the waiter count — both
+	// are off the stripe data path.
+	shmOffSnapGate = 72
 )
+
+// Snapshot-gate word layout: low 30 bits count mapped ops in flight,
+// shmSnapGatePending announces a cut (blocking new ops so a storm cannot
+// starve the drain), shmSnapGateWriter marks the cut in progress.
+const (
+	shmSnapGateWriter  uint32 = 1 << 31
+	shmSnapGatePending uint32 = 1 << 30
+	shmSnapGateReaders uint32 = shmSnapGatePending - 1
+)
+
+// shmSnapDrainNs bounds how long a cut waits for mapped in-flight ops to
+// drain. Live ops hold the gate for one stripe sweep (microseconds to low
+// milliseconds), so a drain that needs the full second means a mapped
+// client died mid-op; its orphaned hold cannot be attributed to a lease
+// (the count is anonymous by design — one word, many readers), so the cut
+// degrades to per-stripe atomicity instead of blocking forever.
+const shmSnapDrainNs = int64(1_000_000_000)
 
 // shmLockContended marks a lock word with at least one futex waiter; the
 // low 31 bits carry the owner's lease.
@@ -312,6 +343,93 @@ func (sh *shmShared) waitVersion(since uint64, cancel <-chan struct{}) (v uint64
 //shm:hotpath
 func (sh *shmShared) addOp(off int, n uint64) { sh.word64(off).Add(n) }
 
+// snapGateRLock registers one mapped mutating op in flight. Fast path is
+// one CAS; while a cut is pending or in progress the op parks until the
+// gate reopens. Held for the whole op (all stripes plus the version
+// bump), paired with snapGateRUnlock.
+//
+//shm:hotpath
+func (sh *shmShared) snapGateRLock() {
+	w := sh.word32(shmOffSnapGate)
+	for spins := 0; ; {
+		cur := w.Load()
+		if cur&(shmSnapGateWriter|shmSnapGatePending) == 0 {
+			if w.CompareAndSwap(cur, cur+1) {
+				return
+			}
+			continue
+		}
+		if spins < shmLockSpins {
+			spins++
+			continue
+		}
+		futexWait(w, cur, shmLockWaitNs)
+		spins = 0
+	}
+}
+
+// snapGateRUnlock deregisters a mapped op; the last op out wakes a cut
+// parked on the drain.
+//
+//shm:hotpath
+func (sh *shmShared) snapGateRUnlock() {
+	w := sh.word32(shmOffSnapGate)
+	if cur := w.Add(^uint32(0)); cur&shmSnapGateReaders == 0 && cur != 0 {
+		futexWakeAll(w)
+	}
+}
+
+// snapGateLock announces a cut and drains mapped in-flight ops. Only the
+// serving process calls it, serialized per segment by the in-process op
+// gate, so writer-vs-writer contention can only be a stale bit left by a
+// crashed server incarnation — waited out like any lock word. Returns
+// false when the drain timed out (an orphaned hold, see shmSnapDrainNs);
+// the pending bit is cleared and mapped traffic resumes, and the caller
+// must NOT call snapGateUnlock.
+func (sh *shmShared) snapGateLock() bool {
+	w := sh.word32(shmOffSnapGate)
+	for {
+		cur := w.Load()
+		if cur&(shmSnapGateWriter|shmSnapGatePending) != 0 {
+			futexWait(w, cur, shmLockWaitNs)
+			continue
+		}
+		if w.CompareAndSwap(cur, cur|shmSnapGatePending) {
+			break
+		}
+	}
+	// With pending set no new reader can enter, so the count is strictly
+	// draining from here.
+	t0 := time.Now()
+	for {
+		cur := w.Load()
+		if cur&shmSnapGateReaders == 0 {
+			if w.CompareAndSwap(cur, shmSnapGateWriter) {
+				return true
+			}
+			continue
+		}
+		if time.Since(t0).Nanoseconds() > shmSnapDrainNs {
+			for {
+				cur = w.Load()
+				if w.CompareAndSwap(cur, cur&^shmSnapGatePending) {
+					break
+				}
+			}
+			futexWakeAll(w)
+			return false
+		}
+		futexWait(w, cur, shmLockWaitNs)
+	}
+}
+
+// snapGateUnlock reopens the gate after a successful snapGateLock.
+func (sh *shmShared) snapGateUnlock() {
+	w := sh.word32(shmOffSnapGate)
+	w.Store(0) // readers cannot have entered while the writer bit was set
+	futexWakeAll(w)
+}
+
 // Dual stripe locking: the server wraps every stripe access of an exported
 // segment in both its in-process lock and the shared word (always local
 // first, shared second; released shared first). In-process readers of an
@@ -323,10 +441,19 @@ func (seg *segment) lockStripe(ci int, timed bool) int64 {
 	if seg.shm != nil {
 		seg.shm.lockStripe(ci, shmServerLease)
 	}
+	// Snapshot hooks (snapshot.go): preserve the stripe's pre-image for
+	// any live lazy snapshot, then flag the stripe unstable — the COW page
+	// must be published before the epoch goes odd so a seqlock reader that
+	// sees the disturbance is guaranteed to find it.
+	if sl := seg.snaps.Load(); sl != nil {
+		seg.cowStripe(ci, *sl)
+	}
+	seg.epochs[ci].Add(1)
 	return w
 }
 
 func (seg *segment) unlockStripe(ci int) {
+	seg.epochs[ci].Add(1) // even again: stripe stable
 	if seg.shm != nil {
 		seg.shm.unlockStripe(ci, shmServerLease)
 	}

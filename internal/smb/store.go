@@ -99,6 +99,21 @@ type segment struct {
 	// cross-process mapping (shmseg.go); nil for heap segments. Immutable
 	// after Create, like data — data aliases shm's data region when set.
 	shm *shmShared
+
+	// gate is the whole-operation fence snapshots cut against
+	// (snapshot.go): every mutating op holds it in read mode for its full
+	// stripe sweep, Store.Snapshot takes it exclusively for the brief cut.
+	// Uncontended in steady state, so the write path stays wait-free.
+	gate sync.RWMutex
+	// epochs are the per-stripe seqlock words: a stripe's epoch is odd
+	// while a writer holds it exclusively, bumped again (even) on release.
+	// Snapshot readers validate lock-free copies of pristine stripes
+	// against them.
+	epochs []atomic.Uint64
+	// snaps lists the live lazy snapshots writers must preserve
+	// pre-images for; nil when none (the steady-state load is one pointer
+	// check per stripe write).
+	snaps atomic.Pointer[[]*snapState]
 }
 
 // numChunks returns the stripe count for a segment of size bytes.
@@ -140,6 +155,15 @@ type Store struct {
 	// counts the shared-memory transport's control-plane traffic.
 	shmOn atomic.Bool
 	shmc  shmCounters
+
+	// snapTable maps live snapshot IDs to their state (snapshot.go) as an
+	// immutable map behind an atomic pointer: SnapRead resolves with one
+	// Load and a typed map lookup — no lock, no interface boxing, no
+	// allocation on the serving hot path. snapMu serializes the (rare)
+	// copy-on-write table swaps; snapc carries the snapshot accounting.
+	snapTable atomic.Pointer[map[SnapID]*snapState]
+	snapMu    sync.Mutex
+	snapc     snapCounters
 }
 
 // NewStore returns an empty segment store.
@@ -166,9 +190,10 @@ func (s *Store) Create(name string, size int) (SHMKey, error) {
 	s.nextKey++
 	key := s.nextKey
 	seg := &segment{
-		key:   key,
-		name:  name,
-		locks: make([]sync.RWMutex, numChunks(size)),
+		key:    key,
+		name:   name,
+		locks:  make([]sync.RWMutex, numChunks(size)),
+		epochs: make([]atomic.Uint64, numChunks(size)),
 	}
 	if s.shmOn.Load() {
 		sh, err := newShmShared(size)
@@ -329,6 +354,7 @@ func (s *Store) Write(h Handle, off int, src []byte) error {
 	if ins != nil {
 		t0 = time.Now()
 	}
+	seg.gate.RLock() // snapshot fence: the whole op is one cut-atomic unit
 	for covered := 0; covered < len(src); {
 		start := off + covered
 		ci := start / chunkBytes
@@ -342,6 +368,7 @@ func (s *Store) Write(h Handle, off int, src []byte) error {
 		covered += hi - start
 	}
 	s.versions.bump(seg)
+	seg.gate.RUnlock()
 	s.stats.writes.Add(1)
 	s.stats.bytesWrite.Add(int64(len(src)))
 	if ins != nil {
@@ -402,6 +429,11 @@ func (s *Store) Accumulate(dst, src Handle) error {
 	}
 	var waitNs int64
 
+	// Snapshot fence on the destination only — the op mutates dst and
+	// merely reads src, so a cut of src is unaffected by it. Single gate,
+	// no ordering concern.
+	dseg.gate.RLock()
+	defer dseg.gate.RUnlock()
 	for ci := range dseg.locks {
 		lo, hi := dseg.chunkRange(ci)
 		if dseg == sseg {

@@ -60,7 +60,7 @@ tier2() {
 	# StreamClient Read/Write/Accumulate, the chunked WRITE+ACCUMULATE
 	# sequence, pooled wire scratch), the fused worker exchange step, and
 	# the pooled parallel.For/ForRanger dispatch.
-	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots' -count=1 ./internal/smb
+	go test -run='TestSteadyStateZeroAlloc|TestReadInt64Slots|TestSnapReadZeroAlloc' -count=1 ./internal/smb
 	go test -run='TestRecordingZeroAlloc|TestSpanZeroAlloc|TestEventRecordZeroAlloc' -count=1 ./internal/telemetry
 	go test -run='TestFusedStepAndStreamZeroAlloc' -count=1 ./internal/core
 	go test -run='TestForRangerZeroAlloc|TestForZeroAlloc|TestFreelist' -count=1 ./internal/parallel
@@ -75,6 +75,8 @@ tier2() {
 	obs_smoke
 	echo "== tier 2: shm smoke (zero-copy transport negotiation + cross-transport determinism) =="
 	shm_smoke
+	echo "== tier 2: serve smoke (snapshot-fed inference frontend under a training run) =="
+	serve_smoke
 }
 
 # telemetry_smoke runs a short 2-worker shmtrain with the telemetry surface
@@ -135,6 +137,7 @@ clean_smoke() {
 	[ -n "${tmpdir2:-}" ] && rm -rf "$tmpdir2"
 	[ -n "${tmpdir3:-}" ] && rm -rf "$tmpdir3"
 	[ -n "${tmpdir4:-}" ] && rm -rf "$tmpdir4"
+	[ -n "${tmpdir5:-}" ] && rm -rf "$tmpdir5"
 	:
 }
 
@@ -439,6 +442,119 @@ shm_smoke() {
 		fi
 	done
 	echo "shm smoke: OK (2 workers mapped, $fd_passed fds passed; Wg $sha identical on shm/tcp/tcp_sg)"
+}
+
+# serve_smoke is ISSUE 10's acceptance drill for serve-from-live-buffer: an
+# smbserver with metrics up, one shmtrain worker continuously accumulating
+# into its Wg, and the shmserve frontend refreshing that Wg via snapshots
+# while the built-in load generator hammers /infer. Proves (a) the frontend
+# serves real inferences off consistent cuts while the segment is being
+# stormed (latency histogram + fresh snapshot-age gauge), and (b) no
+# snapshot read ever exhausted its seqlock retries and fell through
+# inconsistently (smb_snap_retries_exhausted_total stays 0 server-side).
+serve_smoke() {
+	tmpdir5="$(mktemp -d)"
+	trap 'clean_smoke' EXIT
+	go build -o "$tmpdir5/smbserver" ./cmd/smbserver
+	go build -o "$tmpdir5/shmtrain" ./cmd/shmtrain
+	go build -o "$tmpdir5/shmserve" ./cmd/shmserve
+
+	"$tmpdir5/smbserver" -addr 127.0.0.1:0 -http 127.0.0.1:0 -stats 0 \
+		>"$tmpdir5/server.log" 2>&1 &
+	server_pid=$!
+	smb="" http=""
+	for _ in $(seq 1 100); do
+		smb="$(sed -n 's/.*listening on tcp \([0-9.:]*\).*/\1/p' "$tmpdir5/server.log" | head -1)"
+		http="$(sed -n 's#.*SMB metrics on http://\([0-9.:]*\)/metrics.*#\1#p' "$tmpdir5/server.log" | head -1)"
+		[ -n "$smb" ] && [ -n "$http" ] && break
+		sleep 0.1
+	done
+	if [ -z "$smb" ] || [ -z "$http" ]; then
+		echo "serve smoke: smbserver never reported tcp + http addresses" >&2
+		cat "$tmpdir5/server.log" >&2
+		kill "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	# The trainer storms Wg with accumulates for the whole drill.
+	"$tmpdir5/shmtrain" -rank 0 -world 1 -smb "$smb" -job servedrill \
+		-epochs 3000 -per-class 40 -smb-timeout 5s \
+		>"$tmpdir5/train.log" 2>&1 &
+	train_pid=$!
+
+	"$tmpdir5/shmserve" -addr "$smb" -transport tcp -job servedrill \
+		-listen 127.0.0.1:0 -refresh 100ms >"$tmpdir5/serve.log" 2>&1 &
+	serve_pid=$!
+	url=""
+	for _ in $(seq 1 150); do
+		url="$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$tmpdir5/serve.log" | head -1)"
+		[ -n "$url" ] && break
+		sleep 0.1
+	done
+	if [ -z "$url" ]; then
+		echo "serve smoke: shmserve never reported its listen address" >&2
+		cat "$tmpdir5/serve.log" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	"$tmpdir5/shmserve" -loadgen "http://$url" -concurrency 4 -duration 3s \
+		>"$tmpdir5/loadgen.log" 2>&1 || {
+		echo "serve smoke: load generator failed" >&2
+		cat "$tmpdir5/loadgen.log" "$tmpdir5/serve.log" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	}
+
+	# (a) Frontend metrics: inferences actually flowed through the batcher
+	# and the served snapshot is fresh (age below ~10 refresh intervals).
+	curl -fsS "http://$url/metrics" >"$tmpdir5/serve-metrics.txt" 2>/dev/null || {
+		echo "serve smoke: frontend /metrics scrape failed" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	}
+	infers="$(sed -n 's/^shmserve_infer_seconds_count \([0-9]*\).*/\1/p' "$tmpdir5/serve-metrics.txt" | head -1)"
+	if [ -z "$infers" ] || [ "$infers" -lt 100 ]; then
+		echo "serve smoke: shmserve_infer_seconds_count = '${infers:-missing}', want >= 100" >&2
+		cat "$tmpdir5/loadgen.log" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+	grep -q '^shmserve_batch_size_count' "$tmpdir5/serve-metrics.txt" || {
+		echo "serve smoke: frontend /metrics missing the batch-size histogram" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	}
+	age="$(sed -n 's/^shmserve_snapshot_age_seconds \([0-9.e+-]*\).*/\1/p' "$tmpdir5/serve-metrics.txt" | head -1)"
+	if [ -z "$age" ] || ! awk "BEGIN{exit !($age >= 0 && $age < 1.0)}"; then
+		echo "serve smoke: snapshot age gauge '$age' not in [0, 1.0) — refresh loop stalled?" >&2
+		cat "$tmpdir5/serve.log" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	fi
+
+	# (b) Server-side snapshot counters: cuts were taken and served, and no
+	# snapshot read ever exhausted its retries (the consistency SLO).
+	curl -fsS "http://$http/metrics" >"$tmpdir5/smb-metrics.txt" 2>/dev/null || {
+		echo "serve smoke: server /metrics scrape failed" >&2
+		kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+		return 1
+	}
+	kill "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+	wait "$serve_pid" "$train_pid" "$server_pid" 2>/dev/null || true
+	snaps="$(sed -n 's/^smb_snapshots_total \([0-9]*\).*/\1/p' "$tmpdir5/smb-metrics.txt" | head -1)"
+	if [ -z "$snaps" ] || [ "$snaps" -lt 2 ]; then
+		echo "serve smoke: smb_snapshots_total = '${snaps:-missing}', want >= 2" >&2
+		grep 'smb_snap' "$tmpdir5/smb-metrics.txt" >&2 || true
+		return 1
+	fi
+	exhausted="$(sed -n 's/^smb_snap_retries_exhausted_total \([0-9]*\).*/\1/p' "$tmpdir5/smb-metrics.txt" | head -1)"
+	if [ "${exhausted:-missing}" != "0" ]; then
+		echo "serve smoke: smb_snap_retries_exhausted_total = '${exhausted:-missing}', want 0" >&2
+		grep 'smb_snap' "$tmpdir5/smb-metrics.txt" >&2 || true
+		return 1
+	fi
+	echo "serve smoke: OK ($infers inferences off $snaps snapshots, age ${age}s, 0 exhausted retries; $(cat "$tmpdir5/loadgen.log"))"
 }
 
 case "$tier" in
